@@ -1,0 +1,38 @@
+"""Ablation: asynchronous kernel launches (the second DC cost, SIV-B).
+
+DC has no ``async`` clause, so every launch is a synchronous host round
+trip. This sweep quantifies the loss as a function of kernel granularity.
+"""
+
+from conftest import print_block
+
+from repro.runtime.stream import AsyncQueue
+from repro.util.tables import Table
+
+
+def run_async_ablation():
+    q = AsyncQueue()
+    t = Table(
+        ["kernels", "body (us)", "async (us)", "sync (us)", "sync/async"],
+        title="Async-launch ablation (sequence wall time)",
+    )
+    results = []
+    for n in (10, 100, 1000):
+        for body_us in (1.0, 10.0, 100.0):
+            bodies = [body_us * 1e-6] * n
+            a = q.simulate(bodies, async_launch=True).total_time
+            s = q.simulate(bodies, async_launch=False).total_time
+            t.add_row([n, body_us, a * 1e6, s * 1e6, s / a])
+            results.append((body_us, a, s))
+    return t, results
+
+
+def test_async_ablation(benchmark):
+    t, results = benchmark(run_async_ablation)
+    print_block("ABLATION -- async vs synchronous launches", t.render())
+    for body_us, a, s in results:
+        assert a <= s
+        if body_us <= 1.0:
+            assert s / a > 2.0   # tiny kernels: sync launches dominate
+        if body_us >= 100.0:
+            assert s / a < 1.1   # long kernels: launch overhead hidden

@@ -1,0 +1,81 @@
+"""Ablation: kernel fusion (the first DC cost the paper names, SIV-B).
+
+Runs the same kernel region under OpenACC with fusion on/off and under DC
+(forced fission), quantifying the launch-overhead penalty per region size.
+"""
+
+from conftest import print_block
+
+from repro.machine.gpu import A100_40GB, GpuDevice
+from repro.machine.interconnect import PCIE4_X16
+from repro.machine.memory import DeviceMemory
+from repro.runtime.clock import SimClock
+from repro.runtime.cost import KernelCostModel
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.doconcurrent import DoConcurrentEngine
+from repro.runtime.fusion import plan_fusion
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.openacc import OpenAccEngine
+from repro.runtime.stream import AsyncQueue
+from repro.util.tables import Table
+from repro.util.units import GB, MiB
+
+
+def _setup(n_loops, nbytes):
+    env = DataEnvironment(
+        DataMode.MANUAL, device_memory=DeviceMemory(40 * GB), host_link=PCIE4_X16
+    )
+    specs = []
+    for i in range(n_loops):
+        env.register(f"a{i}", nbytes)
+        env.enter_data(f"a{i}")
+        specs.append(KernelSpec(f"k{i}", writes=(f"a{i}",)))
+    return env, specs
+
+
+def _acc_time(env, specs, *, fusion):
+    eng = OpenAccEngine(
+        clock=SimClock(), env=env, gpu=GpuDevice(A100_40GB, 0),
+        cost=KernelCostModel(), queue=AsyncQueue(), async_launch=False,
+    )
+    eng.execute_region(plan_fusion(specs, enabled=fusion))
+    return eng.clock.now
+
+
+def _dc_time(env, specs):
+    eng = DoConcurrentEngine(
+        clock=SimClock(), env=env, gpu=GpuDevice(A100_40GB, 0),
+        cost=KernelCostModel(), queue=AsyncQueue(),
+    )
+    eng.execute_sequence(specs)
+    return eng.clock.now
+
+
+def run_fusion_ablation():
+    t = Table(
+        ["loops/region", "kernel KiB", "ACC fused", "ACC unfused", "DC fission", "fission penalty"],
+        title="Kernel fusion ablation (times in us per region)",
+    )
+    results = []
+    for n_loops in (2, 4, 8, 16):
+        for kib in (64, 1024, 262144):
+            env, specs = _setup(n_loops, kib * 1024)
+            fused = _acc_time(env, specs, fusion=True)
+            unfused = _acc_time(env, specs, fusion=False)
+            dc = _dc_time(env, specs)
+            t.add_row(
+                [n_loops, kib, fused * 1e6, unfused * 1e6, dc * 1e6, dc / fused]
+            )
+            results.append((n_loops, kib, fused, unfused, dc))
+    return t, results
+
+
+def test_fusion_ablation(benchmark):
+    t, results = benchmark(run_fusion_ablation)
+    print_block("ABLATION -- kernel fusion vs fission", t.render())
+    for n_loops, kib, fused, unfused, dc in results:
+        assert fused <= unfused <= dc * 1.001
+        if kib == 64:  # small kernels: fission hurts most
+            assert dc / fused > 1.5
+        if kib == 262144:  # paper-scale kernels: launch overhead amortized
+            assert dc / fused < 1.2

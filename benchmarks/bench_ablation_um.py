@@ -1,0 +1,84 @@
+"""Ablation: unified-memory effects, isolated one mechanism at a time.
+
+The paper's SV-C control: "We confirmed this by running Code 1 (A) and
+Code 2 (AD) with UM and got similar timings to Code 3 (ADU)" -- i.e. UM,
+not DC, causes the slowdown. This bench reproduces that control and
+sweeps the UM transport parameters.
+"""
+
+import pytest
+from conftest import print_block
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.model import MasModel, ModelConfig
+from repro.perf.calibration import Calibration, MEASURE_SHAPE
+from repro.util.tables import Table
+
+FAST = Calibration(pcg_iters=3, sts_stages=3, bench_steps=2)
+
+
+def _wall(rt_cfg, cal=FAST, **model_kw):
+    m = MasModel(
+        ModelConfig(
+            shape=MEASURE_SHAPE, num_ranks=8,
+            pcg_iters=cal.pcg_iters, sts_stages=cal.sts_stages,
+            extra_model_arrays=70,
+        ),
+        rt_cfg,
+        cost=cal.cost_model(),
+        queue=cal.queue(),
+        um_host_mpi_overhead=model_kw.pop("um_host_mpi_overhead", cal.um_host_mpi_overhead),
+        um_page_amplification=model_kw.pop("um_page_amplification", cal.um_page_amplification),
+        halo_pack_inefficiency=cal.halo_pack_inefficiency,
+        halo_buffer_init_fraction=cal.halo_buffer_init_fraction,
+        rank_jitter=cal.rank_jitter,
+    )
+    m.run(1)
+    ts = m.run(cal.bench_steps)
+    return sum(t.wall for t in ts) / len(ts)
+
+
+def run_um_control():
+    """Code 1 and Code 2 with UM enabled vs Code 3."""
+    rows = {}
+    rows["code1_manual"] = _wall(runtime_config_for(CodeVersion.A))
+    rows["code1_um"] = _wall(runtime_config_for(CodeVersion.A).with_unified_memory())
+    rows["code2_um"] = _wall(runtime_config_for(CodeVersion.AD).with_unified_memory())
+    rows["code3_adu"] = _wall(runtime_config_for(CodeVersion.ADU))
+    return rows
+
+
+def test_um_is_the_culprit_not_dc(benchmark):
+    rows = benchmark.pedantic(run_um_control, rounds=1, iterations=1)
+    t = Table(["run", "step wall (ms)"], title="UM control experiment (SV-C)")
+    for k, v in rows.items():
+        t.add_row([k, v * 1e3])
+    print_block("ABLATION -- UM control: Code 1/2 + UM vs Code 3", t.render())
+    # Code 1 with UM lands near Code 3, far above manual Code 1
+    assert rows["code1_um"] == pytest.approx(rows["code3_adu"], rel=0.10)
+    assert rows["code2_um"] == pytest.approx(rows["code3_adu"], rel=0.10)
+    assert rows["code1_um"] > 1.5 * rows["code1_manual"]
+
+
+def run_um_parameter_sweep():
+    cfg = runtime_config_for(CodeVersion.ADU)
+    out = []
+    for amp in (1.0, 2.0, 4.0):
+        out.append(("page_amplification", amp, _wall(cfg, um_page_amplification=amp)))
+    for ovh in (10e-6, 40e-6, 160e-6):
+        out.append(("host_mpi_overhead", ovh, _wall(cfg, um_host_mpi_overhead=ovh)))
+    return out
+
+
+def test_um_parameter_sensitivity(benchmark):
+    rows = benchmark.pedantic(run_um_parameter_sweep, rounds=1, iterations=1)
+    t = Table(["parameter", "value", "step wall (ms)"],
+              title="UM transport parameter sweep (8 GPUs)")
+    for name, val, wall in rows:
+        t.add_row([name, val, wall * 1e3])
+    print_block("ABLATION -- UM transport parameters", t.render())
+    # walls must be monotone in each parameter
+    amps = [w for n, _v, w in rows if n == "page_amplification"]
+    ovhs = [w for n, _v, w in rows if n == "host_mpi_overhead"]
+    assert amps == sorted(amps)
+    assert ovhs == sorted(ovhs)

@@ -1,0 +1,57 @@
+"""Category fingerprints: where each code version spends its step.
+
+The mechanisms the paper names must be visible as category signatures:
+DC codes (fission, no async) carry more launch-gap time than Code 1; UM
+codes carry page-migration time nobody else has; manual codes' MPI is
+pack-dominated while UM codes' MPI is transfer(migration)-dominated.
+"""
+
+from conftest import print_block
+
+from repro.codes import CodeVersion
+from repro.perf.calibration import Calibration
+from repro.perf.categories import measure_categories, render_categories
+from repro.runtime.clock import TimeCategory
+
+CAL = Calibration(pcg_iters=3, sts_stages=3, bench_steps=2)
+
+
+def run_breakdowns():
+    return [
+        measure_categories(v, 8, calibration=CAL)
+        for v in (CodeVersion.A, CodeVersion.AD, CodeVersion.ADU, CodeVersion.D2XU)
+    ]
+
+
+def test_category_fingerprints(benchmark):
+    bs = benchmark.pedantic(run_breakdowns, rounds=1, iterations=1)
+    print_block("MICRO -- per-step category breakdown (8 GPUs)", render_categories(bs))
+    by = {b.version: b for b in bs}
+
+    # compute time is identical maths: within the UM body penalty
+    a = by[CodeVersion.A].seconds[TimeCategory.COMPUTE]
+    for v, b in by.items():
+        assert 0.8 * a < b.seconds[TimeCategory.COMPUTE] < 1.5 * a
+
+    # fission + synchronous launches: DC codes gap more than Code 1
+    assert (
+        by[CodeVersion.AD].seconds[TimeCategory.LAUNCH]
+        > by[CodeVersion.A].seconds[TimeCategory.LAUNCH]
+    )
+    assert (
+        by[CodeVersion.D2XU].seconds[TimeCategory.LAUNCH]
+        > by[CodeVersion.A].seconds[TimeCategory.LAUNCH]
+    )
+
+    # page migration exists only under UM
+    assert by[CodeVersion.A].seconds.get(TimeCategory.UM_FAULT, 0.0) == 0.0
+    assert by[CodeVersion.AD].seconds.get(TimeCategory.UM_FAULT, 0.0) == 0.0
+
+    # UM codes' MPI is dominated by migration-laden transfers
+    um = by[CodeVersion.ADU]
+    assert um.seconds[TimeCategory.MPI_TRANSFER] > um.seconds[TimeCategory.MPI_PACK]
+    manual = by[CodeVersion.A]
+    assert (
+        um.seconds[TimeCategory.MPI_TRANSFER]
+        > 5 * manual.seconds[TimeCategory.MPI_TRANSFER]
+    )

@@ -1,0 +1,20 @@
+"""Fig. 1 bench: the test-case solution visualization.
+
+Runs the coronal relaxation and renders the temperature cuts of the
+paper's Fig. 1; asserts the solution is a physically sane corona.
+"""
+
+from conftest import print_block
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+
+
+def test_fig1_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print_block("FIG. 1 -- MAS solution visualization (temperature cuts)", render_fig1(result))
+
+    assert result.corona_heated       # heating produced hot structures
+    assert result.stratified          # real spatial structure, not noise
+    assert result.diagnostics["max_divb"] < 1e-11   # CT held
+    assert result.diagnostics["max_vr"] > 0         # outflow developing
+    assert result.meridional_temp.min() > 0         # floors held

@@ -1,0 +1,41 @@
+"""Fig. 2 bench: wall-clock vs GPU count for all six code versions.
+
+Shape requirements asserted (who wins, by how much, where scaling bends);
+absolute minutes come from the calibrated machine model and are printed
+next to the paper's 1- and 8-GPU anchors.
+"""
+
+import pytest
+from conftest import print_block
+
+from repro.codes import CodeVersion
+from repro.experiments.fig2 import PAPER_WALL, render_fig2, run_fig2
+
+UM = (CodeVersion.ADU, CodeVersion.AD2XU, CodeVersion.D2XU)
+MANUAL = (CodeVersion.A, CodeVersion.AD, CodeVersion.D2XAD)
+
+
+def test_fig2_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    print_block("FIG. 2 -- wall clock vs # A100 GPUs", render_fig2(result))
+
+    # anchors within 15% of the paper at both ends of every curve
+    for v, anchors in PAPER_WALL.items():
+        for n, paper in anchors.items():
+            assert result.wall(v, n) == pytest.approx(paper, rel=0.15), (v, n)
+
+    # orderings
+    for n in (1, 2, 4, 8):
+        assert result.wall(CodeVersion.A, n) <= min(
+            result.wall(v, n) for v in CodeVersion if v in PAPER_WALL
+        ) * 1.001
+
+    # super scaling then dip for the manual-data codes
+    for v in MANUAL:
+        s = result.series[v]
+        assert s.speedup(2) > 2.0
+        assert s.speedup(8) > 7.0
+        assert s.wall(4) / s.wall(8) < 2.0
+
+    # the abstract's slowdown band for the zero-directive code
+    assert 1.25 < result.slowdown_vs_code1(CodeVersion.D2XU, 8) < 3.2

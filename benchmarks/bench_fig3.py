@@ -1,0 +1,29 @@
+"""Fig. 3 bench: MPI vs non-MPI split at 1 and 8 GPUs, all six codes."""
+
+import pytest
+from conftest import print_block
+
+from repro.codes import CodeVersion
+from repro.experiments.fig3 import PAPER_BARS, render_fig3, run_fig3
+
+
+def test_fig3_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print_block("FIG. 3 -- run-time split (wall-MPI vs MPI)", render_fig3(result))
+
+    # every bar's wall and non-MPI portion within 15% of the paper
+    for n, bars in PAPER_BARS.items():
+        for v, (wall, non_mpi) in bars.items():
+            b = result.breakdown(n, v)
+            assert b.wall_minutes == pytest.approx(wall, rel=0.15), (n, v)
+            assert b.non_mpi_minutes == pytest.approx(non_mpi, rel=0.15), (n, v)
+
+    # mechanism assertions
+    assert result.um_mpi_blowup(8) > 5.0          # UM MPI explosion at scale
+    assert 1.1 < result.um_mpi_blowup(1) < 4.0    # modest at one GPU
+    a1 = result.breakdown(1, CodeVersion.A)
+    a8 = result.breakdown(8, CodeVersion.A)
+    assert a8.mpi_minutes < a1.mpi_minutes / 4    # manual MPI shrinks
+    u1 = result.breakdown(1, CodeVersion.ADU)
+    u8 = result.breakdown(8, CodeVersion.ADU)
+    assert 0.3 < u8.mpi_minutes / u1.mpi_minutes < 1.5  # UM MPI ~constant

@@ -1,0 +1,18 @@
+"""Fig. 4 bench: NSIGHT-style viscosity-solver timeline, manual vs UM."""
+
+from conftest import print_block
+
+from repro.experiments.fig4 import render_fig4, run_fig4
+
+
+def test_fig4_regeneration(benchmark):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    print_block("FIG. 4 -- viscosity solver timeline (8 A100s)", render_fig4(result))
+
+    # the paper's ~3x per-iteration UM penalty (we accept 2x-4x)
+    assert 2.0 < result.um_slowdown < 4.0
+    # manual data: peer-to-peer transfers only
+    assert result.manual_p2p_events > 0
+    assert result.manual_staged_events == 0
+    # UM: many CPU<->GPU migrations per exchange
+    assert result.um_staged_events > result.manual_p2p_events

@@ -1,0 +1,32 @@
+"""Extension bench: strong scaling beyond the paper's single node.
+
+Carries the calibrated model to 8 nodes / 64 GPUs: intra-node NVLink,
+inter-node Slingshot. Asserts the mechanisms (no paper numbers exist to
+anchor against -- this is the paper's "scaling to dozens of GPUs" claim
+made measurable).
+"""
+
+from conftest import print_block
+
+from repro.codes import CodeVersion
+from repro.experiments.multinode import render_multinode, run_multinode
+from repro.perf.calibration import Calibration
+
+CAL = Calibration(pcg_iters=4, sts_stages=4, bench_steps=1)
+
+
+def test_multinode_extension(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_multinode(calibration=CAL), rounds=1, iterations=1
+    )
+    print_block("EXTENSION -- multi-node scaling (8 -> 64 GPUs)", render_multinode(result))
+
+    # manual-data code keeps scaling, but sub-linearly across the fabric
+    assert 2.0 < result.speedup(CodeVersion.A, 64) < 8.0
+    # every doubling still helps
+    for a, b in ((8, 16), (16, 32), (32, 64)):
+        assert result.wall(CodeVersion.A, b) < result.wall(CodeVersion.A, a)
+    # the DC-sync code scales worse than OpenACC (launch gaps don't shrink)
+    assert result.speedup(CodeVersion.AD, 64) < result.speedup(CodeVersion.A, 64)
+    # the UM code is pinned by page migration
+    assert result.speedup(CodeVersion.ADU, 64) < 2.0

@@ -1,0 +1,19 @@
+"""Robustness bench: the paper's conclusions under calibration perturbation.
+
+Perturbs every fitted constant of the cost model by 0.5x and 2x and
+asserts the two qualitative headlines survive: the zero-directive code is
+meaningfully slower than OpenACC at 8 GPUs, and UM blows up MPI time.
+"""
+
+from conftest import print_block
+
+from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
+
+
+def test_conclusions_robust_to_calibration(benchmark):
+    points = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    print_block("ROBUSTNESS -- calibration sensitivity sweep", render_sensitivity(points))
+    baseline = points[0]
+    assert baseline.conclusions_hold
+    failures = [p for p in points if not p.conclusions_hold]
+    assert not failures, [f"{p.constant} x{p.factor}" for p in failures]

@@ -1,0 +1,19 @@
+"""Table I bench: regenerate the six-version porting summary.
+
+Runs the full source-transformation pipeline (generate Code 1, derive
+Codes 0 and 2-6) and prints measured-vs-paper line counts. The measured
+counts must equal the paper's exactly -- asserted here, recorded in
+EXPERIMENTS.md.
+"""
+
+from conftest import print_block
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(run_table1)
+    print_block("TABLE I -- summary of all MAS code versions", render_table1(rows))
+    for row in rows:
+        assert row.total_matches, f"{row.tag}: {row.total_lines} != paper"
+        assert row.acc_matches, f"{row.tag}: {row.acc_lines} != paper"

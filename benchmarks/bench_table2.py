@@ -1,0 +1,15 @@
+"""Table II bench: regenerate the OpenACC directive census of Code 1."""
+
+from conftest import print_block
+
+from repro.experiments.table2 import PAPER_CENSUS, render_table2, run_table2
+
+
+def test_table2_regeneration(benchmark):
+    census = benchmark(run_table2)
+    print_block(
+        "TABLE II -- OpenACC directives in the original GPU branch",
+        render_table2(census),
+    )
+    assert census == PAPER_CENSUS
+    assert sum(census.values()) == 1458

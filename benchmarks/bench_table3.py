@@ -1,0 +1,15 @@
+"""Table III bench: CPU baseline wall-clock on Expanse EPYC nodes."""
+
+from conftest import print_block
+
+from repro.experiments.table3 import PAPER_TABLE3, render_table3, run_table3
+
+
+def test_table3_regeneration(benchmark):
+    result = benchmark(run_table3)
+    print_block("TABLE III -- CPU wall clock (minutes)", render_table3(result))
+    # absolute minutes within 2% of the paper
+    for (nodes, version), paper in PAPER_TABLE3.items():
+        assert abs(result.value(nodes, version) - paper) / paper < 0.02
+    # headline: DC == OpenACC on CPUs
+    assert result.dc_matches_openacc

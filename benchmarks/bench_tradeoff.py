@@ -1,0 +1,37 @@
+"""Synthesis bench: directive count vs performance across all versions.
+
+Asserts the paper's bottom line (SVI): the DC + manual-data codes
+(Codes 2 and 6) are on the Pareto front -- far fewer directives at
+near-original performance -- while the zero-directive route currently
+pays the UM toll.
+"""
+
+from conftest import print_block
+
+from repro.codes import CodeVersion
+from repro.experiments.tradeoff import render_tradeoff, run_tradeoff
+from repro.perf.calibration import Calibration
+
+CAL = Calibration(pcg_iters=3, sts_stages=3, bench_steps=1)
+
+
+def test_tradeoff_synthesis(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tradeoff(8, calibration=CAL), rounds=1, iterations=1
+    )
+    print_block("SYNTHESIS -- directives vs performance", render_tradeoff(result))
+
+    front = result.pareto_front()
+    # Code 1 anchors the performance end of the front
+    assert CodeVersion.A in front
+    # the paper's recommended middle grounds make the front too
+    assert CodeVersion.AD in front or CodeVersion.D2XAD in front
+    # the zero-directive code anchors the directive end (nothing has fewer)
+    assert CodeVersion.D2XU in front
+    # the front is a genuine trade-off: as directive counts rise along it,
+    # wall time strictly falls (front is ordered by ascending acc lines)
+    pts = [result.points[v] for v in front]
+    accs = [p.acc_lines for p in pts]
+    walls = [p.wall_minutes for p in pts]
+    assert accs == sorted(accs)
+    assert walls == sorted(walls, reverse=True)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper and prints the
+paper-style rows/series (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them). Timings measured by pytest-benchmark are the *harness* cost
+(how long regenerating the experiment takes on this machine); the paper's
+wall-clock numbers are the simulated outputs inside the printed tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    """Banner-print one regenerated artifact."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def code1_codebase():
+    """One generated Code-1 source tree shared by Table I/II benches."""
+    from repro.fortran.codebase import generate_mas_codebase
+
+    return generate_mas_codebase()

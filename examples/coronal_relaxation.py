@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Coronal relaxation: the physics behind the paper's test case.
+
+The paper's benchmark problem is a quasi-steady coronal background
+computed with the full thermodynamic MHD model (SV-A, ref [26]). This
+example runs the same kind of relaxation at laptop scale and tracks the
+physics: the stratified atmosphere threaded by a dipole relaxes, a slow
+outflow develops along open field lines, thermal conduction and
+radiation shape the temperature profile, and div(B) stays at machine
+zero throughout (constrained transport).
+
+Run:  python examples/coronal_relaxation.py
+"""
+
+import numpy as np
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas import MasModel, ModelConfig, PhysicsParams
+from repro.util.ascii_plot import AsciiLinePlot
+
+
+def main() -> None:
+    params = PhysicsParams(viscosity=8e-3, kappa0=3e-3, h0=6e-3)
+    model = MasModel(
+        ModelConfig(
+            shape=(20, 14, 24),
+            num_ranks=1,
+            params=params,
+            pcg_iters=8,
+            sts_stages=6,
+        ),
+        runtime_config_for(CodeVersion.A),
+    )
+
+    print("relaxing the corona...")
+    print(f"{'step':>5} {'t':>8} {'dt':>8} {'max vr':>9} {'mass':>10} {'max divB':>10}")
+    history = []
+    for step in range(30):
+        timing = model.step()
+        d = model.diagnostics()
+        history.append((model.time, d["max_vr"]))
+        if step % 5 == 0 or step == 29:
+            print(
+                f"{step:5d} {model.time:8.3f} {timing.dt:8.4f} "
+                f"{d['max_vr']:9.4f} {d['mass']:10.4f} {d['max_divb']:10.2e}"
+            )
+
+    # radial profiles through the relaxed state
+    grid = model.local_grids[0]
+    state = model.states[0]
+    i = grid.interior()
+    rc = grid.rc[i[0]]
+    vr_prof = state.vr[i].mean(axis=(1, 2))
+    t_prof = state.temp[i].mean(axis=(1, 2))
+    rho_prof = state.rho[i].mean(axis=(1, 2))
+
+    print("\nshell-averaged radial profiles:")
+    print(f"{'r':>7} {'<vr>':>9} {'<T>':>8} {'<rho>':>9}")
+    for k in range(0, rc.size, 3):
+        print(f"{rc[k]:7.3f} {vr_prof[k]:9.4f} {t_prof[k]:8.4f} {rho_prof[k]:9.4f}")
+
+    plot = AsciiLinePlot(
+        width=64, height=14, logx=False, logy=False,
+        title="outflow development", xlabel="time (code units)",
+        ylabel="max vr",
+    )
+    plot.add_series("max vr", [t for t, _ in history], [max(v, 1e-6) for _, v in history])
+    print("\n" + plot.render())
+
+    d = model.diagnostics()
+    assert d["max_divb"] < 1e-11, "constrained transport violated!"
+    print("\ndiv(B) stayed at machine zero through the whole run  [OK]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Porting pipeline demo: watch OpenACC directives disappear.
+
+Generates the synthetic MAS codebase (its directive census matches the
+paper's Table II exactly), runs the five transformation passes, and shows
+a real loop nest morphing from Listing 1 (OpenACC) through Listing 2 (DC)
+-- plus the directive counts of every version (Table I).
+
+Run:  python examples/porting_pipeline.py
+"""
+
+from repro.codes import CodeVersion, version_info
+from repro.fortran.codebase import generate_mas_codebase
+from repro.fortran.metrics import directive_census, measure
+from repro.fortran.parser import find_parallel_regions
+from repro.fortran.pipeline import build_version
+
+
+def show_loop_evolution(code1, code2) -> None:
+    """Print the same loop nest before and after the DC conversion."""
+    region = find_parallel_regions(code1.file("mod_physics.f90"))[0]
+    before = code1.file("mod_physics.f90").lines[region.start : region.end + 1]
+    print("A MAS loop nest in Code 1 (Listing 1):")
+    for ln in before:
+        print("   ", ln)
+    # the same statement now lives in a do concurrent loop
+    stmt = before[5].strip()
+    after_file = code2.file("mod_physics.f90")
+    idx = next(i for i, ln in enumerate(after_file.lines) if stmt in ln)
+    print("\nThe same loop in Code 2 (Listing 2):")
+    for ln in after_file.lines[idx - 1 : idx + 2]:
+        print("   ", ln)
+
+
+def main() -> None:
+    code1 = generate_mas_codebase()
+
+    print("Table II census of the generated Code 1:")
+    for kind, count in directive_census(code1).items():
+        print(f"   {kind.value:22s} {count}")
+    print()
+
+    show_loop_evolution(code1, build_version(CodeVersion.AD, code1=code1))
+
+    print("\nDirective counts through the porting pipeline (Table I):")
+    for v in CodeVersion:
+        met = measure(build_version(v, code1=code1))
+        info = version_info(v)
+        bar = "#" * (met.acc_lines // 25)
+        print(
+            f"   {info.tag:10s} {met.total_lines:6d} lines, "
+            f"{met.acc_lines:5d} !$acc  {bar}"
+        )
+    print(
+        "\nCode 5 (D2XU) reaches zero directives; Code 6 (D2XAd) re-adds "
+        "manual data management\nwith 5x fewer directives than the original."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: run the MAS-analog solar MHD model under two code versions.
+
+Builds a small coronal test problem, advances it a few steps under the
+original OpenACC runtime (Code 1) and the zero-directive DC runtime
+(Code 5), verifies the physics is identical, and compares the simulated
+wall-clock cost -- the paper's whole story in 30 lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas import MasModel, ModelConfig
+
+STEPS = 5
+
+
+def run(version: CodeVersion) -> tuple[MasModel, float]:
+    config = ModelConfig(
+        shape=(12, 10, 20),      # small grid: runs in seconds
+        num_ranks=2,             # two simulated GPUs
+        pcg_iters=5,
+        sts_stages=5,
+    )
+    model = MasModel(config, runtime_config_for(version))
+    timings = model.run(STEPS)
+    for timing in timings:
+        print(
+            f"  [{version.name}] dt={timing.dt:.4f}  "
+            f"simulated wall={timing.wall * 1e3:7.2f} ms  "
+            f"(MPI {timing.mpi * 1e3:6.2f} ms, {timing.launches} kernel launches)"
+        )
+    # steady-state per-step cost: skip step 1, which carries one-time
+    # unified-memory first-touch migrations
+    steady = timings[1:]
+    return model, sum(t.wall for t in steady) / len(steady)
+
+
+def main() -> None:
+    print("Code 1 (A): original OpenACC -- fusion, async, manual data")
+    code1, step1 = run(CodeVersion.A)
+    print("Code 5 (D2XU): pure do concurrent -- fission, sync, unified memory")
+    code5, step5 = run(CodeVersion.D2XU)
+
+    # identical physics (the paper validated all versions against Code 1)
+    for name in ("rho", "temp", "vr", "br"):
+        assert np.array_equal(
+            code1.states[0].get(name), code5.states[0].get(name)
+        ), name
+    print("\nphysics check: Code 5 solution is bit-identical to Code 1  [OK]")
+
+    d = code1.diagnostics()
+    print(f"max |div B| = {d['max_divb']:.2e} (constrained transport)")
+    slowdown = step5 / step1
+    print(
+        f"simulated cost per step: Code 5 is {slowdown:.2f}x slower than "
+        f"Code 1 (the paper reports 1.25x-3x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

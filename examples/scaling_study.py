@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling study (a laptop-scale Fig. 2).
+
+Sweeps 1-8 simulated A100s for three representative code versions and
+plots the strong-scaling curves: the paper's 'super scaling then dip' for
+the manual-data codes and the unified-memory codes' scaling collapse.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.codes import CodeVersion, version_info
+from repro.perf.calibration import Calibration
+from repro.perf.scaling import measure_scaling
+from repro.util.ascii_plot import AsciiLinePlot
+from repro.util.tables import Table
+
+#: Reduced solver depth so the sweep finishes in ~seconds.
+CAL = Calibration(pcg_iters=4, sts_stages=4, bench_steps=1)
+
+VERSIONS = (CodeVersion.A, CodeVersion.AD, CodeVersion.ADU)
+
+
+def main() -> None:
+    series = {}
+    for v in VERSIONS:
+        print(f"measuring {version_info(v).tag} ...")
+        series[v] = measure_scaling(v, calibration=CAL)
+
+    table = Table(
+        ["code", "1 GPU", "2 GPU", "4 GPU", "8 GPU", "speedup@8"],
+        title="projected full-run wall clock (minutes)",
+    )
+    plot = AsciiLinePlot(
+        title="strong scaling (log-log)", xlabel="# simulated A100 GPUs",
+        ylabel="wall minutes",
+    )
+    for v, s in series.items():
+        table.add_row(
+            [
+                version_info(v).tag,
+                *[s.wall(n) for n in (1, 2, 4, 8)],
+                f"{s.speedup(8):.2f}x",
+            ]
+        )
+        plot.add_series(version_info(v).tag, [1, 2, 4, 8], [s.wall(n) for n in (1, 2, 4, 8)])
+    ideal = series[CodeVersion.A].ideal()
+    plot.add_series("ideal", [1, 2, 4, 8], [ideal.wall(n) for n in (1, 2, 4, 8)], marker=".")
+
+    print()
+    print(table.render())
+    print()
+    print(plot.render())
+    print(
+        "\nnote the manual-data codes (A, AD) exceed ideal speedup -- the "
+        "paper's 'super scaling'\n(smaller per-GPU working sets sustain "
+        "higher bandwidth) -- while the unified-memory\ncode (ADU) is pinned "
+        "by page-migration MPI costs that do not shrink with GPU count."
+    )
+
+
+if __name__ == "__main__":
+    main()

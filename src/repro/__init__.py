@@ -1,0 +1,28 @@
+"""Reproduction of "Acceleration of a production Solar MHD code with
+Fortran standard parallelism: From OpenACC to 'do concurrent'"
+(Caplan, Stulajter & Linker, IPPS 2023, arXiv:2303.03398).
+
+Subpackage map (see DESIGN.md for the full system inventory):
+
+* :mod:`repro.util` -- tables, ASCII plots, units, seeded RNG.
+* :mod:`repro.machine` -- A100/EPYC/node models, unified-memory paging.
+* :mod:`repro.runtime` -- OpenACC-style and do-concurrent-style runtimes.
+* :mod:`repro.mpi` -- simulated MPI: decomposition, halos, transports.
+* :mod:`repro.mas` -- the MAS-analog thermodynamic solar-MHD solver.
+* :mod:`repro.fortran` -- mini-Fortran toolchain and porting passes.
+* :mod:`repro.codes` -- the six code versions of the paper's Table I.
+* :mod:`repro.perf` -- calibration, profiler, breakdowns, scaling.
+* :mod:`repro.experiments` -- one driver per table/figure of the paper.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER = (
+    "R. M. Caplan, M. M. Stulajter, J. A. Linker, "
+    "'Acceleration of a production Solar MHD code with Fortran standard "
+    "parallelism: From OpenACC to do concurrent', IPPS 2023 "
+    "(arXiv:2303.03398)"
+)

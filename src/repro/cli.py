@@ -1,0 +1,313 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's artifacts plus utility actions:
+
+* ``table1`` / ``table2`` / ``table3`` / ``fig2`` / ``fig3`` / ``fig4``
+  -- regenerate one artifact and print it (optionally ``--csv FILE``);
+* ``run`` -- run the MHD model under a chosen code version;
+* ``port`` -- run the source-porting pipeline and show per-version counts;
+* ``report`` -- regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.codes import CodeVersion, runtime_config_for, version_info
+
+
+def _add_csv(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", metavar="FILE", help="also write rows as CSV")
+
+
+def _write_csv(path: str | None, header: list[str], rows: list[list]) -> None:
+    if not path:
+        return
+    from repro.util.tables import Table
+
+    t = Table(header)
+    for r in rows:
+        t.add_row(r)
+    with open(path, "w") as fh:
+        fh.write(t.to_csv() + "\n")
+    print(f"wrote {path}")
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    rows = run_table1()
+    print(render_table1(rows))
+    _write_csv(
+        args.csv,
+        ["version", "total_lines", "paper_total", "acc_lines", "paper_acc"],
+        [
+            [r.tag, r.total_lines, r.paper_total_lines, r.acc_lines, r.paper_acc_lines or 0]
+            for r in rows
+        ],
+    )
+    return 0 if all(r.total_matches and r.acc_matches for r in rows) else 1
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import PAPER_CENSUS, render_table2, run_table2
+
+    census = run_table2()
+    print(render_table2(census))
+    _write_csv(
+        args.csv,
+        ["directive_type", "measured", "paper"],
+        [[k.value, v, PAPER_CENSUS[k]] for k, v in census.items()],
+    )
+    return 0 if census == PAPER_CENSUS else 1
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import (
+        CPU_VERSIONS,
+        NODE_COUNTS,
+        render_table3,
+        run_table3,
+    )
+
+    result = run_table3()
+    print(render_table3(result))
+    _write_csv(
+        args.csv,
+        ["nodes", "version", "wall_minutes"],
+        [
+            [n, v.name, result.value(n, v)]
+            for n in NODE_COUNTS
+            for v in CPU_VERSIONS
+        ],
+    )
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.fig2 import render_fig2, run_fig2
+    from repro.perf.scaling import GPU_COUNTS
+
+    result = run_fig2()
+    print(render_fig2(result))
+    _write_csv(
+        args.csv,
+        ["version", "num_gpus", "wall_minutes", "mpi_minutes"],
+        [
+            [v.name, p.num_gpus, p.wall_minutes, p.mpi_minutes]
+            for v, s in result.series.items()
+            for p in s.points
+        ],
+    )
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.fig3 import GPU_PANELS, render_fig3, run_fig3
+    from repro.codes import GPU_VERSIONS
+
+    result = run_fig3()
+    print(render_fig3(result))
+    _write_csv(
+        args.csv,
+        ["num_gpus", "version", "wall_minutes", "mpi_minutes"],
+        [
+            [n, v.name, result.breakdown(n, v).wall_minutes, result.breakdown(n, v).mpi_minutes]
+            for n in GPU_PANELS
+            for v in GPU_VERSIONS
+        ],
+    )
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments.fig4 import render_fig4, run_fig4
+
+    print(render_fig4(run_fig4()))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.mas.model import MasModel, ModelConfig
+
+    version = CodeVersion[args.version]
+    model = MasModel(
+        ModelConfig(
+            shape=tuple(args.shape),
+            num_ranks=args.ranks,
+            pcg_iters=args.pcg_iters,
+            sts_stages=args.sts_stages,
+        ),
+        runtime_config_for(version),
+    )
+    print(f"running {version_info(version).tag}: {version_info(version).description}")
+    for i, t in enumerate(model.run(args.steps)):
+        print(
+            f"step {i:3d}  dt={t.dt:.5f}  wall={t.wall * 1e3:8.2f} ms  "
+            f"mpi={t.mpi * 1e3:7.2f} ms  launches={t.launches}"
+        )
+    d = model.diagnostics()
+    print(
+        f"done: t={model.time:.4f}, mass={d['mass']:.4f}, "
+        f"max|divB|={d['max_divb']:.2e}, max vr={d['max_vr']:.4f}"
+    )
+    return 0
+
+
+def cmd_port(args: argparse.Namespace) -> int:
+    from repro.fortran.codebase import generate_mas_codebase
+    from repro.fortran.metrics import measure
+    from repro.fortran.pipeline import build_version
+
+    code1 = generate_mas_codebase()
+    print("porting pipeline (Code 1 -> all versions):")
+    for v in CodeVersion:
+        met = measure(build_version(v, code1=code1))
+        print(
+            f"  {version_info(v).tag:10s} {met.total_lines:6d} lines  "
+            f"{met.acc_lines:5d} !$acc"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    report_main(args.output)
+    return 0
+
+
+def cmd_portability(args: argparse.Namespace) -> int:
+    from repro.fortran.codebase import generate_mas_codebase
+    from repro.fortran.pipeline import build_version
+    from repro.fortran.portability import analyze, render_report
+
+    code1 = generate_mas_codebase()
+    for v in CodeVersion:
+        print(render_report(analyze(build_version(v, code1=code1))))
+        print()
+    return 0
+
+
+def cmd_memfit(args: argparse.Namespace) -> int:
+    from repro.perf.memory_fit import max_cells_that_fit, paper_case_fits_one_gpu
+    from repro.util.units import fmt_bytes
+
+    paper = paper_case_fits_one_gpu()
+    print(
+        f"paper case {paper.shape} = {paper.total_cells / 1e6:.0f}M cells: "
+        f"{fmt_bytes(paper.bytes_per_rank)} per GPU "
+        f"({paper.utilization * 100:.0f}% of an A100-40GB) -> fits: {paper.fits}"
+    )
+    for n in (1, 2, 4, 8):
+        e = max_cells_that_fit(n)
+        print(
+            f"max case on {n} GPU(s): {e.shape} = {e.total_cells / 1e6:.0f}M cells "
+            f"({e.utilization * 100:.0f}% of each device)"
+        )
+    return 0
+
+
+def cmd_multinode(args: argparse.Namespace) -> int:
+    from repro.experiments.multinode import render_multinode, run_multinode
+
+    print(render_multinode(run_multinode()))
+    return 0
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1 import render_fig1, run_fig1
+
+    print(render_fig1(run_fig1()))
+    return 0
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.experiments.tradeoff import render_tradeoff, run_tradeoff
+
+    print(render_tradeoff(run_tradeoff(args.ranks)))
+    return 0
+
+
+def cmd_categories(args: argparse.Namespace) -> int:
+    from repro.perf.categories import measure_categories, render_categories
+
+    breakdowns = [
+        measure_categories(v, args.ranks)
+        for v in (CodeVersion.A, CodeVersion.AD, CodeVersion.ADU, CodeVersion.D2XU)
+    ]
+    print(render_categories(breakdowns))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the MAS OpenACC -> do concurrent paper",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, doc in (
+        ("table1", cmd_table1, "Table I: code-version line counts"),
+        ("table2", cmd_table2, "Table II: OpenACC directive census"),
+        ("table3", cmd_table3, "Table III: CPU baseline wall clock"),
+        ("fig2", cmd_fig2, "Fig. 2: wall clock vs GPU count"),
+        ("fig3", cmd_fig3, "Fig. 3: MPI / non-MPI split"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _add_csv(p)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("fig4", help="Fig. 4: viscosity-solver timeline")
+    p.set_defaults(fn=cmd_fig4)
+
+    p = sub.add_parser("fig1", help="Fig. 1: test-case visualization")
+    p.set_defaults(fn=cmd_fig1)
+
+    p = sub.add_parser("categories", help="per-step time by category per version")
+    p.add_argument("--ranks", type=int, default=8)
+    p.set_defaults(fn=cmd_categories)
+
+    p = sub.add_parser("tradeoff", help="directive count vs performance synthesis")
+    p.add_argument("--ranks", type=int, default=8)
+    p.set_defaults(fn=cmd_tradeoff)
+
+    p = sub.add_parser("run", help="run the MHD model under one code version")
+    p.add_argument("--version", default="A", choices=[v.name for v in CodeVersion])
+    p.add_argument("--ranks", type=int, default=1)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--shape", type=int, nargs=3, default=[12, 10, 20],
+                   metavar=("NR", "NT", "NP"))
+    p.add_argument("--pcg-iters", type=int, default=5)
+    p.add_argument("--sts-stages", type=int, default=5)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("port", help="run the source-porting pipeline")
+    p.set_defaults(fn=cmd_port)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--output", default=None)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("portability", help="compiler portability per code version")
+    p.set_defaults(fn=cmd_portability)
+
+    p = sub.add_parser("memfit", help="largest problem fitting the GPUs (SV-A sizing)")
+    p.set_defaults(fn=cmd_memfit)
+
+    p = sub.add_parser("multinode", help="extension: scaling beyond one node")
+    p.set_defaults(fn=cmd_multinode)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    fn: Callable[[argparse.Namespace], int] = args.fn
+    return fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

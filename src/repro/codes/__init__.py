@@ -1,0 +1,19 @@
+"""The six code versions of Table I as executable configurations."""
+
+from repro.codes.versions import (
+    ALL_VERSIONS,
+    GPU_VERSIONS,
+    CodeVersion,
+    VersionInfo,
+    runtime_config_for,
+    version_info,
+)
+
+__all__ = [
+    "CodeVersion",
+    "VersionInfo",
+    "ALL_VERSIONS",
+    "GPU_VERSIONS",
+    "runtime_config_for",
+    "version_info",
+]

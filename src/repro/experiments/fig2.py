@@ -1,0 +1,92 @@
+"""Fig. 2: wall-clock vs GPU count for all six code versions.
+
+The paper's observations, all of which must hold here:
+
+* Codes 1 (A), 2 (AD), 6 (D2XAd) show 'super' scaling at first, dipping
+  below ideal later, but land at better-than-or-close-to-ideal at 8 GPUs;
+* Codes 2 and 6 (DC + manual data) trail Code 1 slightly;
+* Codes 3/4/5 (unified memory) are much slower with much worse scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes import CodeVersion, GPU_VERSIONS, version_info
+from repro.perf.calibration import Calibration, PAPER_CALIBRATION
+from repro.perf.scaling import GPU_COUNTS, ScalingSeries, measure_scaling
+from repro.util.ascii_plot import AsciiLinePlot
+from repro.util.tables import Table
+
+#: Paper anchor points readable off Fig. 2/3 (1- and 8-GPU wall minutes).
+PAPER_WALL = {
+    CodeVersion.A: {1: 200.9, 8: 23.0},
+    CodeVersion.AD: {1: 206.9, 8: 25.3},
+    CodeVersion.ADU: {1: 268.9, 8: 69.6},
+    CodeVersion.AD2XU: {1: 270.7, 8: 74.1},
+    CodeVersion.D2XU: {1: 273.0, 8: 67.6},
+    CodeVersion.D2XAD: {1: 213.0, 8: 27.4},
+}
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """All six scaling curves."""
+
+    series: dict[CodeVersion, ScalingSeries]
+
+    def wall(self, version: CodeVersion, num_gpus: int) -> float:
+        """Wall minutes for one curve point."""
+        return self.series[version].wall(num_gpus)
+
+    def slowdown_vs_code1(self, version: CodeVersion, num_gpus: int) -> float:
+        """Headline metric: how much slower than the OpenACC original."""
+        return self.wall(version, num_gpus) / self.wall(CodeVersion.A, num_gpus)
+
+
+def run_fig2(calibration: Calibration = PAPER_CALIBRATION) -> Fig2Result:
+    """Measure every version at 1/2/4/8 GPUs."""
+    return Fig2Result(
+        series={
+            v: measure_scaling(v, calibration=calibration) for v in GPU_VERSIONS
+        }
+    )
+
+
+def render_fig2(result: Fig2Result) -> str:
+    """Log-log ASCII plot plus the underlying numbers."""
+    plot = AsciiLinePlot(
+        title="Fig. 2 -- wall clock vs # A100 GPUs (log-log)",
+        xlabel="# A100 (40GB) GPUs",
+        ylabel="wall clock (minutes)",
+    )
+    for v in GPU_VERSIONS:
+        s = result.series[v]
+        plot.add_series(
+            f"CODE {version_info(v).tag.replace(': ', ' (')})",
+            [p.num_gpus for p in s.points],
+            [p.wall_minutes for p in s.points],
+        )
+    ideal = result.series[CodeVersion.A].ideal()
+    plot.add_series(
+        "Ideal Scaling",
+        [p.num_gpus for p in ideal.points],
+        [p.wall_minutes for p in ideal.points],
+        marker=".",
+    )
+
+    t = Table(
+        ["Code", *[f"{n} GPU" for n in GPU_COUNTS], "paper@1", "paper@8"],
+        title="Wall clock minutes per GPU count (paper anchors at 1 and 8)",
+    )
+    for v in GPU_VERSIONS:
+        s = result.series[v]
+        t.add_row(
+            [
+                version_info(v).tag,
+                *[s.wall(n) for n in GPU_COUNTS],
+                PAPER_WALL[v][1],
+                PAPER_WALL[v][8],
+            ]
+        )
+    return plot.render() + "\n\n" + t.render()

@@ -1,0 +1,103 @@
+"""Fig. 3: MPI vs non-MPI wall-clock split at 1 and 8 GPUs.
+
+MPI time follows the paper's definition: all MPI calls, buffer
+initialization/loading/unloading, and MPI waiting from load imbalance.
+The headline mechanisms: manual-data codes' MPI share *falls* with GPU
+count (NVLink P2P), UM codes' MPI time stays huge and roughly constant
+(page migration through the host on every exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes import CodeVersion, GPU_VERSIONS, version_info
+from repro.perf.breakdown import RunBreakdown, measure_breakdown
+from repro.perf.calibration import Calibration, PAPER_CALIBRATION
+from repro.util.ascii_plot import AsciiBarChart
+from repro.util.tables import Table
+
+#: Paper bars: (wall, wall - MPI) minutes at 1 and 8 GPUs.
+PAPER_BARS = {
+    1: {
+        CodeVersion.A: (200.9, 171.9),
+        CodeVersion.AD: (206.9, 177.8),
+        CodeVersion.ADU: (268.9, 227.5),
+        CodeVersion.AD2XU: (270.7, 229.5),
+        CodeVersion.D2XU: (273.0, 230.9),
+        CodeVersion.D2XAD: (213.0, 183.5),
+    },
+    8: {
+        CodeVersion.A: (23.0, 21.0),
+        CodeVersion.AD: (25.3, 23.0),
+        CodeVersion.ADU: (69.6, 29.7),
+        CodeVersion.AD2XU: (74.1, 32.5),
+        CodeVersion.D2XU: (67.6, 31.2),
+        CodeVersion.D2XAD: (27.4, 23.9),
+    },
+}
+
+GPU_PANELS = (1, 8)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Breakdown per (gpu count, version)."""
+
+    bars: dict[tuple[int, CodeVersion], RunBreakdown]
+
+    def breakdown(self, num_gpus: int, version: CodeVersion) -> RunBreakdown:
+        """One bar."""
+        return self.bars[(num_gpus, version)]
+
+    def um_mpi_blowup(self, num_gpus: int) -> float:
+        """UM MPI time over manual MPI time (Code 3 vs Code 1)."""
+        um = self.breakdown(num_gpus, CodeVersion.ADU).mpi_minutes
+        manual = self.breakdown(num_gpus, CodeVersion.A).mpi_minutes
+        return um / manual
+
+
+def run_fig3(calibration: Calibration = PAPER_CALIBRATION) -> Fig3Result:
+    """Measure all twelve bars."""
+    bars = {}
+    for n in GPU_PANELS:
+        for v in GPU_VERSIONS:
+            bars[(n, v)] = measure_breakdown(v, n, calibration=calibration)
+    return Fig3Result(bars)
+
+
+def render_fig3(result: Fig3Result) -> str:
+    """Stacked bar charts plus paper-vs-measured table."""
+    out = []
+    for n in GPU_PANELS:
+        chart = AsciiBarChart(
+            title=f"Fig. 3 -- run time split on {n} A100 GPU(s)", unit="min"
+        )
+        for v in GPU_VERSIONS:
+            b = result.breakdown(n, v)
+            chart.add_group(
+                version_info(v).tag,
+                [("wall-mpi", b.non_mpi_minutes), ("mpi", b.mpi_minutes)],
+            )
+        out.append(chart.render())
+
+        t = Table(
+            ["Code", "wall-mpi", "(paper)", "mpi", "(paper)", "wall", "(paper)"],
+            title=f"{n} GPU(s): measured vs paper (minutes)",
+        )
+        for v in GPU_VERSIONS:
+            b = result.breakdown(n, v)
+            pw, pnm = PAPER_BARS[n][v]
+            t.add_row(
+                [
+                    version_info(v).tag,
+                    b.non_mpi_minutes,
+                    pnm,
+                    b.mpi_minutes,
+                    pw - pnm,
+                    b.wall_minutes,
+                    pw,
+                ]
+            )
+        out.append(t.render())
+    return "\n\n".join(out)

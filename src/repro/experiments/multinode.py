@@ -1,0 +1,108 @@
+"""Extension experiment: scaling beyond one node (8 -> 64 GPUs).
+
+The paper measures up to one Delta node (8 A100s); MAS itself scales "to
+thousands of CPU cores or dozens of GPUs" (SIII). This extension carries
+the calibrated model across nodes: intra-node halo messages keep riding
+NVLink while inter-node messages cross the Slingshot fabric, so strong
+scaling bends where the surface-to-volume ratio meets the fabric's much
+lower bandwidth -- and the UM codes, already page-migration-bound, barely
+notice the fabric at all.
+
+Not a paper artifact: no paper numbers exist to compare against. The
+bench asserts mechanism properties only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes import CodeVersion, runtime_config_for, version_info
+from repro.machine.cluster import GpuCluster
+from repro.mas.model import MasModel, ModelConfig
+from repro.perf.calibration import Calibration, MEASURE_SHAPE, PAPER_CALIBRATION, project_run_minutes
+from repro.util.ascii_plot import AsciiLinePlot
+from repro.util.tables import Table
+
+#: GPU counts of the extension sweep (8 = the paper's endpoint).
+GPU_COUNTS = (8, 16, 32, 64)
+GPUS_PER_NODE = 8
+
+
+@dataclass(frozen=True)
+class MultiNodeResult:
+    """Wall/MPI minutes per (version, gpu count)."""
+
+    minutes: dict[tuple[CodeVersion, int], tuple[float, float]]
+
+    def wall(self, version: CodeVersion, num_gpus: int) -> float:
+        """Projected wall minutes."""
+        return self.minutes[(version, num_gpus)][0]
+
+    def mpi(self, version: CodeVersion, num_gpus: int) -> float:
+        """Projected MPI minutes."""
+        return self.minutes[(version, num_gpus)][1]
+
+    def speedup(self, version: CodeVersion, num_gpus: int) -> float:
+        """Relative to the 8-GPU (single-node) point."""
+        return self.wall(version, 8) / self.wall(version, num_gpus)
+
+
+def run_multinode(
+    versions: tuple[CodeVersion, ...] = (CodeVersion.A, CodeVersion.AD, CodeVersion.ADU),
+    *,
+    gpu_counts: tuple[int, ...] = GPU_COUNTS,
+    calibration: Calibration = PAPER_CALIBRATION,
+    shape: tuple[int, int, int] = (12, 8, 64),
+) -> MultiNodeResult:
+    """Measure the multi-node sweep."""
+    minutes = {}
+    for v in versions:
+        for n in gpu_counts:
+            cluster = GpuCluster.of_delta_nodes(max(1, n // GPUS_PER_NODE))
+            m = MasModel(
+                ModelConfig(
+                    shape=shape,
+                    num_ranks=n,
+                    pcg_iters=calibration.pcg_iters,
+                    sts_stages=calibration.sts_stages,
+                    extra_model_arrays=70,
+                ),
+                runtime_config_for(v),
+                cluster=cluster,
+                cost=calibration.cost_model(),
+                queue=calibration.queue(),
+                um_host_mpi_overhead=calibration.um_host_mpi_overhead,
+                um_page_amplification=calibration.um_page_amplification,
+                halo_pack_inefficiency=calibration.halo_pack_inefficiency,
+                halo_buffer_init_fraction=calibration.halo_buffer_init_fraction,
+                rank_jitter=calibration.rank_jitter,
+            )
+            timings = m.run(calibration.warmup_steps + calibration.bench_steps)
+            minutes[(v, n)] = project_run_minutes(timings, calibration=calibration)
+    return MultiNodeResult(minutes)
+
+
+def render_multinode(result: MultiNodeResult) -> str:
+    """Scaling table + log-log plot of the extension sweep."""
+    versions = sorted({v for v, _ in result.minutes}, key=lambda v: v.value)
+    counts = sorted({n for _, n in result.minutes})
+    t = Table(
+        ["code", *[f"{n} GPUs" for n in counts], f"speedup@{counts[-1]}"],
+        title="Extension: multi-node strong scaling (projected wall minutes)",
+    )
+    plot = AsciiLinePlot(
+        title="multi-node scaling (log-log)", xlabel="# A100 GPUs (8/node)",
+        ylabel="wall minutes",
+    )
+    for v in versions:
+        t.add_row(
+            [
+                version_info(v).tag,
+                *[result.wall(v, n) for n in counts],
+                f"{result.speedup(v, counts[-1]):.2f}x",
+            ]
+        )
+        plot.add_series(
+            version_info(v).tag, list(counts), [result.wall(v, n) for n in counts]
+        )
+    return t.render() + "\n\n" + plot.render()

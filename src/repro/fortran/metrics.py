@@ -1,0 +1,42 @@
+"""Codebase metrics: Table I's line counts and Table II's census."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fortran.directives import DirectiveKind, is_directive_line, parse_directive
+from repro.fortran.source import Codebase
+
+
+@dataclass(frozen=True, slots=True)
+class CodeMetrics:
+    """Line counts for one code version (one Table I row)."""
+
+    name: str
+    total_lines: int
+    acc_lines: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        acc = str(self.acc_lines) if self.acc_lines else "0"
+        return f"{self.name}: {self.total_lines} lines, {acc} !$acc"
+
+
+def directive_census(cb: Codebase) -> dict[DirectiveKind, int]:
+    """Count directive lines per Table II category."""
+    census: dict[DirectiveKind, int] = {k: 0 for k in DirectiveKind}
+    for _f, _i, line in cb.iter_lines():
+        if is_directive_line(line):
+            census[parse_directive(line).kind] += 1
+    return census
+
+
+def acc_line_count(cb: Codebase) -> int:
+    """Total ``!$acc`` lines (all kinds, continuations included)."""
+    return sum(directive_census(cb).values())
+
+
+def measure(cb: Codebase) -> CodeMetrics:
+    """Table I row for a codebase."""
+    return CodeMetrics(
+        name=cb.name, total_lines=cb.total_lines, acc_lines=acc_line_count(cb)
+    )

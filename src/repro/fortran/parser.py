@@ -1,0 +1,303 @@
+"""Structural parser: finds the regions the porting passes rewrite.
+
+Works on any code in the canonical MAS-like subset: OpenACC parallel
+regions wrapping do-loop nests, kernels regions, data/routine/wait
+directives with their continuation lines, and subroutine blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.fortran.directives import (
+    AccDirective,
+    DirectiveKind,
+    is_directive_line,
+    parse_directive,
+)
+from repro.fortran.lexer import LineKind, classify_line, subroutine_name
+from repro.fortran.source import Codebase, SourceFile
+
+
+class RegionKind(enum.Enum):
+    """How a parallel region ports to DC (the SIV taxonomy)."""
+
+    PLAIN = "plain"
+    SCALAR_REDUCTION = "scalar_reduction"
+    ARRAY_REDUCTION = "array_reduction"
+    ATOMIC_OTHER = "atomic_other"
+    ROUTINE_CALLER = "routine_caller"
+
+
+@dataclass(slots=True)
+class LoopNest:
+    """A nest of ``do`` lines inside a region: [start, end] inclusive."""
+
+    start: int
+    end: int
+    depth: int
+    index_vars: list[str]
+    bounds: list[str]
+
+    @property
+    def body_range(self) -> tuple[int, int]:
+        """[first, last] line indices of the nest body."""
+        return (self.start + self.depth, self.end - self.depth)
+
+
+@dataclass(slots=True)
+class ParallelRegion:
+    """One ``!$acc parallel`` ... ``!$acc end parallel`` region."""
+
+    file: SourceFile
+    start: int  # index of the parallel directive line
+    end: int    # index of the end parallel line
+    kind: RegionKind
+    loops: list[LoopNest] = field(default_factory=list)
+    directive_lines: list[int] = field(default_factory=list)  # acc lines inside [start, end]
+    atomic_lines: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class KernelsRegion:
+    """One ``!$acc kernels`` ... ``!$acc end kernels`` region."""
+
+    file: SourceFile
+    start: int
+    end: int
+
+
+@dataclass(slots=True)
+class DirectiveLine:
+    """One standalone directive plus its continuation lines."""
+
+    file: SourceFile
+    index: int
+    directive: AccDirective
+    continuations: list[int] = field(default_factory=list)
+
+    @property
+    def all_lines(self) -> list[int]:
+        """Directive line plus continuations."""
+        return [self.index, *self.continuations]
+
+
+@dataclass(slots=True)
+class SubroutineBlock:
+    """A subroutine from its start line to ``end subroutine``."""
+
+    file: SourceFile
+    start: int
+    end: int
+    name: str
+
+
+_DO_RE = re.compile(r"^\s*do\s+(\w+)\s*=\s*(.+)$", re.I)
+_ARRAY_ACCUM_RE = re.compile(r"^\s*\w+\(\w+\)\s*=\s*\w+\(\w+\)\s*\+")
+
+
+def _continuations(lines: list[str], idx: int) -> list[int]:
+    """Indices of ``!$acc&`` lines directly following ``idx``."""
+    out = []
+    j = idx + 1
+    while j < len(lines) and lines[j].lstrip().lower().startswith("!$acc&"):
+        out.append(j)
+        j += 1
+    return out
+
+
+def parse_loop_nest(lines: list[str], start: int) -> LoopNest | None:
+    """Parse a rectangular ``do`` nest beginning at ``start``."""
+    depth = 0
+    idx_vars: list[str] = []
+    bounds: list[str] = []
+    i = start
+    while i < len(lines):
+        m = _DO_RE.match(lines[i])
+        if m is None:
+            break
+        idx_vars.append(m.group(1))
+        bounds.append(m.group(2).strip())
+        depth += 1
+        i += 1
+    if depth == 0:
+        return None
+    # walk to the matching sequence of enddos
+    level = depth
+    while i < len(lines) and level > 0:
+        kind = classify_line(lines[i])
+        if kind is LineKind.DO or kind is LineKind.DO_CONCURRENT:
+            level += 1
+        elif kind is LineKind.ENDDO:
+            level -= 1
+        i += 1
+    if level != 0:
+        raise ValueError(f"unterminated do nest at line {start}")
+    return LoopNest(start=start, end=i - 1, depth=depth, index_vars=idx_vars, bounds=bounds)
+
+
+def _classify_region(
+    lines: list[str], start: int, end: int, directive_lines: list[int], atomic_lines: list[int]
+) -> RegionKind:
+    for i in directive_lines:
+        d = parse_directive(lines[i])
+        if d.kind is DirectiveKind.PARALLEL_LOOP and d.has_clause("reduction"):
+            return RegionKind.SCALAR_REDUCTION
+    if atomic_lines:
+        for i in atomic_lines:
+            j = i + 1
+            if j <= end and _ARRAY_ACCUM_RE.match(lines[j]):
+                return RegionKind.ARRAY_REDUCTION
+        return RegionKind.ATOMIC_OTHER
+    for i in range(start, end + 1):
+        if classify_line(lines[i]) is LineKind.CALL:
+            return RegionKind.ROUTINE_CALLER
+    return RegionKind.PLAIN
+
+
+def find_parallel_regions(file: SourceFile) -> list[ParallelRegion]:
+    """All parallel regions in a file, classified and with their loops."""
+    lines = file.lines
+    regions: list[ParallelRegion] = []
+    i = 0
+    while i < len(lines):
+        if not is_directive_line(lines[i]):
+            i += 1
+            continue
+        d = parse_directive(lines[i])
+        if d.kind is DirectiveKind.PARALLEL_LOOP and d.is_region_start:
+            start = i
+            j = i + 1
+            end = None
+            while j < len(lines):
+                if is_directive_line(lines[j]):
+                    dj = parse_directive(lines[j])
+                    if dj.kind is DirectiveKind.PARALLEL_LOOP and dj.is_region_end:
+                        end = j
+                        break
+                j += 1
+            if end is None:
+                raise ValueError(f"unterminated parallel region in {file.name} at {start}")
+            directive_lines = [
+                k for k in range(start, end + 1) if is_directive_line(lines[k])
+            ]
+            atomic_lines = [
+                k
+                for k in directive_lines
+                if parse_directive(lines[k]).kind is DirectiveKind.ATOMIC
+            ]
+            loops = []
+            k = start + 1
+            while k < end:
+                if classify_line(lines[k]) is LineKind.DO:
+                    nest = parse_loop_nest(lines, k)
+                    if nest is not None and nest.end < end:
+                        loops.append(nest)
+                        k = nest.end + 1
+                        continue
+                k += 1
+            kind = _classify_region(lines, start, end, directive_lines, atomic_lines)
+            regions.append(
+                ParallelRegion(
+                    file=file,
+                    start=start,
+                    end=end,
+                    kind=kind,
+                    loops=loops,
+                    directive_lines=directive_lines,
+                    atomic_lines=atomic_lines,
+                )
+            )
+            i = end + 1
+        else:
+            i += 1
+    return regions
+
+
+def find_kernels_regions(file: SourceFile) -> list[KernelsRegion]:
+    """All ``!$acc kernels`` regions in a file."""
+    lines = file.lines
+    out = []
+    i = 0
+    while i < len(lines):
+        if is_directive_line(lines[i]):
+            d = parse_directive(lines[i])
+            if d.kind is DirectiveKind.KERNELS and not d.is_region_end:
+                j = i + 1
+                while j < len(lines):
+                    if is_directive_line(lines[j]):
+                        dj = parse_directive(lines[j])
+                        if dj.kind is DirectiveKind.KERNELS and dj.is_region_end:
+                            out.append(KernelsRegion(file, i, j))
+                            i = j
+                            break
+                    j += 1
+                else:
+                    raise ValueError(f"unterminated kernels region in {file.name}")
+        i += 1
+    return out
+
+
+def find_directive_lines(
+    file: SourceFile, *kinds: DirectiveKind
+) -> list[DirectiveLine]:
+    """Standalone directives of the given kinds, with continuations."""
+    wanted = set(kinds)
+    out = []
+    for i, ln in enumerate(file.lines):
+        if not is_directive_line(ln):
+            continue
+        d = parse_directive(ln)
+        if d.kind in wanted and d.kind is not DirectiveKind.CONTINUATION:
+            out.append(
+                DirectiveLine(file, i, d, continuations=_continuations(file.lines, i))
+            )
+    return out
+
+
+def find_subroutines(file: SourceFile, name_pattern: str | None = None) -> list[SubroutineBlock]:
+    """Subroutine blocks, optionally filtered by a name regex."""
+    pat = re.compile(name_pattern) if name_pattern else None
+    out = []
+    start = None
+    name = None
+    for i, ln in enumerate(file.lines):
+        kind = classify_line(ln)
+        if kind is LineKind.SUBROUTINE_START and start is None:
+            start = i
+            name = subroutine_name(ln)
+        elif kind is LineKind.SUBROUTINE_END and start is not None:
+            assert name is not None
+            if pat is None or pat.search(name):
+                out.append(SubroutineBlock(file, start, i, name))
+            start, name = None, None
+    return out
+
+
+def apply_edits(
+    file: SourceFile, edits: list[tuple[int, int, list[str]]]
+) -> None:
+    """Apply (start, end_inclusive, replacement) edits to a file in place.
+
+    Edits must not overlap; they are applied bottom-up so indices stay
+    valid.
+    """
+    edits = sorted(edits, key=lambda e: e[0], reverse=True)
+    last_start = None
+    for start, end, replacement in edits:
+        if end < start:
+            raise ValueError("edit end before start")
+        if last_start is not None and end >= last_start:
+            raise ValueError("overlapping edits")
+        file.lines[start : end + 1] = replacement
+        last_start = start
+
+
+def all_parallel_regions(cb: Codebase) -> list[ParallelRegion]:
+    """Parallel regions across the whole codebase."""
+    out = []
+    for f in cb.files:
+        out.extend(find_parallel_regions(f))
+    return out

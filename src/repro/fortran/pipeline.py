@@ -1,0 +1,76 @@
+"""Version pipelines: Code 1 -> Codes 0, 2-6 (Table I's rows)."""
+
+from __future__ import annotations
+
+from repro.codes import CodeVersion
+from repro.fortran.codebase import GeneratorBudget, MAS_BUDGET, generate_mas_codebase, strip_to_cpu
+from repro.fortran.metrics import CodeMetrics, measure
+from repro.fortran.source import Codebase
+from repro.fortran.transforms import (
+    Dc2xPass,
+    DcBasicPass,
+    PureDcPass,
+    ReaddDataPass,
+    TransformPass,
+    UnifiedMemPass,
+)
+
+#: Pass pipeline per code version (applied to the Code 1 artifact).
+PASS_PIPELINES: dict[CodeVersion, tuple[TransformPass, ...]] = {
+    CodeVersion.A: (),
+    CodeVersion.AD: (DcBasicPass(),),
+    CodeVersion.ADU: (DcBasicPass(), UnifiedMemPass()),
+    CodeVersion.AD2XU: (DcBasicPass(), UnifiedMemPass(), Dc2xPass()),
+    CodeVersion.D2XU: (
+        DcBasicPass(),
+        UnifiedMemPass(),
+        Dc2xPass(),
+        PureDcPass(),
+    ),
+    CodeVersion.D2XAD: (
+        DcBasicPass(),
+        UnifiedMemPass(),
+        Dc2xPass(),
+        PureDcPass(keep_cpu_duplicates=True),
+        ReaddDataPass(),
+    ),
+}
+
+_VERSION_NAMES = {
+    CodeVersion.CPU: "code0_CPU",
+    CodeVersion.A: "code1_A",
+    CodeVersion.AD: "code2_AD",
+    CodeVersion.ADU: "code3_ADU",
+    CodeVersion.AD2XU: "code4_AD2XU",
+    CodeVersion.D2XU: "code5_D2XU",
+    CodeVersion.D2XAD: "code6_D2XAd",
+}
+
+
+def build_version(
+    version: CodeVersion,
+    *,
+    code1: Codebase | None = None,
+    budget: GeneratorBudget = MAS_BUDGET,
+) -> Codebase:
+    """Produce one code version's source tree.
+
+    ``code1`` may be passed to avoid regenerating the base artifact when
+    building several versions.
+    """
+    base = code1 or generate_mas_codebase(budget)
+    if version is CodeVersion.CPU:
+        return strip_to_cpu(base, budget)
+    cb = base.copy(_VERSION_NAMES[version])
+    for p in PASS_PIPELINES[version]:
+        p.apply(cb)
+    return cb
+
+
+def measure_all(budget: GeneratorBudget = MAS_BUDGET) -> dict[CodeVersion, CodeMetrics]:
+    """Table I: metrics for every version, sharing one generated base."""
+    code1 = generate_mas_codebase(budget)
+    out = {}
+    for v in CodeVersion:
+        out[v] = measure(build_version(v, code1=code1, budget=budget))
+    return out

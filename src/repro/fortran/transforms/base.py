@@ -1,0 +1,64 @@
+"""Transform-pass protocol and shared rewriting helpers."""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+
+from repro.fortran.parser import LoopNest, ParallelRegion
+from repro.fortran.source import Codebase
+
+
+class TransformPass(ABC):
+    """One source-to-source porting pass.
+
+    Passes mutate a :class:`Codebase` copy in place; pipelines chain them.
+    """
+
+    name: str = "pass"
+
+    @abstractmethod
+    def apply(self, cb: Codebase) -> None:
+        """Rewrite the codebase in place."""
+
+    def run(self, cb: Codebase, new_name: str | None = None) -> Codebase:
+        """Apply to a copy and return it."""
+        out = cb.copy(new_name or f"{cb.name}+{self.name}")
+        self.apply(out)
+        return out
+
+
+_BOUND_RE = re.compile(r"^\s*(\S+)\s*,\s*(\S+)\s*$")
+
+
+def dc_header(nest: LoopNest, *, indent: str = "      ", clause: str = "") -> str:
+    """Render a ``do concurrent`` header covering a whole nest.
+
+    Loop order follows MAS's Listing 2: outermost index first.
+    """
+    parts = []
+    for var, bounds in zip(nest.index_vars, nest.bounds):
+        m = _BOUND_RE.match(bounds)
+        if m:
+            lo, hi = m.group(1), m.group(2)
+        else:
+            lo, hi = "1", bounds.strip()
+        parts.append(f"{var}={lo}:{hi}")
+    head = f"{indent}do concurrent ({','.join(parts)})"
+    if clause:
+        head += f" {clause}"
+    return head
+
+
+def nest_body_lines(region: ParallelRegion, nest: LoopNest) -> list[str]:
+    """The statements between a nest's ``do`` and ``enddo`` lines."""
+    lines = region.file.lines
+    first, last = nest.body_range
+    return lines[first : last + 1]
+
+
+def convert_nest_to_dc(
+    region: ParallelRegion, nest: LoopNest, *, clause: str = ""
+) -> list[str]:
+    """Replacement text: one DC loop covering the nest (Listing 1 -> 2)."""
+    return [dc_header(nest, clause=clause), *nest_body_lines(region, nest), "      enddo"]

@@ -1,0 +1,99 @@
+"""Code 4 (AD2XU): Fortran 202X preview features for the remaining loops.
+
+* scalar reductions -> ``do concurrent ... reduce(+:x)`` (breaks F2018
+  portability; nvfortran-only until 202X lands, SIV-D);
+* array reductions -> DC with the ``!$acc atomic`` directives retained
+  inside the body (Listing 4);
+* non-reduction atomic loops -> DC likewise;
+* ``wait`` directives go (nothing is async any more);
+* the derived-type enter/exit data and the now-dead non-managed legacy
+  transfer paths go (all loops touching the types are DC now).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fortran.directives import DirectiveKind, is_directive_line, parse_directive
+from repro.fortran.parser import (
+    RegionKind,
+    apply_edits,
+    find_directive_lines,
+    find_parallel_regions,
+)
+from repro.fortran.source import Codebase, SourceFile
+from repro.fortran.transforms.base import TransformPass, dc_header
+
+_REDUCTION_RE = re.compile(r"reduction\(\s*([^:]+):\s*([^)]+)\)", re.I)
+
+#: Region kinds this pass converts.
+CONVERTIBLE = frozenset(
+    {RegionKind.SCALAR_REDUCTION, RegionKind.ARRAY_REDUCTION, RegionKind.ATOMIC_OTHER}
+)
+
+
+class Dc2xPass(TransformPass):
+    """Move the remaining OpenACC loops to DC-202X."""
+
+    name = "dc2x"
+
+    def _reduce_clause(self, f: SourceFile, region) -> str:
+        for i in region.directive_lines:
+            m = _REDUCTION_RE.search(f.lines[i])
+            if m:
+                return f"reduce({m.group(1).strip()}:{m.group(2).strip()})"
+        return ""
+
+    def _convert_region(self, f: SourceFile, region) -> list[str]:
+        nest = region.loops[0]
+        clause = (
+            self._reduce_clause(f, region)
+            if region.kind is RegionKind.SCALAR_REDUCTION
+            else ""
+        )
+        first, last = nest.body_range
+        body: list[str] = []
+        for i in range(first, last + 1):
+            ln = f.lines[i]
+            if is_directive_line(ln):
+                d = parse_directive(ln)
+                if d.kind is DirectiveKind.ATOMIC:
+                    body.append(ln)  # Listing 4: atomics survive inside DC
+                # loop seq (and any other loop directive) is dropped: the
+                # inner loop simply stays a sequential do inside the DC body
+                continue
+            body.append(ln)
+        return [dc_header(nest, clause=clause), *body, "      enddo"]
+
+    def apply(self, cb: Codebase) -> None:
+        for f in cb.files:
+            edits = []
+            for region in find_parallel_regions(f):
+                if region.kind not in CONVERTIBLE:
+                    continue
+                edits.append(
+                    (region.start, region.end, self._convert_region(f, region))
+                )
+            # wait directives: nothing left to wait on
+            for d in find_directive_lines(f, DirectiveKind.WAIT):
+                edits.append((d.index, max(d.all_lines), []))
+            # derived-type enter/exit data (with continuations)
+            for d in find_directive_lines(f, DirectiveKind.DATA):
+                if "%" in d.directive.payload:
+                    edits.append((min(d.all_lines), max(d.all_lines), []))
+            apply_edits(f, edits)
+            self._drop_legacy_paths(f)
+
+    @staticmethod
+    def _drop_legacy_paths(f: SourceFile) -> None:
+        out: list[str] = []
+        i = 0
+        while i < len(f.lines):
+            if f.lines[i].strip() == "if (.not. gpu_managed) then":
+                while f.lines[i].strip() != "endif":
+                    i += 1
+                i += 1
+                continue
+            out.append(f.lines[i])
+            i += 1
+        f.lines = out

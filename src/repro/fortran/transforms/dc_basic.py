@@ -1,0 +1,40 @@
+"""Code 2 (AD): plain OpenACC loop nests become Fortran-2018 DC.
+
+Converts every PLAIN and ROUTINE_CALLER parallel region (Listing 1) into
+``do concurrent`` loops (Listing 2), dropping the region's parallel/loop
+directives and their continuation lines. Reductions, atomics, kernels
+regions, and all data management stay OpenACC (SIV-B): Fortran 2018 DC
+has no ``reduce`` clause and nvfortran still needs ``routine``/manual
+data.
+"""
+
+from __future__ import annotations
+
+from repro.fortran.parser import RegionKind, apply_edits, find_parallel_regions
+from repro.fortran.source import Codebase
+from repro.fortran.transforms.base import TransformPass, convert_nest_to_dc
+
+#: Region kinds Fortran-2018 DC can express without code changes.
+CONVERTIBLE = frozenset({RegionKind.PLAIN, RegionKind.ROUTINE_CALLER})
+
+
+class DcBasicPass(TransformPass):
+    """OpenACC -> DC for the loops the F2018 standard can express."""
+
+    name = "dc_basic"
+
+    def apply(self, cb: Codebase) -> None:
+        for f in cb.files:
+            edits = []
+            for region in find_parallel_regions(f):
+                if region.kind not in CONVERTIBLE:
+                    continue
+                if not region.loops:
+                    raise ValueError(
+                        f"parallel region without loops in {f.name} at {region.start}"
+                    )
+                replacement: list[str] = []
+                for nest in region.loops:
+                    replacement.extend(convert_nest_to_dc(region, nest))
+                edits.append((region.start, region.end, replacement))
+            apply_edits(f, edits)

@@ -1,0 +1,210 @@
+"""Code 5 (D2XU): zero OpenACC directives.
+
+The last four directive classes go (SIV-E):
+
+* array-reduction atomics -> flipped outer-DC / inner ``reduce`` loops
+  (Listing 4 -> Listing 5); other atomics -> small code modifications;
+* ``kernels`` regions -> Fortran intrinsics expanded into explicit DC
+  reduction loops;
+* ``routine`` -> ``-Minline`` (directives dropped); the one routine the
+  compiler refuses to inline is inlined by hand via `repro.fortran.inline`;
+  the ``declare``/``update`` pair its table needed goes with it;
+* ``set device_num`` -> launch.sh + CUDA_VISIBLE_DEVICES (Listing 6, see
+  `repro.runtime.launch`).
+
+Finally the duplicate ``*_cpu`` setup routines are removed: under UM the
+single (GPU) variants serve the setup phase too.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fortran.directives import DirectiveKind, is_directive_line, parse_directive
+from repro.fortran.inline import InlineRefusedError, inline_call, parse_routine
+from repro.fortran.lexer import LineKind, classify_line
+from repro.fortran.parser import (
+    apply_edits,
+    find_directive_lines,
+    find_kernels_regions,
+    find_subroutines,
+)
+from repro.fortran.source import Codebase, SourceFile
+from repro.fortran.transforms.base import TransformPass
+
+_ACCUM_RE = re.compile(r"^(\s*)(\w+)\((\w+)\)\s*=\s*\2\(\3\)\s*\+\s*(.+)$")
+_MINVAL_RE = re.compile(r"^(\s*)(\w+)\s*=\s*minval\((\w+)\)\s*$", re.I)
+_DC_RE = re.compile(r"^\s*do\s+concurrent\s*\(([^)]*)\)", re.I)
+#: Routines nvfortran refuses to inline in the MAS port (SIV-E names one).
+MANUAL_INLINE_ROUTINES = ("interp1",)
+
+
+def _find_dc_loop_end(lines: list[str], start: int) -> int:
+    """Index of the enddo closing the DC loop at ``start``."""
+    level = 0
+    for i in range(start, len(lines)):
+        kind = classify_line(lines[i])
+        if kind in (LineKind.DO, LineKind.DO_CONCURRENT):
+            level += 1
+        elif kind is LineKind.ENDDO:
+            level -= 1
+            if level == 0:
+                return i
+    raise ValueError(f"unterminated do concurrent at line {start}")
+
+
+class PureDcPass(TransformPass):
+    """Eliminate every remaining OpenACC directive."""
+
+    name = "pure_dc"
+
+    def __init__(self, *, keep_cpu_duplicates: bool = False) -> None:
+        #: Code 6's pipeline keeps the duplicate CPU routines since it runs
+        #: without UM (SIV-F re-adds them).
+        self.keep_cpu_duplicates = keep_cpu_duplicates
+
+    # -- atomic rewrites -------------------------------------------------------
+
+    def _flip_array_reduction(self, f: SourceFile, start: int, end: int) -> list[str]:
+        """Listing 4 -> Listing 5 rewrite of one DC loop with atomics."""
+        m = _DC_RE.match(f.lines[start])
+        assert m is not None
+        indices = [p.strip() for p in m.group(1).split(",")]
+        # outer index = the one the accumulation target is indexed by
+        pairs = []  # (target, rhs)
+        for i in range(start + 1, end):
+            am = _ACCUM_RE.match(f.lines[i])
+            if am:
+                pairs.append((f"{am.group(2)}({am.group(3)})", am.group(4), am.group(3)))
+        if not pairs:
+            raise ValueError(f"no accumulation statements in DC loop at {start}")
+        outer_var = pairs[0][2]
+        outer = next(p for p in indices if p.startswith(f"{outer_var}="))
+        inners = [p for p in indices if not p.startswith(f"{outer_var}=")]
+        tmps = [f"tmp{n}" for n in range(len(pairs))]
+        out = [f"      do concurrent ({outer})"]
+        for t in tmps:
+            out.append(f"        {t} = 0.")
+        out.append(
+            f"        do concurrent ({','.join(inners)}) reduce(+:{','.join(tmps)})"
+        )
+        for t, (_, rhs, _v) in zip(tmps, pairs):
+            out.append(f"          {t} = {t} + {rhs}")
+        out.append("        enddo")
+        for t, (target, _, _v) in zip(tmps, pairs):
+            out.append(f"        {target} = {t}")
+        out.append("      enddo")
+        return out
+
+    def _rewrite_atomic_loops(self, f: SourceFile) -> None:
+        edits = []
+        i = 0
+        while i < len(f.lines):
+            if classify_line(f.lines[i]) is not LineKind.DO_CONCURRENT:
+                i += 1
+                continue
+            end = _find_dc_loop_end(f.lines, i)
+            atomics = [
+                k
+                for k in range(i + 1, end)
+                if is_directive_line(f.lines[k])
+                and parse_directive(f.lines[k]).kind is DirectiveKind.ATOMIC
+            ]
+            if atomics:
+                is_accum = any(
+                    _ACCUM_RE.match(f.lines[k + 1]) for k in atomics
+                )
+                if is_accum:
+                    edits.append((i, end, self._flip_array_reduction(f, i, end)))
+                else:
+                    # small code modification: drop the atomics, keep the
+                    # statements (rewritten to be race-free in MAS)
+                    body = [
+                        f.lines[k]
+                        for k in range(i, end + 1)
+                        if k not in atomics
+                    ]
+                    edits.append((i, end, body))
+            i = end + 1
+        apply_edits(f, edits)
+
+    # -- kernels expansion ----------------------------------------------------------
+
+    def _expand_kernels(self, f: SourceFile) -> None:
+        edits = []
+        for region in find_kernels_regions(f):
+            if region.end - region.start != 2:
+                raise ValueError(
+                    f"unexpected kernels region shape in {f.name} at {region.start}"
+                )
+            m = _MINVAL_RE.match(f.lines[region.start + 1])
+            if m is None:
+                raise ValueError(
+                    f"kernels region without a recognized intrinsic at {region.start}"
+                )
+            indent, lhs, arr = m.group(1), m.group(2), m.group(3)
+            edits.append(
+                (
+                    region.start,
+                    region.end,
+                    [
+                        f"{indent}do concurrent (ii=1:size({arr})) reduce(min:{lhs})",
+                        f"{indent}  {lhs} = min({lhs}, {arr}(ii))",
+                        f"{indent}enddo",
+                    ],
+                )
+            )
+        apply_edits(f, edits)
+
+    # -- routine inlining -------------------------------------------------------------
+
+    def _drop_routine_directives(self, cb: Codebase) -> None:
+        for f in cb.files:
+            f.lines = [
+                ln
+                for ln in f.lines
+                if not (
+                    is_directive_line(ln)
+                    and parse_directive(ln).kind is DirectiveKind.ROUTINE
+                )
+            ]
+
+    def _manual_inline(self, cb: Codebase) -> None:
+        for name in MANUAL_INLINE_ROUTINES:
+            routine = None
+            for f in cb.files:
+                for blk in find_subroutines(f, rf"^{name}$"):
+                    routine = parse_routine(f, blk.start)
+            if routine is None:
+                continue
+            for f in cb.files:
+                i = 0
+                while i < len(f.lines):
+                    if re.match(rf"^\s*call\s+{name}\s*\(", f.lines[i]):
+                        try:
+                            i += inline_call(f, i, routine)
+                        except InlineRefusedError:
+                            pass
+                    i += 1
+
+    # -- main -----------------------------------------------------------------------------
+
+    def apply(self, cb: Codebase) -> None:
+        self._manual_inline(cb)
+        self._drop_routine_directives(cb)
+        for f in cb.files:
+            self._rewrite_atomic_loops(f)
+            self._expand_kernels(f)
+            # remaining declare/update and set device_num directives
+            edits = []
+            for d in find_directive_lines(
+                f, DirectiveKind.DATA, DirectiveKind.SET_DEVICE
+            ):
+                edits.append((min(d.all_lines), max(d.all_lines), []))
+            apply_edits(f, edits)
+        if not self.keep_cpu_duplicates:
+            for f in cb.files:
+                for blk in sorted(
+                    find_subroutines(f, r"_cpu$"), key=lambda b: b.start, reverse=True
+                ):
+                    del f.lines[blk.start : blk.end + 1]

@@ -1,0 +1,63 @@
+"""Write/read codebases as real file trees.
+
+Lets users inspect the generated MAS versions with ordinary tools (diff,
+grep, an editor) and feed hand-edited trees back through the metrics and
+transformation passes -- the round trip is exact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fortran.source import Codebase, SourceFile
+
+#: File extensions accepted when loading a tree.
+FORTRAN_SUFFIXES = (".f90", ".f", ".F90")
+
+
+def save_tree(cb: Codebase, root: str | Path, *, overwrite: bool = False) -> Path:
+    """Write every file of ``cb`` under ``root/<codebase name>/``."""
+    base = Path(root) / cb.name
+    if base.exists() and not overwrite:
+        raise FileExistsError(f"{base} exists; pass overwrite=True to replace")
+    base.mkdir(parents=True, exist_ok=True)
+    for f in cb.files:
+        target = base / f.name
+        if target.resolve().parent != base.resolve():
+            raise ValueError(f"file name {f.name!r} escapes the tree")
+        target.write_text(f.text())
+    return base
+
+
+def load_tree(path: str | Path, *, name: str | None = None) -> Codebase:
+    """Load a directory of Fortran files back into a Codebase.
+
+    Files are ordered by name for determinism; a trailing newline (added
+    by :meth:`SourceFile.text`) is not counted as an extra line.
+    """
+    base = Path(path)
+    if not base.is_dir():
+        raise NotADirectoryError(f"{base} is not a directory")
+    files = []
+    for p in sorted(base.iterdir()):
+        if p.suffix in FORTRAN_SUFFIXES and p.is_file():
+            text = p.read_text()
+            lines = text.split("\n")
+            if lines and lines[-1] == "":
+                lines.pop()
+            files.append(SourceFile(p.name, lines))
+    if not files:
+        raise ValueError(f"no Fortran sources ({'/'.join(FORTRAN_SUFFIXES)}) in {base}")
+    return Codebase(name or base.name, files)
+
+
+def roundtrip_equal(a: Codebase, b: Codebase) -> bool:
+    """True if two codebases have identical files (names and lines)."""
+    if len(a.files) != len(b.files):
+        return False
+    by_name = {f.name: f for f in b.files}
+    for f in a.files:
+        other = by_name.get(f.name)
+        if other is None or other.lines != f.lines:
+            return False
+    return True

@@ -1,0 +1,47 @@
+"""Simulated hardware: GPUs, CPUs, nodes, interconnects, unified memory.
+
+The paper's testbeds are modelled as calibrated reduced-order machines:
+
+* NCSA Delta 8x NVIDIA A100-40GB node (GPU runs, Fig. 2/3/4),
+* SDSC Expanse dual-socket AMD EPYC 7742 nodes (CPU baseline, Table III).
+
+MAS is memory-bound ("performance typically proportional to the hardware's
+memory bandwidth", paper SIII), so the first-order machine model is a
+bandwidth/latency model; the unified-memory paging engine adds the
+page-migration behaviour that drives the paper's headline slowdown.
+"""
+
+from repro.machine.spec import CpuSpec, GpuSpec, LinkSpec
+from repro.machine.gpu import A100_40GB, GpuDevice, effective_bandwidth
+from repro.machine.cpu import EPYC_7742_NODE, EPYC_7763_NODE, CpuNodeModel
+from repro.machine.interconnect import NVLINK3, PCIE4_X16, SLINGSHOT, Interconnect
+from repro.machine.memory import AllocationError, DeviceMemory, Residency
+from repro.machine.unified_memory import UnifiedMemoryManager, PageMigrationStats
+from repro.machine.node import DELTA_A100_NODE, EXPANSE_NODE, GpuNode, CpuCluster
+from repro.machine.cluster import GpuCluster
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "LinkSpec",
+    "A100_40GB",
+    "GpuDevice",
+    "effective_bandwidth",
+    "EPYC_7742_NODE",
+    "EPYC_7763_NODE",
+    "CpuNodeModel",
+    "NVLINK3",
+    "PCIE4_X16",
+    "SLINGSHOT",
+    "Interconnect",
+    "AllocationError",
+    "DeviceMemory",
+    "Residency",
+    "UnifiedMemoryManager",
+    "PageMigrationStats",
+    "DELTA_A100_NODE",
+    "EXPANSE_NODE",
+    "GpuNode",
+    "CpuCluster",
+    "GpuCluster",
+]

@@ -1,0 +1,82 @@
+"""Multi-node GPU clusters.
+
+The paper's runs stay inside one Delta node (1-8 A100s), but MAS itself
+"exhibits performance scaling to ... dozens of GPUs" (SIII). This module
+extends the machine model across nodes: intra-node messages keep riding
+NVLink, inter-node messages cross the fabric (Slingshot on Delta), which
+is both slower and latency-heavier -- the crossover every multi-node halo
+exchange lives with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.gpu import GpuDevice
+from repro.machine.node import GpuNode, make_delta_node
+
+
+@dataclass
+class GpuCluster:
+    """Several identical GPU nodes plus a rank -> device placement.
+
+    Ranks are placed node-major (ranks 0..g-1 on node 0, etc.), matching
+    how MPI launchers fill nodes.
+    """
+
+    nodes: list[GpuNode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        per = self.nodes[0].num_gpus
+        if any(n.num_gpus != per for n in self.nodes):
+            raise ValueError("heterogeneous clusters are not modelled")
+
+    @classmethod
+    def of_delta_nodes(cls, num_nodes: int) -> "GpuCluster":
+        """A cluster of fresh Delta 8xA100 nodes."""
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        return cls(nodes=[make_delta_node() for _ in range(num_nodes)])
+
+    @property
+    def gpus_per_node(self) -> int:
+        """GPUs on each node."""
+        return self.nodes[0].num_gpus
+
+    @property
+    def total_gpus(self) -> int:
+        """Cluster-wide GPU count."""
+        return self.gpus_per_node * len(self.nodes)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting a global rank."""
+        if not 0 <= rank < self.total_gpus:
+            raise IndexError(f"rank {rank} outside cluster of {self.total_gpus} GPUs")
+        return rank // self.gpus_per_node
+
+    def local_rank(self, rank: int) -> int:
+        """Node-local rank (what launch.sh's env variable reports)."""
+        return rank % self.gpus_per_node
+
+    def device_of(self, rank: int) -> GpuDevice:
+        """The GPU a global rank is bound to (1 GPU per local rank)."""
+        return self.nodes[self.node_of(rank)].device(self.local_rank(rank))
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when two ranks share NVLink (same node)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def rank_node_map(self, num_ranks: int) -> list[int]:
+        """Node index per rank, for the halo engine's transport choice."""
+        if num_ranks > self.total_gpus:
+            raise ValueError(
+                f"{num_ranks} ranks exceed the cluster's {self.total_gpus} GPUs"
+            )
+        return [self.node_of(r) for r in range(num_ranks)]
+
+    @property
+    def interconnect(self):
+        """Intra-node interconnect (homogeneous across nodes)."""
+        return self.nodes[0].interconnect

@@ -1,0 +1,72 @@
+"""CPU node model for the Table III baseline.
+
+The paper's CPU baseline runs on SDSC Expanse dual-socket AMD EPYC 7742
+nodes, each with a maximum theoretical memory bandwidth of 381.4 GiB/s
+(409.5 GB/s). The Delta GPU node hosts dual EPYC 7763 CPUs, which matter only
+for host-side overheads in the GPU runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import CpuSpec
+from repro.util.units import GB
+
+#: SDSC Expanse compute node (paper SV-B).
+EPYC_7742_NODE = CpuSpec(
+    name="2x AMD EPYC 7742 (Expanse)",
+    sockets=2,
+    cores_per_socket=64,
+    mem_bandwidth=409.5 * GB,
+    stream_efficiency=0.79,
+)
+
+#: NCSA Delta GPU-node host CPUs.
+EPYC_7763_NODE = CpuSpec(
+    name="2x AMD EPYC 7763 (Delta)",
+    sockets=2,
+    cores_per_socket=64,
+    mem_bandwidth=409.5 * GB,
+    stream_efficiency=0.70,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CpuNodeModel:
+    """Cost model for running the (memory-bound) MHD step on CPU nodes.
+
+    A CPU "kernel" has no launch overhead to speak of; the dominant
+    cost is memory traffic at the node's sustained bandwidth, plus a
+    per-node-count parallel efficiency for multi-node MPI runs.
+    """
+
+    spec: CpuSpec
+    #: Fraction of ideal speedup retained per doubling of node count;
+    #: calibrated against Table III (1 node 725.5 min -> 8 nodes 79.6 min,
+    #: i.e. 9.12x on 8 nodes net of MPI overheads: slightly super-linear, same locality effect
+    #: as on GPUs).
+    scaling_boost_per_doubling: float = 1.075
+
+    def kernel_time(self, bytes_moved: float, num_nodes: int = 1) -> float:
+        """Time for one memory-bound kernel spread over ``num_nodes``."""
+        if bytes_moved < 0:
+            raise ValueError("bytes_moved must be non-negative")
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        bw = self.spec.mem_bandwidth * self.spec.stream_efficiency
+        boost = self.scaling_boost_per_doubling ** _log2i(num_nodes)
+        return bytes_moved / (bw * num_nodes * boost)
+
+    def speedup(self, num_nodes: int) -> float:
+        """Observed speedup of ``num_nodes`` relative to one node."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        return num_nodes * self.scaling_boost_per_doubling ** _log2i(num_nodes)
+
+
+def _log2i(n: int) -> float:
+    """log2 for possibly-non-power-of-two node counts."""
+    import math
+
+    return math.log2(n)

@@ -1,0 +1,102 @@
+"""GPU device model.
+
+The A100 numbers follow the paper's SV-B: each A100 (40GB) has a peak
+theoretical memory bandwidth of 1555 GB/s. MAS is memory-bound, so a kernel's
+device time is bytes_moved / effective_bandwidth plus launch overhead (the
+launch overhead itself is charged by the runtime, which knows whether the
+kernel was fused or launched asynchronously).
+
+``effective_bandwidth`` includes a *locality boost*: when the per-GPU working
+set shrinks (strong scaling across more GPUs), cache/TLB behaviour improves
+and sustained bandwidth rises. This is the mechanism behind the "super
+scaling" the paper observes for Codes 1/2/6 in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.memory import DeviceMemory
+from repro.machine.spec import GpuSpec
+from repro.util.units import GB
+
+#: NVIDIA A100 (40GB) as used on NCSA Delta (paper SV-B).
+A100_40GB = GpuSpec(
+    name="NVIDIA A100-SXM4-40GB",
+    mem_bytes=40 * GB,
+    mem_bandwidth=1555 * GB,
+    stream_efficiency=0.82,
+    kernel_launch_latency=6.0e-6,
+    flops_fp64=9.7e12,
+    num_sms=108,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LocalityModel:
+    """Working-set-dependent sustained-bandwidth curve.
+
+    ``gain`` is the maximum fractional bandwidth boost as the working set
+    shrinks toward zero; ``ref_fraction`` is the working-set/memory fraction
+    at which the boost is zero (the single-GPU, memory-nearly-full case).
+    """
+
+    gain: float = 0.14
+    ref_fraction: float = 0.75
+
+    def boost(self, working_set_bytes: float, mem_bytes: float) -> float:
+        """Multiplicative bandwidth factor, >= 1, <= 1 + gain."""
+        if mem_bytes <= 0:
+            raise ValueError("mem_bytes must be positive")
+        if working_set_bytes < 0:
+            raise ValueError("working set cannot be negative")
+        frac = min(working_set_bytes / mem_bytes, 1.0)
+        rel = max(0.0, (self.ref_fraction - frac) / self.ref_fraction)
+        return 1.0 + self.gain * rel
+
+
+def effective_bandwidth(
+    spec: GpuSpec,
+    *,
+    working_set_bytes: float | None = None,
+    locality: LocalityModel | None = None,
+) -> float:
+    """Sustained bytes/s for a memory-bound kernel on this GPU."""
+    bw = spec.mem_bandwidth * spec.stream_efficiency
+    if working_set_bytes is not None:
+        locality = locality or LocalityModel()
+        bw *= locality.boost(working_set_bytes, spec.mem_bytes)
+    return bw
+
+
+@dataclass(slots=True)
+class GpuDevice:
+    """One GPU instance: a spec plus mutable device-memory state.
+
+    ``device_id`` is the CUDA-style ordinal within its node; the runtime's
+    device-binding logic (``set device_num`` vs CUDA_VISIBLE_DEVICES) selects
+    among these.
+    """
+
+    spec: GpuSpec
+    device_id: int
+    memory: DeviceMemory = field(init=False)
+    locality: LocalityModel = field(default_factory=LocalityModel)
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError("device_id must be non-negative")
+        self.memory = DeviceMemory(self.spec.mem_bytes)
+
+    def kernel_device_time(
+        self, bytes_moved: float, flops: float = 0.0, *, working_set_bytes: float | None = None
+    ) -> float:
+        """Roofline time for one kernel body (excluding launch overhead)."""
+        if bytes_moved < 0 or flops < 0:
+            raise ValueError("bytes_moved and flops must be non-negative")
+        bw = effective_bandwidth(
+            self.spec, working_set_bytes=working_set_bytes, locality=self.locality
+        )
+        t_mem = bytes_moved / bw
+        t_flop = flops / self.spec.flops_fp64
+        return max(t_mem, t_flop)

@@ -1,0 +1,53 @@
+"""Interconnect models: NVLink, PCIe, and the inter-node fabric.
+
+Fig. 4's mechanism lives here: with manual (CUDA-aware) data management the
+halo exchange rides NVLink peer-to-peer; with unified managed memory every
+MPI buffer touch on the host faults pages back and forth over PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import LinkSpec
+from repro.util.units import GB
+
+#: NVLink 3.0 between A100s on a Delta node (per-direction, per-pair
+#: effective; the node is NVSwitch-connected so any pair sustains this).
+NVLINK3 = LinkSpec(name="NVLink3", latency=2.5e-6, bandwidth=250 * GB)
+
+#: PCIe 4.0 x16 host link, the path unified-memory page migration takes.
+PCIE4_X16 = LinkSpec(name="PCIe4 x16", latency=4.0e-6, bandwidth=24 * GB)
+
+#: Inter-node fabric (Slingshot on Delta, HDR IB on Expanse); only used by
+#: the CPU-cluster model since all GPU runs in the paper are single-node.
+SLINGSHOT = LinkSpec(name="Slingshot-10", latency=2.0e-6, bandwidth=12.5 * GB)
+
+
+@dataclass(frozen=True, slots=True)
+class Interconnect:
+    """Named bundle of the links reachable from one device."""
+
+    peer: LinkSpec
+    host: LinkSpec
+    fabric: LinkSpec
+
+    def p2p_time(self, nbytes: float) -> float:
+        """Device-to-device transfer time over the peer link."""
+        return self.peer.transfer_time(nbytes)
+
+    def h2d_time(self, nbytes: float) -> float:
+        """Host-to-device transfer time."""
+        return self.host.transfer_time(nbytes)
+
+    def d2h_time(self, nbytes: float) -> float:
+        """Device-to-host transfer time."""
+        return self.host.transfer_time(nbytes)
+
+    def staged_time(self, nbytes: float) -> float:
+        """D2H then H2D through host memory (non-CUDA-aware / UM path)."""
+        return self.d2h_time(nbytes) + self.h2d_time(nbytes)
+
+
+#: Default intra-node interconnect for a Delta A100 node.
+DELTA_INTERCONNECT = Interconnect(peer=NVLINK3, host=PCIE4_X16, fabric=SLINGSHOT)

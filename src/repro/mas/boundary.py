@@ -1,0 +1,111 @@
+"""Physical boundary conditions (ghost filling).
+
+Applied after halo exchange: ranks owning a global domain boundary fill
+the ghost layers the exchange left untouched. phi is periodic and fully
+handled by the exchanger.
+
+* inner r (solar surface): line-tied -- fixed (rho, T) from the boundary
+  profile, velocity reflected to zero at the surface.
+* outer r: zero-gradient open boundary.
+* theta cutouts: reflective (v_theta antisymmetric, everything else
+  symmetric).
+
+Face fields only ever have *ghost* faces filled here (zero-gradient);
+interior faces -- including the boundary faces themselves -- are evolved
+exclusively by the CT update so the divergence-free invariant survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mas.grid import LocalGrid
+from repro.mas.state import MhdState
+from repro.mpi.decomp import Decomposition3D
+
+
+@dataclass(frozen=True)
+class BoundaryProfiles:
+    """Frozen inner-boundary (solar surface) values per rank."""
+
+    rho_inner: np.ndarray  # shape (ntg, npg): boundary cell values
+    temp_inner: np.ndarray
+
+    @classmethod
+    def capture(cls, state: MhdState) -> "BoundaryProfiles":
+        """Freeze the initial first-interior-shell values as the BC."""
+        return cls(
+            rho_inner=state.rho[1].copy(),
+            temp_inner=state.temp[1].copy(),
+        )
+
+
+def _owns(decomp: Decomposition3D, rank: int, axis: int, direction: int) -> bool:
+    """True if this rank's block touches the global boundary on that face."""
+    return decomp.neighbor(rank, axis, direction) is None
+
+
+def apply_boundaries(
+    state: MhdState,
+    grid: LocalGrid,
+    decomp: Decomposition3D,
+    rank: int,
+    profiles: BoundaryProfiles,
+) -> None:
+    """Fill physical-boundary ghosts of all state arrays in place."""
+    if grid.ghost != 1:
+        raise ValueError("boundary conditions assume one ghost layer")
+
+    # ---- inner r (axis 0, low) -------------------------------------------------
+    if _owns(decomp, rank, 0, -1):
+        state.rho[0] = profiles.rho_inner
+        state.temp[0] = profiles.temp_inner
+        state.vr[0] = -state.vr[1]
+        state.vt[0] = -state.vt[1]
+        state.vp[0] = -state.vp[1]
+        state.br[0] = state.br[1]
+        state.bt[0] = state.bt[1]
+        state.bp[0] = state.bp[1]
+
+    # ---- outer r (axis 0, high): zero-gradient ----------------------------------
+    if _owns(decomp, rank, 0, 1):
+        for name in ("rho", "temp", "vr", "vt", "vp", "br", "bt", "bp"):
+            a = state.get(name)
+            a[-1] = a[-2]
+        # open boundary: forbid inflow through the outer shell
+        np.maximum(state.vr[-1], 0.0, out=state.vr[-1])
+
+    # ---- theta cutouts (axis 1): reflective ---------------------------------------
+    for direction, ghost_i, mirror_i in ((-1, 0, 1), (1, -1, -2)):
+        if not _owns(decomp, rank, 1, direction):
+            continue
+        for name in ("rho", "temp", "vr", "vp", "br", "bt", "bp"):
+            a = state.get(name)
+            a[:, ghost_i] = a[:, mirror_i]
+        state.vt[:, ghost_i] = -state.vt[:, mirror_i]
+
+
+def apply_centered_boundary(
+    arr: np.ndarray,
+    decomp: Decomposition3D,
+    rank: int,
+    *,
+    antisymmetric_theta: bool = False,
+) -> None:
+    """Zero-gradient (or theta-reflective) ghost fill for one work array.
+
+    Used by solver work vectors (PCG residuals, STS stages) that need valid
+    ghosts but have no physical boundary data of their own.
+    """
+    if _owns(decomp, rank, 0, -1):
+        arr[0] = arr[1]
+    if _owns(decomp, rank, 0, 1):
+        arr[-1] = arr[-2]
+    for direction, ghost_i, mirror_i in ((-1, 0, 1), (1, -1, -2)):
+        if _owns(decomp, rank, 1, direction):
+            if antisymmetric_theta:
+                arr[:, ghost_i] = -arr[:, mirror_i]
+            else:
+                arr[:, ghost_i] = arr[:, mirror_i]

@@ -1,0 +1,143 @@
+"""Checkpoint / restart: save and restore a run's physical state.
+
+MAS production runs write HDF5 restarts (the synthetic codebase's
+``write_restart`` with its ``update host`` directives); here we persist
+the per-rank state arrays plus enough metadata to refuse mismatched
+restores. The simulated-performance state (clocks, counters) is *not*
+checkpointed -- a restarted run measures fresh, exactly like a restarted
+MAS run does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.mas.model import MasModel
+from repro.mas.state import ALL_FIELDS
+
+#: Format version for forward-compat checks.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a restart file cannot be applied to a model."""
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointInfo:
+    """Metadata stored alongside the arrays."""
+
+    format: int
+    shape: tuple[int, int, int]
+    num_ranks: int
+    time: float
+    steps_taken: int
+    #: Timestep controller state (the dt growth limiter's memory); None in
+    #: a never-stepped model.
+    last_dt: float | None = None
+
+    def to_json(self) -> str:
+        """Serialize for embedding in the npz."""
+        return json.dumps(
+            {
+                "format": self.format,
+                "shape": list(self.shape),
+                "num_ranks": self.num_ranks,
+                "time": self.time,
+                "steps_taken": self.steps_taken,
+                "last_dt": self.last_dt,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointInfo":
+        """Inverse of :meth:`to_json`."""
+        d = json.loads(text)
+        return cls(
+            format=d["format"],
+            shape=tuple(d["shape"]),
+            num_ranks=d["num_ranks"],
+            time=d["time"],
+            steps_taken=d["steps_taken"],
+            last_dt=d.get("last_dt"),
+        )
+
+
+def save_checkpoint(model: MasModel, path: str | Path) -> CheckpointInfo:
+    """Write the model's physical state to an ``.npz`` file.
+
+    Under manual data management this is where MAS pays ``update host``
+    transfers for every array; the simulated cost is charged to the rank
+    clocks (category D2H) so checkpoint cadence shows up in timings.
+    """
+    info = CheckpointInfo(
+        format=CHECKPOINT_FORMAT,
+        shape=model.config.shape,
+        num_ranks=model.config.num_ranks,
+        time=model.time,
+        steps_taken=model.steps_taken,
+        last_dt=model._last_dt,
+    )
+    arrays: dict[str, np.ndarray] = {"_meta": np.frombuffer(info.to_json().encode(), dtype=np.uint8)}
+    for r, state in enumerate(model.states):
+        for name in ALL_FIELDS:
+            arrays[f"rank{r}_{name}"] = state.get(name)
+        # the I/O path copies every field to the host first
+        for name in ALL_FIELDS:
+            model.ranks[r].update_host(name)
+    np.savez_compressed(Path(path), **arrays)
+    return info
+
+
+def read_info(path: str | Path) -> CheckpointInfo:
+    """Read only the metadata of a checkpoint."""
+    with np.load(Path(path)) as data:
+        if "_meta" not in data:
+            raise CheckpointError(f"{path}: not a repro checkpoint")
+        info = CheckpointInfo.from_json(bytes(data["_meta"]).decode())
+    if info.format != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: format {info.format}, this build reads {CHECKPOINT_FORMAT}"
+        )
+    return info
+
+
+def load_checkpoint(model: MasModel, path: str | Path) -> CheckpointInfo:
+    """Restore a model's physical state in place.
+
+    The model must have been built with the same grid shape and rank
+    count; restores into a mismatched configuration are refused.
+    """
+    info = read_info(path)
+    if info.shape != model.config.shape:
+        raise CheckpointError(
+            f"checkpoint grid {info.shape} != model grid {model.config.shape}"
+        )
+    if info.num_ranks != model.config.num_ranks:
+        raise CheckpointError(
+            f"checkpoint has {info.num_ranks} ranks, model has {model.config.num_ranks}"
+        )
+    with np.load(Path(path)) as data:
+        for r, state in enumerate(model.states):
+            for name in ALL_FIELDS:
+                key = f"rank{r}_{name}"
+                if key not in data:
+                    raise CheckpointError(f"{path}: missing array {key}")
+                arr = data[key]
+                target = state.get(name)
+                if arr.shape != target.shape:
+                    raise CheckpointError(
+                        f"{key}: shape {arr.shape} != expected {target.shape}"
+                    )
+                target[:] = arr
+            # restart pushes everything back to the device
+            for name in ALL_FIELDS:
+                model.ranks[r].update_device(name)
+    model.time = info.time
+    model.steps_taken = info.steps_taken
+    model._last_dt = info.last_dt
+    return info

@@ -1,0 +1,48 @@
+"""Spitzer-like thermal conduction, advanced with RKL2 STS.
+
+The thermodynamic MHD model's stiffest parabolic term: kappa(T) ~ T^{5/2}.
+MAS advances it with super time-stepping rather than implicit solves
+(paper ref [25]); each RKL2 stage is one conduction-operator application
+(one halo exchange plus stencil kernels).
+
+The reproduction uses an isotropic kappa(T); MAS's field-aligned anisotropy
+changes the stencil's coefficients, not its data traffic, which is what the
+performance model consumes. Documented in DESIGN.md S2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mas.constants import PhysicsParams
+from repro.mas.grid import LocalGrid
+from repro.mas.operators import diffuse_flux_div, harmonic_face_coeff
+
+
+def kappa_centered(temp: np.ndarray, params: PhysicsParams) -> np.ndarray:
+    """kappa(T) = kappa0 * T^{5/2} at cell centers, floored for safety."""
+    t = np.maximum(temp, params.temp_floor)
+    return params.kappa0 * t**2.5
+
+
+def conduction_rhs(
+    temp: np.ndarray, rho: np.ndarray, grid: LocalGrid, params: PhysicsParams
+) -> np.ndarray:
+    """dT/dt = (gamma-1)/rho * div(kappa(T) grad T)."""
+    kap = kappa_centered(temp, params)
+    flux_div = diffuse_flux_div(temp, grid, harmonic_face_coeff(kap))
+    out = np.zeros_like(temp)
+    inner = (slice(1, -1), slice(1, -1), slice(1, -1))
+    out[inner] = (
+        (params.gamma - 1.0)
+        * flux_div[inner]
+        / np.maximum(rho[inner], params.rho_floor)
+    )
+    return out
+
+
+def max_diffusivity(temp: np.ndarray, rho: np.ndarray, params: PhysicsParams) -> float:
+    """Largest effective diffusion coefficient, for STS stage sizing."""
+    kap = kappa_centered(temp[1:-1, 1:-1, 1:-1], params)
+    rho_i = np.maximum(rho[1:-1, 1:-1, 1:-1], params.rho_floor)
+    return float(((params.gamma - 1.0) * kap / rho_i).max())

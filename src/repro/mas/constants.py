@@ -1,0 +1,57 @@
+"""Physics parameters in MAS-style normalized units.
+
+Lengths in solar radii, density/temperature/field normalized to coronal
+base values. The defaults describe a quasi-steady coronal background like
+the paper's test case (SV-A): a thermodynamic MHD model with viscosity,
+resistivity, field-aligned thermal conduction, radiative losses, and a
+parameterized coronal heating function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicsParams:
+    """All dimensionless knobs of the MHD model."""
+
+    #: Ratio of specific heats; 5/3 for the thermodynamic model.
+    gamma: float = 5.0 / 3.0
+    #: Kinematic viscosity (normalized); solved implicitly.
+    viscosity: float = 5.0e-3
+    #: Resistivity (normalized); explicit in the induction equation.
+    resistivity: float = 1.0e-4
+    #: Spitzer-like conduction coefficient: kappa(T) = kappa0 * T^{5/2}.
+    kappa0: float = 2.0e-3
+    #: Radiative loss coefficient: Q_rad = lambda0 * rho^2 * Lambda(T).
+    lambda0: float = 1.0e-2
+    #: Coronal heating amplitude: H(r) = h0 * exp(-(r-1)/h_scale).
+    h0: float = 5.0e-3
+    h_scale: float = 0.7
+    #: Gravity amplitude at r=1 (normalized GM/Rs).
+    gravity: float = 0.823
+    #: CFL safety factor for the explicit advance.
+    cfl: float = 0.35
+    #: Floor values to keep the model physical on coarse test grids.
+    rho_floor: float = 1.0e-6
+    temp_floor: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1.0:
+            raise ValueError("gamma must exceed 1")
+        for name in ("viscosity", "resistivity", "kappa0", "lambda0", "h0"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+        if not 0 < self.cfl < 1:
+            raise ValueError("cfl must be in (0, 1)")
+        if self.rho_floor <= 0 or self.temp_floor <= 0:
+            raise ValueError("floors must be positive")
+
+    def pressure(self, rho, temp):
+        """Equation of state: normalized ideal gas, p = rho * T."""
+        return rho * temp
+
+    def sound_speed_sq(self, temp):
+        """gamma * T in normalized units."""
+        return self.gamma * temp

@@ -1,0 +1,292 @@
+"""Non-uniform staggered spherical grids.
+
+Geometry of the MAS discretization (paper SIII): a logically rectangular
+grid in (r, theta, phi), non-uniform in r and theta, periodic in phi, with
+a small polar cutout (theta in [eps, pi - eps]) as in global coronal
+models. Magnetic field components live on cell faces (constrained
+transport); plasma variables live at cell centers.
+
+:class:`SphericalGrid` is the global grid; :class:`LocalGrid` is one MPI
+rank's block with ghost-extended coordinates and cached metric arrays
+(face areas, cell volumes, edge lengths) used by the finite-volume
+operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.mas.stretch import geometric_spacing, uniform_spacing
+from repro.mpi.decomp import Decomposition3D
+
+
+@dataclass(frozen=True)
+class SphericalGrid:
+    """Global grid defined by its edge coordinate arrays."""
+
+    r_edges: np.ndarray
+    t_edges: np.ndarray
+    p_edges: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name, e in (("r", self.r_edges), ("t", self.t_edges), ("p", self.p_edges)):
+            if e.ndim != 1 or e.size < 2:
+                raise ValueError(f"{name}_edges must be a 1-D array of >= 2 edges")
+            if np.any(np.diff(e) <= 0):
+                raise ValueError(f"{name}_edges must be strictly increasing")
+        if self.r_edges[0] <= 0:
+            raise ValueError("inner radius must be positive")
+        if self.t_edges[0] <= 0 or self.t_edges[-1] >= np.pi:
+            raise ValueError("theta must exclude the poles (polar cutout)")
+        if not np.isclose(self.p_edges[-1] - self.p_edges[0], 2 * np.pi):
+            raise ValueError("phi must span exactly 2*pi (periodic)")
+
+    @classmethod
+    def build(
+        cls,
+        shape: tuple[int, int, int],
+        *,
+        r_range: tuple[float, float] = (1.0, 2.5),
+        r_ratio: float = 1.03,
+        pole_cutout: float = 0.15,
+    ) -> "SphericalGrid":
+        """Standard coronal grid: stretched r, uniform theta/phi."""
+        nr, nt, np_ = shape
+        return cls(
+            r_edges=geometric_spacing(r_range[0], r_range[1], nr, r_ratio),
+            t_edges=uniform_spacing(pole_cutout, np.pi - pole_cutout, nt),
+            p_edges=uniform_spacing(0.0, 2 * np.pi, np_),
+        )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Cell counts (nr, nt, np)."""
+        return (self.r_edges.size - 1, self.t_edges.size - 1, self.p_edges.size - 1)
+
+    @property
+    def num_cells(self) -> int:
+        """Total cell count."""
+        nr, nt, np_ = self.shape
+        return nr * nt * np_
+
+
+def _extend_edges(edges: np.ndarray, g: int, *, periodic: bool, span: float = 0.0) -> np.ndarray:
+    """Ghost-extend an edge array by ``g`` edges on each side.
+
+    Periodic axes wrap widths across the ``span``; others mirror the
+    boundary cell widths outward.
+    """
+    if g < 0:
+        raise ValueError("ghost depth cannot be negative")
+    if g == 0:
+        return edges.copy()
+    widths = np.diff(edges)
+    if periodic:
+        lo_w = widths[-g:]
+        hi_w = widths[:g]
+    else:
+        lo_w = widths[:g][::-1]
+        hi_w = widths[-g:][::-1]
+    lo = edges[0] - np.cumsum(lo_w[::-1])[::-1]
+    hi = edges[-1] + np.cumsum(hi_w)
+    return np.concatenate([lo, edges, hi])
+
+
+@dataclass(frozen=True)
+class LocalGrid:
+    """One rank's block with ghost-extended coordinates and metrics.
+
+    All metric arrays cover the ghosted extent so stencils can be applied
+    up to (but not into) the outermost ghost layer without special cases.
+    """
+
+    re: np.ndarray  # ghosted r edges, length nrg + 1
+    te: np.ndarray  # ghosted theta edges, length ntg + 1
+    pe: np.ndarray  # ghosted phi edges, length npg + 1
+    ghost: int
+    interior_shape: tuple[int, int, int]
+
+    @classmethod
+    def from_global(
+        cls, grid: SphericalGrid, decomp: Decomposition3D, rank: int, *, ghost: int = 1
+    ) -> "LocalGrid":
+        """Carve a rank's block out of the global grid, ghost-extended."""
+        if decomp.global_shape != grid.shape:
+            raise ValueError(
+                f"decomposition shape {decomp.global_shape} != grid shape {grid.shape}"
+            )
+        b = decomp.bounds(rank)
+        g = ghost
+
+        def cut(edges: np.ndarray, lo: int, hi: int, periodic: bool, span: float) -> np.ndarray:
+            n = edges.size - 1
+            if g == 0:
+                return edges[lo : hi + 1].copy()
+            ext = _extend_edges(edges, g, periodic=periodic, span=span)
+            # ext index of global edge m is m + g
+            return ext[lo : hi + 2 * g + 1].copy()
+
+        re = cut(grid.r_edges, b[0][0], b[0][1], False, 0.0)
+        te = cut(grid.t_edges, b[1][0], b[1][1], False, 0.0)
+        pe = cut(grid.p_edges, b[2][0], b[2][1], True, 2 * np.pi)
+        return cls(
+            re=re,
+            te=te,
+            pe=pe,
+            ghost=g,
+            interior_shape=decomp.local_shape(rank),
+        )
+
+    # -- shapes -------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Ghosted cell counts (nrg, ntg, npg)."""
+        return (self.re.size - 1, self.te.size - 1, self.pe.size - 1)
+
+    def centered_shape(self) -> tuple[int, int, int]:
+        """Shape of a ghosted cell-centered array."""
+        return self.shape
+
+    def face_shape(self, axis: int) -> tuple[int, int, int]:
+        """Shape of a ghosted face array staggered along ``axis``."""
+        s = list(self.shape)
+        s[axis] += 1
+        return tuple(s)  # type: ignore[return-value]
+
+    def interior(self) -> tuple[slice, slice, slice]:
+        """Slices selecting the interior of a ghosted centered array."""
+        g = self.ghost
+        return tuple(slice(g, n + g) for n in self.interior_shape)  # type: ignore[return-value]
+
+    def face_interior(self, axis: int) -> tuple[slice, slice, slice]:
+        """Slices selecting interior faces of a face array (incl. both
+        boundary faces along the staggered axis)."""
+        g = self.ghost
+        out = []
+        for a, n in enumerate(self.interior_shape):
+            out.append(slice(g, n + g + (1 if a == axis else 0)))
+        return tuple(out)  # type: ignore[return-value]
+
+    # -- 1-D coordinates ------------------------------------------------------
+
+    @cached_property
+    def rc(self) -> np.ndarray:
+        """Ghosted r cell centers."""
+        return 0.5 * (self.re[:-1] + self.re[1:])
+
+    @cached_property
+    def tc(self) -> np.ndarray:
+        """Ghosted theta cell centers."""
+        return 0.5 * (self.te[:-1] + self.te[1:])
+
+    @cached_property
+    def pc(self) -> np.ndarray:
+        """Ghosted phi cell centers."""
+        return 0.5 * (self.pe[:-1] + self.pe[1:])
+
+    @cached_property
+    def dr(self) -> np.ndarray:
+        """Radial cell widths."""
+        return np.diff(self.re)
+
+    @cached_property
+    def dt(self) -> np.ndarray:
+        """Theta cell widths."""
+        return np.diff(self.te)
+
+    @cached_property
+    def dp(self) -> np.ndarray:
+        """Phi cell widths."""
+        return np.diff(self.pe)
+
+    # -- metric arrays ----------------------------------------------------------
+
+    @cached_property
+    def _dcos(self) -> np.ndarray:
+        return np.cos(self.te[:-1]) - np.cos(self.te[1:])
+
+    @cached_property
+    def _r2h(self) -> np.ndarray:
+        """(r_{i+1}^2 - r_i^2)/2 per cell."""
+        return 0.5 * (self.re[1:] ** 2 - self.re[:-1] ** 2)
+
+    @cached_property
+    def _r3t(self) -> np.ndarray:
+        """(r_{i+1}^3 - r_i^3)/3 per cell."""
+        return (self.re[1:] ** 3 - self.re[:-1] ** 3) / 3.0
+
+    @cached_property
+    def volume(self) -> np.ndarray:
+        """Cell volumes, ghosted shape."""
+        return (
+            self._r3t[:, None, None]
+            * self._dcos[None, :, None]
+            * self.dp[None, None, :]
+        )
+
+    @cached_property
+    def area_r(self) -> np.ndarray:
+        """r-face areas, shape (nrg+1, ntg, npg)."""
+        return (
+            (self.re**2)[:, None, None]
+            * self._dcos[None, :, None]
+            * self.dp[None, None, :]
+        )
+
+    @cached_property
+    def area_t(self) -> np.ndarray:
+        """theta-face areas, shape (nrg, ntg+1, npg)."""
+        return (
+            self._r2h[:, None, None]
+            * np.sin(self.te)[None, :, None]
+            * self.dp[None, None, :]
+        )
+
+    @cached_property
+    def area_p(self) -> np.ndarray:
+        """phi-face areas, shape (nrg, ntg, npg+1)."""
+        return (
+            self._r2h[:, None, None]
+            * self.dt[None, :, None]
+            * np.ones_like(self.pe)[None, None, :]
+        )
+
+    @cached_property
+    def len_r(self) -> np.ndarray:
+        """r-edge lengths at (r-cell, theta-edge, phi-edge): (nrg, ntg+1, npg+1)."""
+        return np.broadcast_to(
+            self.dr[:, None, None],
+            (self.dr.size, self.te.size, self.pe.size),
+        ).copy()
+
+    @cached_property
+    def len_t(self) -> np.ndarray:
+        """theta-edge lengths at (r-edge, theta-cell, phi-edge): (nrg+1, ntg, npg+1)."""
+        return self.re[:, None, None] * self.dt[None, :, None] * np.ones_like(self.pe)[None, None, :]
+
+    @cached_property
+    def len_p(self) -> np.ndarray:
+        """phi-edge lengths at (r-edge, theta-edge, phi-cell): (nrg+1, ntg+1, npg)."""
+        return (
+            self.re[:, None, None]
+            * np.sin(self.te)[None, :, None]
+            * self.dp[None, None, :]
+        )
+
+    @cached_property
+    def min_cell_extent(self) -> float:
+        """Smallest physical cell extent (interior), for CFL."""
+        g = self.ghost
+        sl = slice(g, -g) if g else slice(None)
+        dr = self.dr[sl].min()
+        rdt = (self.rc[:, None] * self.dt[None, :])[sl, sl].min()
+        rsdp = (
+            self.rc[:, None, None]
+            * np.sin(self.tc)[None, :, None]
+            * self.dp[None, None, :]
+        )[sl, sl, sl].min()
+        return float(min(dr, rdt, rsdp))

@@ -1,0 +1,116 @@
+"""Preconditioned conjugate gradient over distributed arrays.
+
+MAS solves its implicit (viscosity, semi-implicit) operators with PCG
+(paper refs [22], [25]); each iteration applies the operator (one halo
+exchange + stencil kernels) and takes two global dot products (MPI
+allreduces). Fig. 4 profiles exactly these iterations.
+
+The solver is generic: it works on *lists of per-rank arrays* and receives
+callbacks for the operator, dot product, and preconditioner, so it can be
+unit-tested with plain numpy closures and driven by the model with
+kernel-wrapped closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+RankArrays = list[np.ndarray]
+
+
+@dataclass(slots=True)
+class PcgResult:
+    """Outcome of a PCG solve."""
+
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def pcg_solve(
+    apply_a: Callable[[RankArrays], RankArrays],
+    rhs: RankArrays,
+    x: RankArrays,
+    *,
+    dot: Callable[[RankArrays, RankArrays], float],
+    precondition: Callable[[RankArrays], RankArrays],
+    combine: Callable[[RankArrays, float, RankArrays], None],
+    iterations: int,
+    tol: float = 0.0,
+) -> PcgResult:
+    """Run PCG for a fixed iteration budget (optionally early-exit on tol).
+
+    ``apply_a`` must be linear and SPD w.r.t. ``dot``. ``combine(y, a, z)``
+    performs ``y += a * z`` in place per rank (the model wraps it in an
+    axpy kernel). ``x`` is updated in place.
+
+    The paper-scale iteration count is *fixed* (see
+    `repro.perf.calibration`): at test resolutions PCG would converge in
+    fewer iterations than at 36M cells, and the cost model must reflect
+    paper-scale work. Pass ``tol > 0`` for physics-only use.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if len(rhs) != len(x):
+        raise ValueError("rhs and x must have the same rank count")
+
+    # r = rhs - A x
+    ax = apply_a(x)
+    r = [b - a for b, a in zip(rhs, ax)]
+    z = precondition(r)
+    p = [zi.copy() for zi in z]
+    rz = dot(r, z)
+    rhs_norm = np.sqrt(max(dot(rhs, rhs), 1e-300))
+
+    it = 0
+    res_norm = np.sqrt(max(dot(r, r), 0.0)) / rhs_norm
+    for it in range(1, iterations + 1):
+        ap = apply_a(p)
+        pap = dot(p, ap)
+        if pap <= 0:
+            raise np.linalg.LinAlgError(
+                f"PCG operator not positive definite: p.Ap = {pap}"
+            )
+        alpha = rz / pap
+        for xi, pi in zip(x, p):
+            xi += alpha * pi
+        for ri, api in zip(r, ap):
+            ri -= alpha * api
+        res_norm = np.sqrt(max(dot(r, r), 0.0)) / rhs_norm
+        if tol > 0.0 and res_norm < tol:
+            return PcgResult(it, float(res_norm), True)
+        z = precondition(r)
+        rz_new = dot(r, z)
+        beta = rz_new / rz if rz != 0 else 0.0
+        rz = rz_new
+        for pi in p:
+            pi *= beta
+        combine(p, 1.0, z)  # p = z + beta * p
+    return PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol)
+
+
+def numpy_dot(a: RankArrays, b: RankArrays) -> float:
+    """Reference dot product (single-process, no cost accounting)."""
+    return float(sum(np.vdot(x, y).real for x, y in zip(a, b)))
+
+
+def numpy_combine(y: RankArrays, alpha: float, z: RankArrays) -> None:
+    """Reference in-place axpy."""
+    for yi, zi in zip(y, z):
+        yi += alpha * zi
+
+
+def jacobi_preconditioner(diag: RankArrays) -> Callable[[RankArrays], RankArrays]:
+    """Jacobi (diagonal) preconditioner from per-rank diagonal estimates."""
+    for d in diag:
+        if np.any(d <= 0):
+            raise ValueError("Jacobi preconditioner needs a positive diagonal")
+    inv = [1.0 / d for d in diag]
+
+    def apply(r: RankArrays) -> RankArrays:
+        return [ri * ii for ri, ii in zip(r, inv)]
+
+    return apply

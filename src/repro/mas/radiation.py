@@ -1,0 +1,52 @@
+"""Radiative losses and parameterized coronal heating.
+
+The remaining pieces of the thermodynamic energy equation (paper SV-A's
+"full thermodynamic MHD physics model"): optically thin radiative losses
+Q = lambda0 rho^2 Lambda(T) and an exponentially stratified coronal
+heating function H(r). Both are pointwise kernels (no halo traffic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mas.constants import PhysicsParams
+from repro.mas.grid import LocalGrid
+
+#: Temperature (normalized) at which the loss function peaks.
+LAMBDA_PEAK_T = 0.8
+
+
+def loss_function(temp: np.ndarray) -> np.ndarray:
+    """Smooth peaked Lambda(T) standing in for the tabulated loss curve.
+
+    Lambda(T) = (T/Tpk) * exp(1 - T/Tpk): rises ~linearly at low T, peaks
+    at Tpk, decays beyond -- the qualitative shape of CHIANTI-style curves
+    that matters for the thermal instability dynamics.
+    """
+    x = np.maximum(temp, 0.0) / LAMBDA_PEAK_T
+    return x * np.exp(1.0 - x)
+
+
+def radiative_loss(
+    rho: np.ndarray, temp: np.ndarray, params: PhysicsParams
+) -> np.ndarray:
+    """Energy loss rate Q_rad = lambda0 * rho^2 * Lambda(T)."""
+    return params.lambda0 * rho**2 * loss_function(temp)
+
+
+def heating_profile(grid: LocalGrid, params: PhysicsParams) -> np.ndarray:
+    """Volumetric heating H(r) = h0 exp(-(r-1)/h_scale), ghosted shape."""
+    prof = params.h0 * np.exp(-(grid.rc - 1.0) / params.h_scale)
+    return np.broadcast_to(prof[:, None, None], grid.shape).copy()
+
+
+def energy_source_rate(
+    rho: np.ndarray,
+    temp: np.ndarray,
+    heating: np.ndarray,
+    params: PhysicsParams,
+) -> np.ndarray:
+    """dT/dt from (heating - radiation): (gamma-1) (H - Q) / rho."""
+    q = radiative_loss(rho, temp, params)
+    return (params.gamma - 1.0) * (heating - q) / np.maximum(rho, params.rho_floor)

@@ -1,0 +1,104 @@
+"""Reduction collectives over simulated ranks.
+
+MAS's implicit solvers (PCG for viscosity, SIV/Fig. 4) and its CFL timestep
+control need global dot products and minima. These are tiny messages, so
+the cost is latency-dominated: ``ceil(log2(n))`` butterfly rounds of the
+link latency, plus (under UM) a host synchronization because the reduction
+scratch lives in managed memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.machine.spec import LinkSpec
+from repro.runtime.clock import TimeCategory
+from repro.runtime.dispatcher import RankRuntime
+
+#: Host-side overhead per collective when buffers are UM-managed.
+UM_COLLECTIVE_OVERHEAD = 25e-6
+
+
+def _collective_cost(
+    n_ranks: int, nbytes: int, link: LinkSpec, *, unified_memory: bool
+) -> float:
+    """Per-rank wall time of one small allreduce."""
+    if n_ranks == 1:
+        # Even a 1-rank MPI_Allreduce is a library call with nonzero cost.
+        base = link.latency
+    else:
+        rounds = math.ceil(math.log2(n_ranks))
+        base = rounds * link.transfer_time(nbytes)
+    if unified_memory:
+        base += UM_COLLECTIVE_OVERHEAD
+    return base
+
+
+def barrier(ranks: Sequence[RankRuntime], label: str = "barrier") -> float:
+    """Synchronize all rank clocks; returns the synchronized time."""
+    t_max = max(rt.clock.now for rt in ranks)
+    for rt in ranks:
+        rt.clock.wait_until(t_max, TimeCategory.MPI_WAIT, label)
+    return t_max
+
+
+def allreduce_sum(
+    ranks: Sequence[RankRuntime],
+    values: Sequence[float | np.ndarray],
+    link: LinkSpec,
+    *,
+    nbytes: int = 8,
+    unified_memory: bool = False,
+) -> float | np.ndarray:
+    """MPI_Allreduce(SUM): every rank contributes, every rank gets the sum."""
+    if len(values) != len(ranks):
+        raise ValueError("one value per rank required")
+    barrier(ranks, "allreduce")
+    total = values[0]
+    for v in values[1:]:
+        total = total + v
+    cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
+    for rt in ranks:
+        rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_sum")
+    return total
+
+
+def allreduce_min(
+    ranks: Sequence[RankRuntime],
+    values: Sequence[float],
+    link: LinkSpec,
+    *,
+    nbytes: int = 8,
+    unified_memory: bool = False,
+) -> float:
+    """MPI_Allreduce(MIN), used by the CFL timestep controller."""
+    if len(values) != len(ranks):
+        raise ValueError("one value per rank required")
+    barrier(ranks, "allreduce")
+    result = min(values)
+    cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
+    for rt in ranks:
+        rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_min")
+    return result
+
+
+def allreduce_max(
+    ranks: Sequence[RankRuntime],
+    values: Sequence[float],
+    link: LinkSpec,
+    *,
+    nbytes: int = 8,
+    unified_memory: bool = False,
+) -> float:
+    """MPI_Allreduce(MAX), used by the semi-implicit wave-speed estimate."""
+    if len(values) != len(ranks):
+        raise ValueError("one value per rank required")
+    barrier(ranks, "allreduce")
+    result = max(values)
+    cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
+    for rt in ranks:
+        rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_max")
+    return result

@@ -1,0 +1,297 @@
+"""Halo (ghost-cell) exchange engine.
+
+One exchange per field per axis: pack the interior face into a send buffer
+(a GPU kernel, tagged ``mpi_pack`` so it lands in Fig. 3's MPI bar), move
+the message via the configured transport, unpack into the neighbour's ghost
+layer (another ``mpi_pack`` kernel). Axes exchange sequentially so corner
+ghosts become consistent without diagonal messages (standard practice).
+
+Real numpy payloads move between the per-rank arrays, so multi-rank physics
+is bit-checkable against a single-rank run; simulated time is charged with
+bulk-synchronous semantics (ranks synchronize at the start of each
+exchange, and the laggard charges its peers MPI wait time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.decomp import Decomposition3D
+from repro.mpi.transport import Transport
+from repro.runtime.clock import TimeCategory
+from repro.runtime.dispatcher import RankRuntime
+from repro.runtime.kernel import KernelSpec
+
+
+@dataclass(frozen=True, slots=True)
+class HaloSpec:
+    """Exchange geometry: ghost depth and which axes participate."""
+
+    depth: int = 1
+    axes: tuple[int, ...] = (0, 1, 2)
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("halo depth must be >= 1")
+        if not self.axes or any(a not in (0, 1, 2) for a in self.axes):
+            raise ValueError("axes must be a nonempty subset of (0, 1, 2)")
+
+
+def _interior_face(
+    a: np.ndarray, axis: int, direction: int, g: int, *, staggered: bool = False
+) -> tuple[slice, ...]:
+    """Slice of the interior cells adjacent to one face (what gets sent).
+
+    ``staggered`` marks face-centered arrays along the exchange axis: the
+    boundary face is shared (computed identically by both ranks), so the
+    sent layers shift inward by one to land in the neighbour's strictly
+    beyond-boundary ghost faces.
+    """
+    n = a.shape[axis] - 2 * g
+    if direction == -1:
+        sl = slice(g + 1, 2 * g + 1) if staggered else slice(g, 2 * g)
+    else:
+        sl = slice(n - 1, n - 1 + g) if staggered else slice(n, n + g)
+    out = [slice(None)] * a.ndim
+    out[axis] = sl
+    return tuple(out)
+
+
+def _ghost_face(a: np.ndarray, axis: int, direction: int, g: int) -> tuple[slice, ...]:
+    """Slice of the ghost cells on one face (what gets received into)."""
+    n = a.shape[axis] - 2 * g
+    if direction == -1:
+        sl = slice(0, g)
+    else:
+        sl = slice(n + g, n + 2 * g)
+    out = [slice(None)] * a.ndim
+    out[axis] = sl
+    return tuple(out)
+
+
+class HaloExchanger:
+    """Exchanges ghost layers of per-rank arrays with cost accounting.
+
+    ``decomp`` describes the *actual* (test-scale) grid; ``nominal_decomp``
+    the paper-scale grid used for byte costing. Both must have the same
+    rank layout.
+    """
+
+    def __init__(
+        self,
+        decomp: Decomposition3D,
+        transport: Transport,
+        ranks: list[RankRuntime],
+        *,
+        nominal_decomp: Decomposition3D | None = None,
+        element_bytes: int = 8,
+        pack_inefficiency: float = 1.0,
+        buffer_init_fraction: float = 0.0,
+        rank_nodes: list[int] | None = None,
+    ) -> None:
+        if len(ranks) != decomp.nranks:
+            raise ValueError("one RankRuntime per rank required")
+        if pack_inefficiency < 1.0:
+            raise ValueError("pack_inefficiency is a traffic multiplier >= 1")
+        if buffer_init_fraction < 0.0:
+            raise ValueError("buffer_init_fraction cannot be negative")
+        self.decomp = decomp
+        self.nominal = nominal_decomp or decomp
+        if self.nominal.nranks != decomp.nranks or self.nominal.dims != decomp.dims:
+            raise ValueError("nominal decomposition must have the same rank layout")
+        self.transport = transport
+        self.ranks = ranks
+        self.element_bytes = element_bytes
+        #: Effective traffic multiplier of the pack/unpack kernels: boundary
+        #: faces are strided slices, so each gathered element drags a whole
+        #: cache line (and MAS loads per-variable boundary buffer structures
+        #: on top). Calibrated in repro.perf.calibration against Fig. 3's
+        #: 1-GPU MPI bar.
+        self.pack_inefficiency = pack_inefficiency
+        #: Fraction of the exchanged field's full array traffic charged per
+        #: exchange as boundary-buffer maintenance. Fig. 3 counts "buffer
+        #: initialization/loading/unloading" as MPI time, and at 1 GPU that
+        #: term dominates the 29-of-201-minute MPI bar -- it scales with
+        #: local volume, which is exactly how the paper's manual-data MPI
+        #: share falls from 14% (1 GPU) toward 9% (8 GPUs). Calibrated in
+        #: repro.perf.calibration.
+        self.buffer_init_fraction = buffer_init_fraction
+        #: Node index per rank for multi-node runs (None = all one node);
+        #: off-node messages cross the fabric instead of NVLink.
+        if rank_nodes is not None and len(rank_nodes) != decomp.nranks:
+            raise ValueError("rank_nodes must list one node per rank")
+        self.rank_nodes = rank_nodes
+        self._buffers_registered = False
+        #: Message counters for tests/benches.
+        self.messages = 0
+        self.bytes_sent = 0
+
+    # -- buffer management -----------------------------------------------------
+
+    def _buf_name(self, axis: int, direction: int, kind: str) -> str:
+        return f"_halo_{kind}_{axis}_{'m' if direction < 0 else 'p'}"
+
+    def ensure_buffers(self, depth: int = 1) -> None:
+        """Register send/recv staging buffers in every rank's environment."""
+        if self._buffers_registered:
+            return
+        for rank, rt in enumerate(self.ranks):
+            for axis in range(3):
+                nominal_face = (
+                    self.nominal.face_cells(rank, axis) * depth * self.element_bytes
+                )
+                for direction in (-1, 1):
+                    for kind in ("send", "recv"):
+                        name = self._buf_name(axis, direction, kind)
+                        if name not in rt.env:
+                            rt.register_array(name, nominal_face)
+        self._buffers_registered = True
+
+    # -- exchange ---------------------------------------------------------------
+
+    def exchange(
+        self,
+        field_name: str,
+        locals_: list[np.ndarray],
+        spec: HaloSpec = HaloSpec(),
+        *,
+        stagger_axis: int | None = None,
+    ) -> None:
+        """Fill ghost layers of ``locals_`` (one ghosted array per rank).
+
+        ``stagger_axis`` marks face-centered arrays (one entry longer along
+        that axis); along it, the shared boundary face is skipped and ghost
+        faces receive the neighbour's strictly-interior faces.
+        """
+        if len(locals_) != self.decomp.nranks:
+            raise ValueError("one local array per rank required")
+        g = spec.depth
+        for a in locals_:
+            for axis in spec.axes:
+                if a.shape[axis] < 3 * g + (1 if axis == stagger_axis else 0):
+                    raise ValueError(
+                        f"array extent {a.shape[axis]} too small for halo depth {g}"
+                    )
+        self.ensure_buffers(g)
+        if self.buffer_init_fraction > 0.0:
+            for rt in self.ranks:
+                nb = (
+                    rt.env.nominal_bytes(field_name)
+                    if field_name in rt.env
+                    else self.nominal.local_cells(0) * self.element_bytes
+                )
+                rt.loop(
+                    KernelSpec(
+                        name=f"halo_buffer_init_{field_name}",
+                        bytes_override=self.buffer_init_fraction * nb,
+                        tags=frozenset({"mpi_pack"}),
+                    )
+                )
+        for axis in spec.axes:
+            self._exchange_axis(
+                field_name, locals_, axis, g, staggered=(axis == stagger_axis)
+            )
+
+    def _exchange_axis(
+        self,
+        field_name: str,
+        locals_: list[np.ndarray],
+        axis: int,
+        g: int,
+        *,
+        staggered: bool = False,
+    ) -> None:
+        dec = self.decomp
+        # -- phase A: every rank packs its faces ------------------------------
+        packed: dict[tuple[int, int], np.ndarray] = {}
+        for rank, rt in enumerate(self.ranks):
+            for direction in (-1, 1):
+                if dec.neighbor(rank, axis, direction) is None:
+                    continue
+                a = locals_[rank]
+                face = a[_interior_face(a, axis, direction, g, staggered=staggered)]
+                buf_name = self._buf_name(axis, direction, "send")
+                nominal_bytes = rt.env.nominal_bytes(buf_name)
+
+                def pack(face=face) -> np.ndarray:
+                    return np.ascontiguousarray(face)
+
+                result = rt.loop(
+                    KernelSpec(
+                        name=f"halo_pack_{field_name}_{axis}{'m' if direction < 0 else 'p'}",
+                        reads=(field_name,) if field_name in rt.env else (),
+                        writes=(buf_name,),
+                        bytes_override=2 * nominal_bytes * self.pack_inefficiency,
+                        body=pack,
+                        tags=frozenset({"mpi_pack"}),
+                    )
+                )
+                packed[(rank, direction)] = result
+
+        # -- phase B: synchronize (imbalance shows up as MPI wait) --------------
+        self._barrier()
+
+        # -- phase C: messages -----------------------------------------------------
+        received: dict[tuple[int, int], np.ndarray] = {}
+        for rank, rt in enumerate(self.ranks):
+            for direction in (-1, 1):
+                nb = dec.neighbor(rank, axis, direction)
+                if nb is None:
+                    continue
+                buf = packed[(rank, direction)]
+                send_name = self._buf_name(axis, direction, "send")
+                recv_name = self._buf_name(axis, -direction, "recv")
+                nbytes = rt.env.nominal_bytes(send_name)
+                nb_rt = self.ranks[nb]
+                for c in self.transport.send_charges(rt.env, send_name, nbytes):
+                    rt.clock.advance(c.seconds, c.category, c.label)
+                same_node = (
+                    self.rank_nodes is None
+                    or self.rank_nodes[rank] == self.rank_nodes[nb]
+                )
+                wire = self.transport.wire_time(
+                    nbytes, same_device=(nb == rank), same_node=same_node
+                )
+                rt.clock.advance(wire, TimeCategory.MPI_TRANSFER, f"msg_{axis}")
+                if nb != rank:
+                    # self-messages (periodic wrap on an undivided axis) are
+                    # delivered by a local copy; only the send side stages.
+                    for c in self.transport.recv_charges(nb_rt.env, recv_name, nbytes):
+                        nb_rt.clock.advance(c.seconds, c.category, c.label)
+                # The message my low face sends arrives at the neighbour's
+                # high ghost (and vice versa): neighbour-relative direction
+                # is -direction.
+                received[(nb, -direction)] = buf
+                self.messages += 1
+                self.bytes_sent += nbytes
+
+        # -- phase D: unpack into ghosts -----------------------------------------
+        for (rank, direction), buf in received.items():
+            rt = self.ranks[rank]
+            a = locals_[rank]
+            ghost = _ghost_face(a, axis, direction, g)
+            recv_name = self._buf_name(axis, direction, "recv")
+            nominal_bytes = rt.env.nominal_bytes(recv_name)
+
+            def unpack(a=a, ghost=ghost, buf=buf) -> None:
+                a[ghost] = buf
+
+            rt.loop(
+                KernelSpec(
+                    name=f"halo_unpack_{field_name}_{axis}{'m' if direction < 0 else 'p'}",
+                    reads=(recv_name,),
+                    writes=(field_name,) if field_name in rt.env else (),
+                    bytes_override=2 * nominal_bytes * self.pack_inefficiency,
+                    body=unpack,
+                    tags=frozenset({"mpi_pack"}),
+                )
+            )
+        self._barrier()
+
+    def _barrier(self) -> None:
+        """Advance every rank clock to the maximum (BSP synchronization)."""
+        t_max = max(rt.clock.now for rt in self.ranks)
+        for rt in self.ranks:
+            rt.clock.wait_until(t_max, TimeCategory.MPI_WAIT, "halo_barrier")

@@ -1,0 +1,78 @@
+"""Per-category time accounting: where each code version spends its step.
+
+Finer-grained than Fig. 3's two-way split: break a step into compute,
+launch gaps, UM migration, explicit copies, MPI pack/transfer/wait. The
+category signature is each code version's fingerprint -- DC codes carry
+more launch time (fission + no async), UM codes carry migration time --
+and the bench asserts those fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes import CodeVersion
+from repro.mas.model import MasModel
+from repro.perf.calibration import Calibration, PAPER_CALIBRATION, build_model
+from repro.runtime.clock import TimeCategory
+from repro.util.ascii_plot import AsciiBarChart
+
+
+@dataclass(frozen=True)
+class CategoryBreakdown:
+    """Mean per-step seconds by time category (averaged over ranks)."""
+
+    version: CodeVersion
+    num_gpus: int
+    seconds: dict[TimeCategory, float]
+
+    @property
+    def total(self) -> float:
+        """Per-step wall approximation (sum over categories, mean rank)."""
+        return sum(self.seconds.values())
+
+    def fraction(self, category: TimeCategory) -> float:
+        """Share of one category."""
+        return self.seconds.get(category, 0.0) / self.total if self.total else 0.0
+
+
+def measure_categories(
+    version: CodeVersion,
+    num_gpus: int,
+    *,
+    calibration: Calibration = PAPER_CALIBRATION,
+    model: MasModel | None = None,
+) -> CategoryBreakdown:
+    """Run warmup + bench steps and average category deltas per step."""
+    m = model or build_model(version, num_gpus, calibration=calibration)
+    m.run(calibration.warmup_steps)
+    before = [dict(rt.clock.by_category) for rt in m.ranks]
+    m.run(calibration.bench_steps)
+    seconds: dict[TimeCategory, float] = {}
+    n_ranks = len(m.ranks)
+    for r, rt in enumerate(m.ranks):
+        for cat, t in rt.clock.by_category.items():
+            dt = (t - before[r].get(cat, 0.0)) / calibration.bench_steps
+            seconds[cat] = seconds.get(cat, 0.0) + dt / n_ranks
+    return CategoryBreakdown(version=version, num_gpus=num_gpus, seconds=seconds)
+
+
+def render_categories(breakdowns: list[CategoryBreakdown]) -> str:
+    """Stacked per-step bars across versions."""
+    chart = AsciiBarChart(
+        title="Per-step time by category (mean rank, ms)", unit="ms", width=50
+    )
+    order = (
+        TimeCategory.COMPUTE,
+        TimeCategory.LAUNCH,
+        TimeCategory.UM_FAULT,
+        TimeCategory.MPI_PACK,
+        TimeCategory.MPI_TRANSFER,
+        TimeCategory.MPI_WAIT,
+    )
+    for b in breakdowns:
+        chart.add_group(
+            f"{b.version.name}@{b.num_gpus}",
+            [(c.value, b.seconds.get(c, 0.0) * 1e3) for c in order],
+        )
+    return chart.render()

@@ -1,0 +1,124 @@
+"""NSIGHT-Systems-like profiler over simulated clocks.
+
+Subscribes to rank clocks and records every time slice as a
+:class:`ProfileEvent` (kernel, transfer, fault, wait...). The timeline
+renderer turns these into Fig. 4's lane picture; tests assert on the event
+stream directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.clock import SimClock, TimeCategory
+from repro.util.ascii_plot import AsciiTimeline
+
+#: Mapping from clock categories to timeline glyp categories.
+_TIMELINE_CATEGORY = {
+    TimeCategory.COMPUTE: "kernel",
+    TimeCategory.MPI_PACK: "kernel",
+    TimeCategory.LAUNCH: "idle",
+    TimeCategory.UM_FAULT: "h2d",
+    TimeCategory.H2D: "h2d",
+    TimeCategory.D2H: "d2h",
+    TimeCategory.MPI_TRANSFER: "p2p",
+    TimeCategory.MPI_WAIT: "mpi_wait",
+    TimeCategory.HOST: "host",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileEvent:
+    """One recorded time slice on one lane."""
+
+    lane: str
+    start: float
+    duration: float
+    category: TimeCategory
+    label: str
+
+    @property
+    def end(self) -> float:
+        """Event end time."""
+        return self.start + self.duration
+
+
+@dataclass
+class Profiler:
+    """Collects events from any number of rank clocks."""
+
+    events: list[ProfileEvent] = field(default_factory=list)
+    #: Drop events shorter than this (keeps Fig. 4 renders readable).
+    min_duration: float = 0.0
+
+    def attach(self, clock: SimClock, lane: str) -> None:
+        """Start recording a clock's advances under ``lane``."""
+
+        def observer(start: float, dt: float, category: TimeCategory, label: str) -> None:
+            if dt >= self.min_duration and dt > 0:
+                self.events.append(ProfileEvent(lane, start, dt, category, label))
+
+        clock.subscribe(observer)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_label(self, needle: str) -> list[ProfileEvent]:
+        """Events whose label contains ``needle``."""
+        return [e for e in self.events if needle in e.label]
+
+    def by_category(self, *categories: TimeCategory) -> list[ProfileEvent]:
+        """Events in any of the given categories."""
+        wanted = set(categories)
+        return [e for e in self.events if e.category in wanted]
+
+    def total_time(self, *categories: TimeCategory) -> float:
+        """Sum of event durations across the given categories."""
+        return sum(e.duration for e in self.by_category(*categories))
+
+    def span(self) -> tuple[float, float]:
+        """(first start, last end) across all events."""
+        if not self.events:
+            raise ValueError("no events recorded")
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_timeline(
+        self,
+        *,
+        width: int = 100,
+        title: str = "",
+        t0: float | None = None,
+        t1: float | None = None,
+        transfer_lanes: bool = True,
+    ) -> str:
+        """Fig. 4-style ASCII timeline of the recorded events.
+
+        ``transfer_lanes`` splits transfers/faults onto a parallel lane per
+        rank (as NSIGHT draws memory rows under compute rows).
+        """
+        tl = AsciiTimeline(width=width, title=title)
+        for e in self.events:
+            glyph_cat = _TIMELINE_CATEGORY.get(e.category, "kernel")
+            if e.category is TimeCategory.MPI_TRANSFER:
+                # distinguish NVLink peer-to-peer messages from UM page
+                # migrations staged through the host (Fig. 4's two lanes)
+                if "fault_out" in e.label:
+                    glyph_cat = "d2h"
+                elif "fault_in" in e.label or "um_mpi" in e.label:
+                    glyph_cat = "h2d"
+            if glyph_cat == "idle":
+                continue
+            lane = e.lane
+            if transfer_lanes and e.category in (
+                TimeCategory.UM_FAULT,
+                TimeCategory.H2D,
+                TimeCategory.D2H,
+                TimeCategory.MPI_TRANSFER,
+            ):
+                lane = f"{e.lane}:mem"
+            tl.add_event(lane, e.start, e.end, glyph_cat)
+        return tl.render(t0=t0, t1=t1)

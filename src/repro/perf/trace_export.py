@@ -1,0 +1,78 @@
+"""Export profiler events as Chrome Trace Format JSON.
+
+``chrome://tracing`` / Perfetto open these files and render the same
+picture as Fig. 4's NSIGHT screenshot -- compute rows per GPU with
+transfer rows underneath. Complements the ASCII renderer for interactive
+inspection.
+
+Format reference: the Trace Event Format's "complete" events
+(``"ph": "X"``) with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.perf.profiler import ProfileEvent, Profiler
+from repro.runtime.clock import TimeCategory
+
+#: Trace category per clock category (drives Perfetto's coloring).
+_TRACE_CATEGORY = {
+    TimeCategory.COMPUTE: "kernel",
+    TimeCategory.MPI_PACK: "kernel,mpi",
+    TimeCategory.LAUNCH: "overhead",
+    TimeCategory.UM_FAULT: "memory",
+    TimeCategory.H2D: "memory",
+    TimeCategory.D2H: "memory",
+    TimeCategory.MPI_TRANSFER: "mpi",
+    TimeCategory.MPI_WAIT: "mpi",
+    TimeCategory.HOST: "host",
+}
+
+#: Transfer-ish categories land on a separate 'mem' thread row per lane,
+#: like NSIGHT's memory rows.
+_MEM_CATEGORIES = frozenset(
+    {TimeCategory.UM_FAULT, TimeCategory.H2D, TimeCategory.D2H, TimeCategory.MPI_TRANSFER}
+)
+
+
+def _event_json(e: ProfileEvent, tids: dict[str, int]) -> dict:
+    lane = e.lane + (":mem" if e.category in _MEM_CATEGORIES else "")
+    tid = tids.setdefault(lane, len(tids))
+    return {
+        "name": e.label or e.category.value,
+        "cat": _TRACE_CATEGORY.get(e.category, "other"),
+        "ph": "X",
+        "ts": e.start * 1e6,
+        "dur": e.duration * 1e6,
+        "pid": 1,
+        "tid": tid,
+        "args": {"category": e.category.value},
+    }
+
+
+def to_chrome_trace(profiler: Profiler) -> dict:
+    """Build the trace dict (``traceEvents`` plus thread names)."""
+    if not profiler.events:
+        raise ValueError("no events to export")
+    tids: dict[str, int] = {}
+    events = [_event_json(e, tids) for e in profiler.events]
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(profiler: Profiler, path: str | Path) -> Path:
+    """Write the trace JSON to disk; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(to_chrome_trace(profiler)))
+    return target

@@ -1,0 +1,49 @@
+"""Accelerator programming-model runtimes.
+
+Two executable front-ends over one kernel abstraction reproduce the
+mechanism-level differences between OpenACC and Fortran ``do concurrent``
+(DC) that the paper identifies (SIV-B):
+
+* :class:`~repro.runtime.openacc.OpenAccEngine` -- parallel regions with
+  kernel *fusion*, ``async`` queues, manual data directives, ``atomic``
+  array reductions, ``kernels`` regions, ``routine`` support.
+* :class:`~repro.runtime.doconcurrent.DoConcurrentEngine` -- one kernel per
+  loop (kernel *fission*), synchronous launches only, the Fortran 202X
+  ``reduce`` clause, and the flipped outer-DC/inner-reduce array-reduction
+  rewrite of Code 5.
+
+A :class:`~repro.runtime.config.RuntimeConfig` (built per code version in
+`repro.codes`) routes each loop category to a backend, mirroring Table I.
+"""
+
+from repro.runtime.clock import SimClock, TimeCategory
+from repro.runtime.kernel import KernelSpec, LoopCategory
+from repro.runtime.config import Backend, ArrayReductionStrategy, RuntimeConfig
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.stream import AsyncQueue
+from repro.runtime.fusion import FusionPlanner, plan_fusion
+from repro.runtime.openacc import OpenAccEngine
+from repro.runtime.doconcurrent import DoConcurrentEngine
+from repro.runtime.dispatcher import RankRuntime
+from repro.runtime.launch import DeviceBinding, LaunchScript, bind_devices
+
+__all__ = [
+    "SimClock",
+    "TimeCategory",
+    "KernelSpec",
+    "LoopCategory",
+    "Backend",
+    "ArrayReductionStrategy",
+    "RuntimeConfig",
+    "DataEnvironment",
+    "DataMode",
+    "AsyncQueue",
+    "FusionPlanner",
+    "plan_fusion",
+    "OpenAccEngine",
+    "DoConcurrentEngine",
+    "RankRuntime",
+    "DeviceBinding",
+    "LaunchScript",
+    "bind_devices",
+]

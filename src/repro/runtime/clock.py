@@ -1,0 +1,91 @@
+"""Simulated clock with time-category accounting.
+
+Each simulated MPI rank owns one :class:`SimClock`. Every cost the machine
+model produces is charged to a :class:`TimeCategory`; Fig. 3's split is then
+simply ``mpi = sum(categories in MPI_CATEGORIES)`` vs everything else.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class TimeCategory(enum.Enum):
+    """What a slice of simulated wall-clock time was spent on."""
+
+    COMPUTE = "compute"            # kernel bodies doing physics
+    LAUNCH = "launch"              # kernel launch gaps / host round-trips
+    UM_FAULT = "um_fault"          # unified-memory page migration
+    H2D = "h2d"                    # explicit host-to-device copies
+    D2H = "d2h"                    # explicit device-to-host copies
+    MPI_PACK = "mpi_pack"          # halo buffer load/unload kernels
+    MPI_TRANSFER = "mpi_transfer"  # wire/NVLink/PCIe time of MPI messages
+    MPI_WAIT = "mpi_wait"          # load-imbalance wait at exchanges
+    HOST = "host"                  # host-side serial work (setup etc.)
+
+
+#: Categories the paper's Fig. 3 counts as "MPI time": "all MPI calls,
+#: buffer initialization/loading/unloading, and MPI waiting caused by load
+#: imbalance".
+MPI_CATEGORIES = frozenset(
+    {TimeCategory.MPI_PACK, TimeCategory.MPI_TRANSFER, TimeCategory.MPI_WAIT}
+)
+
+
+@dataclass(slots=True)
+class SimClock:
+    """Monotonic simulated time with per-category totals.
+
+    ``on_advance`` observers receive ``(start, duration, category, label)``
+    for every advance; the profiler registers one to build Fig. 4 timelines.
+    """
+
+    now: float = 0.0
+    by_category: dict[TimeCategory, float] = field(default_factory=dict)
+    _observers: list[Callable[[float, float, TimeCategory, str], None]] = field(
+        default_factory=list
+    )
+
+    def advance(self, dt: float, category: TimeCategory, label: str = "") -> float:
+        """Advance time by ``dt`` seconds charged to ``category``."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative time {dt}")
+        start = self.now
+        self.now += dt
+        self.by_category[category] = self.by_category.get(category, 0.0) + dt
+        for obs in self._observers:
+            obs(start, dt, category, label)
+        return self.now
+
+    def wait_until(self, t: float, category: TimeCategory = TimeCategory.MPI_WAIT,
+                   label: str = "") -> float:
+        """Advance to absolute time ``t`` (no-op if already past it)."""
+        if t > self.now:
+            self.advance(t - self.now, category, label)
+        return self.now
+
+    def subscribe(self, observer: Callable[[float, float, TimeCategory, str], None]) -> None:
+        """Register an observer of every advance (e.g. the profiler)."""
+        self._observers.append(observer)
+
+    def total(self, categories: frozenset[TimeCategory] | None = None) -> float:
+        """Total time, optionally restricted to a category set."""
+        if categories is None:
+            return self.now
+        return sum(self.by_category.get(c, 0.0) for c in categories)
+
+    @property
+    def mpi_time(self) -> float:
+        """Fig. 3's maroon bar: pack + transfer + wait."""
+        return self.total(MPI_CATEGORIES)
+
+    @property
+    def non_mpi_time(self) -> float:
+        """Fig. 3's green bar: wall minus MPI."""
+        return self.now - self.mpi_time
+
+    def snapshot(self) -> dict[str, float]:
+        """Category totals keyed by category value (for reports)."""
+        return {c.value: t for c, t in sorted(self.by_category.items(), key=lambda kv: kv[0].value)}

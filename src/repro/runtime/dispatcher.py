@@ -1,0 +1,305 @@
+"""Per-rank runtime facade: routes loops to backends per code version.
+
+`repro.mas` is written against this API the way MAS is written against
+OpenACC/DC: it declares loops by category (`loop`, `scalar_reduction`,
+`array_reduction`, `kernels_region`, `routine_loop`, `atomic_loop`) and
+wraps fusable sequences in ``region()``. The active
+:class:`~repro.runtime.config.RuntimeConfig` decides what actually happens,
+mirroring how the six code versions differ only in directives/flags, not in
+physics.
+
+Numerical bodies always execute eagerly at submission, so results are
+bit-identical across code versions (the paper validated all versions
+against the original "to within solver tolerances"; we validate to
+bit-equality). Only *cost* is affected by fusion/async/UM.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.machine.cpu import CpuNodeModel
+from repro.machine.gpu import GpuDevice
+from repro.runtime.clock import SimClock, TimeCategory
+from repro.runtime.config import ArrayReductionStrategy, Backend, RuntimeConfig
+from repro.runtime.cost import KernelCostModel
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.doconcurrent import DoConcurrentEngine
+from repro.runtime.fusion import FusionPlanner
+from repro.runtime.kernel import KernelSpec, LoopCategory
+from repro.runtime.openacc import LaunchStats, OpenAccEngine
+from repro.runtime.stream import AsyncQueue
+
+
+def _cost_only(spec: KernelSpec) -> KernelSpec:
+    """Strip the body so engines account cost without re-running numerics."""
+    if spec.body is None:
+        return spec
+    return KernelSpec(
+        name=spec.name,
+        category=spec.category,
+        reads=spec.reads,
+        writes=spec.writes,
+        flops_per_byte=spec.flops_per_byte,
+        work_fraction=spec.work_fraction,
+        bytes_override=spec.bytes_override,
+        body=None,
+        tags=spec.tags,
+    )
+
+
+class RankRuntime:
+    """Everything one simulated MPI rank needs to execute the MHD step."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        *,
+        clock: SimClock | None = None,
+        env: DataEnvironment | None = None,
+        gpu: GpuDevice | None = None,
+        cpu_model: CpuNodeModel | None = None,
+        num_ranks: int = 1,
+        cost: KernelCostModel | None = None,
+        queue: AsyncQueue | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock or SimClock()
+        self.num_ranks = num_ranks
+        self.cost = cost or KernelCostModel()
+        self.queue = queue or AsyncQueue()
+        if config.target == "cpu":
+            if cpu_model is None:
+                raise ValueError("CPU configs need a cpu_model")
+            self.cpu_model = cpu_model
+            self.gpu = None
+            self.env = env or DataEnvironment(DataMode.CPU)
+        else:
+            if gpu is None:
+                raise ValueError("GPU configs need a gpu device")
+            if env is None:
+                raise ValueError("GPU configs need a data environment")
+            expected = DataMode.UNIFIED if config.unified_memory else DataMode.MANUAL
+            if env.mode is not expected:
+                raise ValueError(
+                    f"config {config.name!r} expects {expected.value} data mode, "
+                    f"environment is {env.mode.value}"
+                )
+            self.cpu_model = None
+            self.gpu = gpu
+            self.env = env
+        self._working_set = 0.0
+        self._acc: OpenAccEngine | None = None
+        self._dc: DoConcurrentEngine | None = None
+        if self.gpu is not None:
+            self._acc = OpenAccEngine(
+                clock=self.clock,
+                env=self.env,
+                gpu=self.gpu,
+                cost=self.cost,
+                queue=self.queue,
+                async_launch=config.async_launch,
+                array_reduction=config.array_reduction,
+            )
+            dc2x = any(
+                b is Backend.DC2X for b in config.loop_backend.values()
+            )
+            self._dc = DoConcurrentEngine(
+                clock=self.clock,
+                env=self.env,
+                gpu=self.gpu,
+                cost=self.cost,
+                queue=self.queue,
+                dc2x_reduce=dc2x,
+                routines_inlined=config.inline_routines,
+                array_reduction=config.array_reduction,
+            )
+        self._planner = FusionPlanner(enabled=config.fusion)
+        self._cpu_stats = LaunchStats()
+
+    # -- array registration -------------------------------------------------
+
+    def register_array(self, name: str, nominal_bytes: int, data=None) -> None:
+        """Register a logical array and (manual mode) place it on device."""
+        self.env.register(name, nominal_bytes, data)
+        if self.env.mode is DataMode.MANUAL:
+            for c in self.env.enter_data(name):
+                self.clock.advance(c.seconds, c.category, c.label)
+        self._refresh_working_set()
+
+    def _refresh_working_set(self) -> None:
+        self._working_set = float(
+            sum(self.env.nominal_bytes(n) for n in self.env.names())
+        )
+        if self._acc is not None:
+            self._acc.working_set_bytes = self._working_set
+        if self._dc is not None:
+            self._dc.working_set_bytes = self._working_set
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Total nominal bytes of registered arrays (locality-model input)."""
+        return self._working_set
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> LaunchStats:
+        """Combined launch counters across both engines."""
+        total = LaunchStats()
+        if self._acc is not None:
+            total.merge(self._acc.stats)
+        if self._dc is not None:
+            total.merge(self._dc.stats)
+        total.merge(self._cpu_stats)
+        return total
+
+    # -- regions -------------------------------------------------------------
+
+    @contextmanager
+    def region(self) -> Iterator[None]:
+        """A fusable sequence of loops (an OpenACC parallel region).
+
+        Transparent for DC backends: each loop inside is its own kernel.
+        """
+        plain_backend = (
+            Backend.CPU if self.config.target == "cpu"
+            else self.config.backend_for(LoopCategory.PLAIN)
+        )
+        if plain_backend is not Backend.ACC:
+            yield
+            return
+        self._planner.open_region()
+        try:
+            yield
+        finally:
+            groups = self._planner.close_region()
+            if groups:
+                assert self._acc is not None
+                self._acc.execute_region(groups)
+
+    def _flush_region(self) -> None:
+        """Execute buffered fusable loops before a non-bufferable op."""
+        if self._planner.in_region:
+            groups = self._planner.close_region()
+            if groups:
+                assert self._acc is not None
+                self._acc.execute_region(groups)
+            self._planner.open_region()
+
+    # -- loop entry points -----------------------------------------------------
+
+    def loop(self, spec: KernelSpec) -> Any:
+        """A plain parallel loop nest (Listing 1/2)."""
+        return self._dispatch(spec, LoopCategory.PLAIN)
+
+    def scalar_reduction(self, spec: KernelSpec) -> Any:
+        """A loop reducing into a scalar (sum/min/max)."""
+        return self._dispatch(spec, LoopCategory.SCALAR_REDUCTION)
+
+    def array_reduction(self, spec: KernelSpec) -> Any:
+        """An array-accumulating reduction (Listings 3-5)."""
+        return self._dispatch(spec, LoopCategory.ARRAY_REDUCTION)
+
+    def atomic_loop(self, spec: KernelSpec) -> Any:
+        """A non-reduction loop with atomic updates."""
+        return self._dispatch(spec, LoopCategory.ATOMIC_OTHER)
+
+    def kernels_region(self, spec: KernelSpec) -> Any:
+        """An ``!$acc kernels`` region (array syntax / intrinsics).
+
+        When its backend is DC, the region is behaviourally what Code 5 did
+        by hand: the intrinsic is expanded into an explicit DC reduction
+        loop.
+        """
+        return self._dispatch(spec, LoopCategory.KERNELS_REGION)
+
+    def routine_loop(self, spec: KernelSpec) -> Any:
+        """A loop calling pure routines (needs !$acc routine or inlining)."""
+        return self._dispatch(spec, LoopCategory.ROUTINE_CALLER)
+
+    def _dispatch(self, spec: KernelSpec, category: LoopCategory) -> Any:
+        if spec.category is not category:
+            spec = KernelSpec(
+                name=spec.name,
+                category=category,
+                reads=spec.reads,
+                writes=spec.writes,
+                flops_per_byte=spec.flops_per_byte,
+                work_fraction=spec.work_fraction,
+                bytes_override=spec.bytes_override,
+                body=spec.body,
+                tags=spec.tags,
+            )
+        result = spec.run_body()
+        cost_spec = _cost_only(spec)
+        if self.config.target == "cpu":
+            self._execute_cpu(cost_spec)
+            return result
+        backend = self.config.backend_for(category)
+        if backend is Backend.ACC:
+            assert self._acc is not None
+            if self._planner.in_region and category in (
+                LoopCategory.PLAIN,
+                LoopCategory.ATOMIC_OTHER,
+            ):
+                self._planner.submit(cost_spec)
+            else:
+                self._flush_region()
+                self._acc.execute_single(cost_spec)
+        elif backend in (Backend.DC, Backend.DC2X):
+            assert self._dc is not None
+            self._flush_region()
+            if category is LoopCategory.KERNELS_REGION:
+                # Code 5's rewrite: the intrinsic becomes an explicit DC
+                # (reduction) loop with the same data traffic.
+                cost_spec = KernelSpec(
+                    name=cost_spec.name + "_expanded",
+                    category=LoopCategory.SCALAR_REDUCTION,
+                    reads=cost_spec.reads,
+                    writes=cost_spec.writes,
+                    flops_per_byte=cost_spec.flops_per_byte,
+                    work_fraction=cost_spec.work_fraction,
+                    bytes_override=cost_spec.bytes_override,
+                    tags=cost_spec.tags,
+                )
+            self._dc.execute(cost_spec)
+        else:
+            raise ValueError(f"backend {backend} cannot run GPU loops")
+        return result
+
+    def _execute_cpu(self, spec: KernelSpec) -> None:
+        assert self.cpu_model is not None
+        if spec.bytes_override is not None:
+            nbytes = spec.bytes_override * spec.work_fraction
+        else:
+            nbytes = self.cost.bytes_moved(spec, self.env)
+        # bytes are already rank-local, so only the multi-node locality
+        # boost (speedup/n) applies on top of the single-node roofline.
+        boost = self.cpu_model.speedup(self.num_ranks) / self.num_ranks
+        body = self.cpu_model.kernel_time(nbytes) / boost * self.cost.body_scale
+        category = TimeCategory.MPI_PACK if "mpi_pack" in spec.tags else TimeCategory.COMPUTE
+        self.clock.advance(body, category, spec.name)
+        self._cpu_stats.kernels += 1
+        self._cpu_stats.launches += 1
+
+    # -- manual data directives (used by MPI layer and setup code) -----------
+
+    def update_host(self, name: str, fraction: float = 1.0) -> None:
+        """Charge an ``!$acc update host`` transfer."""
+        if self.env.mode is DataMode.MANUAL:
+            for c in self.env.update_host(name, fraction):
+                self.clock.advance(c.seconds, c.category, c.label)
+
+    def update_device(self, name: str, fraction: float = 1.0) -> None:
+        """Charge an ``!$acc update device`` transfer."""
+        if self.env.mode is DataMode.MANUAL:
+            for c in self.env.update_device(name, fraction):
+                self.clock.advance(c.seconds, c.category, c.label)
+
+    def host_access(self, name: str, nbytes: float | None = None,
+                    category: TimeCategory = TimeCategory.UM_FAULT) -> None:
+        """Host-side touch (MPI library or setup code) with UM migration."""
+        for c in self.env.host_access(name, nbytes):
+            self.clock.advance(c.seconds, category, c.label)

@@ -1,0 +1,116 @@
+"""``do concurrent`` execution engine.
+
+DC semantics as nvfortran 22.11 maps them (SIV-B/D/E):
+
+* one device kernel per DC loop -- converting a fused OpenACC region to DC
+  *fissions* it (each loop pays its own launch);
+* no ``async`` clause exists -- every launch is a synchronous host round
+  trip;
+* Fortran 2018 DC has no ``reduce``; scalar reductions need the Fortran
+  202X preview (`dc2x_reduce=True`);
+* array reductions are either ``!$acc atomic`` inside the DC body
+  (Listing 4, Code 4) or the flipped outer-DC/inner-serial-reduce rewrite
+  (Listing 5, Code 5/6) -- the strategy is picked by the config and the
+  cost model charges the appropriate penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.gpu import GpuDevice
+from repro.runtime.clock import SimClock, TimeCategory
+from repro.runtime.config import ArrayReductionStrategy
+from repro.runtime.cost import KernelCostModel
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.kernel import KernelSpec, LoopCategory
+from repro.runtime.openacc import LaunchStats
+from repro.runtime.stream import AsyncQueue
+
+
+class UnsupportedLoopError(RuntimeError):
+    """A loop shape the DC backend cannot compile.
+
+    Mirrors nvfortran's real restrictions: Fortran-2018 DC rejects
+    reductions (no ``reduce`` clause before 202X) and routine calls are
+    only supported when inlined.
+    """
+
+
+@dataclass(slots=True)
+class DoConcurrentEngine:
+    """Executes kernels with DC launch semantics (fission, synchronous)."""
+
+    clock: SimClock
+    env: DataEnvironment
+    gpu: GpuDevice
+    cost: KernelCostModel
+    queue: AsyncQueue
+    #: Fortran 202X preview features (-stdpar with the reduce clause).
+    dc2x_reduce: bool = False
+    #: Pure routines callable in DC bodies only after inlining (-Minline).
+    routines_inlined: bool = False
+    array_reduction: ArrayReductionStrategy = ArrayReductionStrategy.DC_ATOMIC
+    working_set_bytes: float | None = None
+    stats: LaunchStats = field(default_factory=LaunchStats)
+
+    @property
+    def unified_memory(self) -> bool:
+        """Whether the data environment is UM-managed."""
+        return self.env.mode is DataMode.UNIFIED
+
+    def _check_supported(self, spec: KernelSpec) -> None:
+        if spec.category is LoopCategory.SCALAR_REDUCTION and not self.dc2x_reduce:
+            raise UnsupportedLoopError(
+                f"scalar reduction {spec.name!r} needs the Fortran 202X reduce "
+                "clause (dc2x_reduce=False keeps it on OpenACC, as in Code 2/3)"
+            )
+        if spec.category is LoopCategory.ARRAY_REDUCTION:
+            if not self.dc2x_reduce and self.array_reduction is not ArrayReductionStrategy.ACC_ATOMIC:
+                raise UnsupportedLoopError(
+                    f"array reduction {spec.name!r}: DC array reductions need either "
+                    "acc atomic inside DC (202X compilers) or the flipped rewrite"
+                )
+        if spec.category is LoopCategory.ROUTINE_CALLER and not self.routines_inlined:
+            raise UnsupportedLoopError(
+                f"loop {spec.name!r} calls a pure routine; nvfortran requires "
+                "!$acc routine (OpenACC) or -Minline inlining for DC offload"
+            )
+        if spec.category is LoopCategory.KERNELS_REGION:
+            raise UnsupportedLoopError(
+                f"kernels region {spec.name!r} has no DC equivalent until its "
+                "intrinsics are expanded into explicit DC loops (Code 5 rewrite)"
+            )
+
+    def execute(self, spec: KernelSpec) -> Any:
+        """Run one DC loop: synchronous launch, one kernel, run body."""
+        self._check_supported(spec)
+        for c in self.env.prepare_kernel(spec):
+            category = c.category
+            if category is TimeCategory.UM_FAULT and "mpi_pack" in spec.tags:
+                # buffer loading/unloading counts as MPI time (Fig. 3)
+                category = TimeCategory.MPI_TRANSFER
+            self.clock.advance(c.seconds, category, c.label)
+        body = self.cost.body_time(
+            spec,
+            self.env,
+            self.gpu,
+            working_set_bytes=self.working_set_bytes,
+            array_reduction=self.array_reduction,
+            unified_memory=self.unified_memory,
+        )
+        q = self.queue.simulate([body], async_launch=False)
+        gap = q.gap_time + (self.cost.um_launch_extra if self.unified_memory else 0.0)
+        category = (
+            TimeCategory.MPI_PACK if "mpi_pack" in spec.tags else TimeCategory.COMPUTE
+        )
+        self.clock.advance(gap, TimeCategory.LAUNCH, f"launch({spec.name})")
+        self.clock.advance(q.body_time, category, spec.name)
+        self.stats.kernels += 1
+        self.stats.launches += 1
+        return spec.run_body()
+
+    def execute_sequence(self, specs: list[KernelSpec]) -> list[Any]:
+        """Run a fissioned sequence (what was one OpenACC region)."""
+        return [self.execute(s) for s in specs]

@@ -1,0 +1,102 @@
+"""OpenACC kernel-fusion planner.
+
+Inside one ``!$acc parallel`` region, data-independent loops can be compiled
+into a single GPU kernel ("kernel fusion", SIV-B). Converting such loops to
+``do concurrent`` forces one kernel per loop ("kernel fission"), multiplying
+launch overheads. The planner performs the real dependence analysis: loops
+fuse greedily until a data dependence (RAW/WAR/WAW on logical arrays) or a
+category change stops the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.runtime.kernel import KernelSpec
+
+
+@dataclass(frozen=True, slots=True)
+class FusionGroup:
+    """A maximal fusable run of kernels, launched as one GPU kernel."""
+
+    kernels: tuple[KernelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("a fusion group cannot be empty")
+
+    @property
+    def size(self) -> int:
+        """Number of source loops fused into this launch."""
+        return len(self.kernels)
+
+    @property
+    def name(self) -> str:
+        """Display name: first kernel, annotated when fused."""
+        if self.size == 1:
+            return self.kernels[0].name
+        return f"{self.kernels[0].name}+{self.size - 1}"
+
+
+def plan_fusion(kernels: Sequence[KernelSpec], *, enabled: bool) -> list[FusionGroup]:
+    """Partition a region's kernels into launch groups.
+
+    With fusion disabled (or for a DC backend) every kernel is its own
+    group. With fusion enabled, consecutive kernels join the current group
+    unless they depend on *any* kernel already in it.
+    """
+    if not enabled:
+        return [FusionGroup((k,)) for k in kernels]
+    groups: list[FusionGroup] = []
+    current: list[KernelSpec] = []
+    for k in kernels:
+        if current and any(k.depends_on(prev) for prev in current):
+            groups.append(FusionGroup(tuple(current)))
+            current = [k]
+        else:
+            current.append(k)
+    if current:
+        groups.append(FusionGroup(tuple(current)))
+    return groups
+
+
+class FusionPlanner:
+    """Stateful region recorder used by the OpenACC engine.
+
+    Kernels submitted inside an open region are buffered; closing the region
+    returns the fusion plan. Nested regions are not allowed (OpenACC forbids
+    nested parallel regions in MAS's usage).
+    """
+
+    def __init__(self, *, enabled: bool) -> None:
+        self.enabled = enabled
+        self._open = False
+        self._buffer: list[KernelSpec] = []
+
+    @property
+    def in_region(self) -> bool:
+        """True while a parallel region is open."""
+        return self._open
+
+    def open_region(self) -> None:
+        """Begin buffering kernels for one parallel region."""
+        if self._open:
+            raise RuntimeError("nested parallel regions are not supported")
+        self._open = True
+        self._buffer = []
+
+    def submit(self, spec: KernelSpec) -> None:
+        """Add a kernel to the open region."""
+        if not self._open:
+            raise RuntimeError("submit() outside a parallel region")
+        self._buffer.append(spec)
+
+    def close_region(self) -> list[FusionGroup]:
+        """End the region and return its launch groups."""
+        if not self._open:
+            raise RuntimeError("close_region() without an open region")
+        self._open = False
+        plan = plan_fusion(self._buffer, enabled=self.enabled)
+        self._buffer = []
+        return plan

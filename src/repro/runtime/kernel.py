@@ -1,0 +1,99 @@
+"""Kernel abstraction shared by both runtime engines.
+
+A :class:`KernelSpec` describes one GPU kernel: what it reads/writes (named
+logical arrays with *nominal* byte sizes for the cost model) and an optional
+numpy ``body`` that performs the real computation on the (possibly smaller)
+actual arrays. The cost model sees paper-scale bytes; the numerics run at
+test scale. See DESIGN.md S5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class LoopCategory(enum.Enum):
+    """The loop taxonomy of SIV: each category ports differently."""
+
+    PLAIN = "plain"                          # ordinary parallel loop nest
+    SCALAR_REDUCTION = "scalar_reduction"    # sum/min/max into a scalar
+    ARRAY_REDUCTION = "array_reduction"      # atomic-accumulated array sums
+    ATOMIC_OTHER = "atomic_other"            # non-reduction atomics
+    KERNELS_REGION = "kernels_region"        # array syntax / intrinsics
+    ROUTINE_CALLER = "routine_caller"        # loop calling pure routines
+
+
+@dataclass(frozen=True, slots=True)
+class KernelSpec:
+    """Immutable description of one loop nest / kernel.
+
+    ``reads``/``writes`` name logical arrays known to the rank's
+    :class:`~repro.runtime.data_env.DataEnvironment`; bytes are derived from
+    the environment's nominal sizes unless ``bytes_override`` is given.
+    ``work_fraction`` scales array traffic for kernels that touch only a
+    slice (e.g. halo packing, boundary loops).
+    """
+
+    name: str
+    category: LoopCategory = LoopCategory.PLAIN
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    flops_per_byte: float = 0.125
+    work_fraction: float = 1.0
+    bytes_override: float | None = None
+    body: Callable[[], Any] | None = field(default=None, compare=False)
+    tags: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel needs a name")
+        if not 0.0 < self.work_fraction <= 1.0:
+            raise ValueError("work_fraction must be in (0, 1]")
+        if self.bytes_override is not None and self.bytes_override < 0:
+            raise ValueError("bytes_override cannot be negative")
+        if self.flops_per_byte < 0:
+            raise ValueError("flops_per_byte cannot be negative")
+
+    @property
+    def arrays(self) -> tuple[str, ...]:
+        """All logical arrays touched (reads then writes, deduplicated)."""
+        seen: dict[str, None] = {}
+        for a in self.reads + self.writes:
+            seen.setdefault(a)
+        return tuple(seen)
+
+    def run_body(self) -> Any:
+        """Execute the attached numpy body, if any."""
+        if self.body is not None:
+            return self.body()
+        return None
+
+    def depends_on(self, other: "KernelSpec") -> bool:
+        """True if this kernel must run after ``other`` (RAW/WAR/WAW).
+
+        Used by the fusion planner: OpenACC may fuse only data-independent
+        loops inside one parallel region.
+        """
+        mine_r, mine_w = set(self.reads), set(self.writes)
+        theirs_r, theirs_w = set(other.reads), set(other.writes)
+        return bool(
+            (mine_r & theirs_w)   # read-after-write
+            or (mine_w & theirs_r)  # write-after-read
+            or (mine_w & theirs_w)  # write-after-write
+        )
+
+    def with_tags(self, *tags: str) -> "KernelSpec":
+        """Copy with extra tags (e.g. 'mpi_pack' for halo buffer loads)."""
+        return KernelSpec(
+            name=self.name,
+            category=self.category,
+            reads=self.reads,
+            writes=self.writes,
+            flops_per_byte=self.flops_per_byte,
+            work_fraction=self.work_fraction,
+            bytes_override=self.bytes_override,
+            body=self.body,
+            tags=self.tags | frozenset(tags),
+        )

@@ -1,0 +1,169 @@
+"""OpenACC-style execution engine.
+
+Implements the mechanisms the paper credits for Code 1's performance edge
+(SIV-B, SVI): kernel fusion inside ``parallel`` regions, asynchronous
+launch queues, manual data directives, ``atomic`` array reductions, and
+``kernels`` regions. Numerical bodies run eagerly in submission order --
+fusion and async change *cost*, never results (the loops are data
+independent by construction, which the fusion planner verifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.gpu import GpuDevice
+from repro.runtime.clock import SimClock, TimeCategory
+from repro.runtime.config import ArrayReductionStrategy
+from repro.runtime.cost import KernelCostModel
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.fusion import FusionGroup
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.stream import AsyncQueue
+
+
+@dataclass(slots=True)
+class LaunchStats:
+    """Counters for launches/fusion, reported by benches and asserted in tests."""
+
+    kernels: int = 0
+    launches: int = 0
+    fused_away: int = 0
+
+    def merge(self, other: "LaunchStats") -> None:
+        """Accumulate another engine's counters."""
+        self.kernels += other.kernels
+        self.launches += other.launches
+        self.fused_away += other.fused_away
+
+
+@dataclass(slots=True)
+class OpenAccEngine:
+    """Executes fusion groups of kernels with OpenACC launch semantics."""
+
+    clock: SimClock
+    env: DataEnvironment
+    gpu: GpuDevice
+    cost: KernelCostModel
+    queue: AsyncQueue
+    async_launch: bool = True
+    array_reduction: ArrayReductionStrategy = ArrayReductionStrategy.ACC_ATOMIC
+    working_set_bytes: float | None = None
+    stats: LaunchStats = field(default_factory=LaunchStats)
+
+    @property
+    def unified_memory(self) -> bool:
+        """Whether the data environment is UM-managed."""
+        return self.env.mode is DataMode.UNIFIED
+
+    def _charge(self, charges, *, spec: KernelSpec | None = None) -> None:
+        for c in charges:
+            category = c.category
+            # UM page migrations triggered by halo pack/unpack kernels are
+            # buffer loading/unloading -- Fig. 3 counts them as MPI time.
+            if (
+                spec is not None
+                and category is TimeCategory.UM_FAULT
+                and "mpi_pack" in spec.tags
+            ):
+                category = TimeCategory.MPI_TRANSFER
+            self.clock.advance(c.seconds, category, c.label)
+
+    def _launch_gap_extra(self) -> float:
+        return self.cost.um_launch_extra if self.unified_memory else 0.0
+
+    def _gap(self, q_gap: float, n_groups: int) -> float:
+        """Wall gap for a launch plan.
+
+        With ``async`` the host never waits on completions: each launch
+        costs only its submit overhead (the queue keeps the device fed).
+        Synchronous launches pay the full round trip the queue computed.
+        """
+        if self.async_launch:
+            return self.queue.submit_overhead * n_groups + self._launch_gap_extra() * n_groups
+        return q_gap + self._launch_gap_extra() * n_groups
+
+    def execute_group(self, group: FusionGroup) -> list[Any]:
+        """Run one fusion group: residency, launch overheads, bodies.
+
+        Returns each kernel body's return value, in submission order.
+        """
+        results: list[Any] = []
+        body_times: list[float] = []
+        for spec in group.kernels:
+            self._charge(self.env.prepare_kernel(spec), spec=spec)
+            body_times.append(
+                self.cost.body_time(
+                    spec,
+                    self.env,
+                    self.gpu,
+                    working_set_bytes=self.working_set_bytes,
+                    array_reduction=self.array_reduction,
+                    unified_memory=self.unified_memory,
+                )
+            )
+        # A fused group is one device kernel: one submit/complete round trip
+        # regardless of how many source loops it contains.
+        q = self.queue.simulate([sum(body_times)], async_launch=self.async_launch)
+        gap = self._gap(q.gap_time, 1)
+        label = group.name
+        compute_category = (
+            TimeCategory.MPI_PACK
+            if any("mpi_pack" in k.tags for k in group.kernels)
+            else TimeCategory.COMPUTE
+        )
+        self.clock.advance(gap, TimeCategory.LAUNCH, f"launch({label})")
+        self.clock.advance(q.body_time, compute_category, label)
+        self.stats.kernels += group.size
+        self.stats.launches += 1
+        self.stats.fused_away += group.size - 1
+        for spec in group.kernels:
+            results.append(spec.run_body())
+        return results
+
+    def execute_region(self, groups: list[FusionGroup]) -> list[Any]:
+        """Run a whole parallel region's launch plan.
+
+        With ``async`` the queue hides inter-group launch gaps; without it
+        each group pays a full round trip. We model this by simulating the
+        group launch sequence through the queue.
+        """
+        results: list[Any] = []
+        if not groups:
+            return results
+        body_times: list[float] = []
+        group_category: list[TimeCategory] = []
+        for group in groups:
+            total = 0.0
+            for spec in group.kernels:
+                self._charge(self.env.prepare_kernel(spec), spec=spec)
+                total += self.cost.body_time(
+                    spec,
+                    self.env,
+                    self.gpu,
+                    working_set_bytes=self.working_set_bytes,
+                    array_reduction=self.array_reduction,
+                    unified_memory=self.unified_memory,
+                )
+            body_times.append(total)
+            group_category.append(
+                TimeCategory.MPI_PACK
+                if any("mpi_pack" in k.tags for k in group.kernels)
+                else TimeCategory.COMPUTE
+            )
+            self.stats.kernels += group.size
+            self.stats.launches += 1
+            self.stats.fused_away += group.size - 1
+        q = self.queue.simulate(body_times, async_launch=self.async_launch)
+        gap = self._gap(q.gap_time, len(groups))
+        self.clock.advance(gap, TimeCategory.LAUNCH, f"launch_region({groups[0].name})")
+        for group, bt, cat in zip(groups, body_times, group_category):
+            self.clock.advance(bt, cat, group.name)
+            for spec in group.kernels:
+                results.append(spec.run_body())
+        return results
+
+    def execute_single(self, spec: KernelSpec) -> Any:
+        """Run one kernel outside any region (its own launch)."""
+        return self.execute_group(FusionGroup((spec,)))[0]

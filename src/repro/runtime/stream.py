@@ -1,0 +1,70 @@
+"""Asynchronous launch-queue model.
+
+OpenACC's ``async`` clause lets the host enqueue kernels and keep going;
+``do concurrent`` has no such hint (SIV-B), so every DC kernel launch is a
+synchronous host round-trip. :class:`AsyncQueue` models both with a
+two-timeline (host/device) simulation, which is where the paper's
+"loss of asynchronous kernels" cost comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(slots=True)
+class QueueResult:
+    """Outcome of simulating a launch sequence."""
+
+    total_time: float     # wall time from first submit to last completion
+    body_time: float      # device busy time
+    gap_time: float       # wall time the device sat idle (launch overhead)
+
+    def __post_init__(self) -> None:
+        if min(self.total_time, self.body_time, self.gap_time) < 0:
+            raise ValueError("times cannot be negative")
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncQueue:
+    """Host/device two-timeline launch simulator.
+
+    ``submit_overhead`` is the host cost of one kernel enqueue;
+    ``completion_latency`` is the host-visible latency of synchronizing with
+    a finished kernel (driver round trip).
+    """
+
+    submit_overhead: float = 2.0e-6
+    completion_latency: float = 4.0e-6
+
+    def __post_init__(self) -> None:
+        if self.submit_overhead < 0 or self.completion_latency < 0:
+            raise ValueError("overheads cannot be negative")
+
+    def simulate(self, body_times: Sequence[float], *, async_launch: bool) -> QueueResult:
+        """Wall time of launching ``body_times`` kernels back to back.
+
+        Synchronous: host submits, waits for completion, repeats -- each
+        kernel pays full submit+completion overhead.
+
+        Asynchronous: host submits all kernels immediately; the device
+        pipeline hides all but the first submit and last completion as long
+        as kernels are longer than the submit overhead.
+        """
+        if any(b < 0 for b in body_times):
+            raise ValueError("kernel body times cannot be negative")
+        if not body_times:
+            return QueueResult(0.0, 0.0, 0.0)
+        body_total = float(sum(body_times))
+        if not async_launch:
+            total = sum(self.submit_overhead + b + self.completion_latency for b in body_times)
+            return QueueResult(total, body_total, total - body_total)
+        host = 0.0
+        device_free = 0.0
+        for b in body_times:
+            host += self.submit_overhead
+            start = max(host, device_free)
+            device_free = start + b
+        total = max(host, device_free) + self.completion_latency
+        return QueueResult(total, body_total, total - body_total)

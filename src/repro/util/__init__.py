@@ -1,0 +1,44 @@
+"""Shared utilities: units, table rendering, ASCII plotting, seeded RNG.
+
+These are deliberately dependency-light helpers used by every other
+subsystem. Nothing in here knows about MHD, GPUs, or Fortran.
+"""
+
+from repro.util.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    Quantity,
+    fmt_bytes,
+    fmt_duration,
+    fmt_rate,
+    minutes,
+    seconds_to_minutes,
+)
+from repro.util.tables import Table
+from repro.util.ascii_plot import AsciiBarChart, AsciiLinePlot, AsciiTimeline
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "GB",
+    "GiB",
+    "KB",
+    "KiB",
+    "MB",
+    "MiB",
+    "Quantity",
+    "fmt_bytes",
+    "fmt_duration",
+    "fmt_rate",
+    "minutes",
+    "seconds_to_minutes",
+    "Table",
+    "AsciiBarChart",
+    "AsciiLinePlot",
+    "AsciiTimeline",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,316 @@
+"""ASCII renderings of the paper's figures.
+
+Three renderers cover everything the evaluation section plots:
+
+* :class:`AsciiLinePlot` -- log-log scaling curves (Fig. 2).
+* :class:`AsciiBarChart` -- stacked wall/MPI bars (Fig. 3).
+* :class:`AsciiTimeline` -- NSIGHT-style event lanes (Fig. 4).
+
+These are presentation-layer only; the underlying numbers always come from
+`repro.experiments` so they can be asserted in tests independent of
+rendering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(slots=True)
+class _Series:
+    label: str
+    xs: list[float]
+    ys: list[float]
+    marker: str
+
+
+class AsciiLinePlot:
+    """A log-log (or linear) multi-series line plot drawn with characters."""
+
+    def __init__(
+        self,
+        *,
+        width: int = 72,
+        height: int = 24,
+        logx: bool = True,
+        logy: bool = True,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+    ) -> None:
+        if width < 16 or height < 8:
+            raise ValueError("plot area too small to be legible")
+        self.width = width
+        self.height = height
+        self.logx = logx
+        self.logy = logy
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self._series: list[_Series] = []
+
+    _MARKERS = "ox+*#@%&"
+
+    def add_series(
+        self, label: str, xs: Sequence[float], ys: Sequence[float], marker: str | None = None
+    ) -> None:
+        """Add one labelled series; x and y must be positive when log-scaled."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if not xs:
+            raise ValueError("empty series")
+        if self.logx and min(xs) <= 0:
+            raise ValueError("log-x plot requires positive x values")
+        if self.logy and min(ys) <= 0:
+            raise ValueError("log-y plot requires positive y values")
+        if marker is None:
+            marker = self._MARKERS[len(self._series) % len(self._MARKERS)]
+        self._series.append(_Series(label, list(map(float, xs)), list(map(float, ys)), marker))
+
+    def _tx(self, v: float) -> float:
+        return math.log10(v) if self.logx else v
+
+    def _ty(self, v: float) -> float:
+        return math.log10(v) if self.logy else v
+
+    def render(self) -> str:
+        """Render all series onto one character grid with a legend."""
+        if not self._series:
+            raise ValueError("nothing to plot")
+        xs_all = [self._tx(x) for s in self._series for x in s.xs]
+        ys_all = [self._ty(y) for s in self._series for y in s.ys]
+        x0, x1 = min(xs_all), max(xs_all)
+        y0, y1 = min(ys_all), max(ys_all)
+        if x1 == x0:
+            x1 = x0 + 1.0
+        if y1 == y0:
+            y1 = y0 + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x: float, y: float, ch: str) -> None:
+            col = round((self._tx(x) - x0) / (x1 - x0) * (self.width - 1))
+            row = round((self._ty(y) - y0) / (y1 - y0) * (self.height - 1))
+            grid[self.height - 1 - row][col] = ch
+
+        for s in self._series:
+            # connect consecutive points with interpolated dots, then markers
+            for (xa, ya), (xb, yb) in zip(zip(s.xs, s.ys), zip(s.xs[1:], s.ys[1:])):
+                steps = self.width // max(1, len(s.xs) - 1)
+                for i in range(1, steps):
+                    f = i / steps
+                    xi = 10 ** ((1 - f) * self._tx(xa) + f * self._tx(xb)) if self.logx else (
+                        (1 - f) * xa + f * xb
+                    )
+                    yi = 10 ** ((1 - f) * self._ty(ya) + f * self._ty(yb)) if self.logy else (
+                        (1 - f) * ya + f * yb
+                    )
+                    place(xi, yi, ".")
+            for x, y in zip(s.xs, s.ys):
+                place(x, y, s.marker)
+
+        lines = []
+        if self.title:
+            lines.append(self.title.center(self.width + 2))
+        for row in grid:
+            lines.append("|" + "".join(row) + "|")
+        lines.append("+" + "-" * self.width + "+")
+        if self.xlabel:
+            lines.append(self.xlabel.center(self.width + 2))
+        lines.append("legend: " + "  ".join(f"{s.marker}={s.label}" for s in self._series))
+        if self.ylabel:
+            lines.insert(1 if self.title else 0, f"[y: {self.ylabel}]")
+        return "\n".join(lines)
+
+
+class AsciiBarChart:
+    """Grouped, optionally-stacked horizontal bar chart (for Fig. 3).
+
+    Each group is one code version; each group holds (segment label, value)
+    pairs that are stacked left-to-right with distinct fill characters.
+    """
+
+    _FILLS = "#=+*~%o"
+
+    def __init__(self, *, width: int = 60, title: str = "", unit: str = "") -> None:
+        self.width = width
+        self.title = title
+        self.unit = unit
+        self._groups: list[tuple[str, list[tuple[str, float]]]] = []
+
+    def add_group(self, label: str, segments: Sequence[tuple[str, float]]) -> None:
+        """Add one bar made of stacked (label, value) segments."""
+        for name, v in segments:
+            if v < 0:
+                raise ValueError(f"negative segment {name!r}: {v}")
+        self._groups.append((label, [(str(n), float(v)) for n, v in segments]))
+
+    def render(self) -> str:
+        """Render the chart with a shared scale across groups."""
+        if not self._groups:
+            raise ValueError("nothing to chart")
+        totals = [sum(v for _, v in segs) for _, segs in self._groups]
+        vmax = max(totals) or 1.0
+        label_w = max(len(lbl) for lbl, _ in self._groups)
+        seg_names: list[str] = []
+        for _, segs in self._groups:
+            for name, _ in segs:
+                if name not in seg_names:
+                    seg_names.append(name)
+        fills = {name: self._FILLS[i % len(self._FILLS)] for i, name in enumerate(seg_names)}
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for (label, segs), total in zip(self._groups, totals):
+            bar = ""
+            for name, v in segs:
+                n = round(v / vmax * self.width)
+                bar += fills[name] * n
+            lines.append(f"{label.rjust(label_w)} |{bar}  {total:.1f} {self.unit}".rstrip())
+        lines.append(
+            "legend: " + "  ".join(f"{fills[n]}={n}" for n in seg_names)
+        )
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class TimelineEvent:
+    """One box on a timeline lane: [start, end) with a category glyph."""
+
+    lane: str
+    start: float
+    end: float
+    category: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("event ends before it starts")
+
+
+class AsciiTimeline:
+    """NSIGHT-Systems-like lane rendering of profiler events (Fig. 4)."""
+
+    _GLYPHS = {
+        "kernel": "K",
+        "p2p": "P",
+        "h2d": "^",
+        "d2h": "v",
+        "mpi_wait": "w",
+        "um_fault": "F",
+        "idle": " ",
+        "host": "h",
+    }
+
+    def __init__(self, *, width: int = 100, title: str = "") -> None:
+        self.width = width
+        self.title = title
+        self._events: list[TimelineEvent] = []
+
+    def add_event(self, lane: str, start: float, end: float, category: str) -> None:
+        """Record one event; unknown categories render as '?'."""
+        self._events.append(TimelineEvent(lane, start, end, category))
+
+    def render(self, *, t0: float | None = None, t1: float | None = None) -> str:
+        """Render lanes over the [t0, t1] window (defaults: full extent)."""
+        if not self._events:
+            raise ValueError("no events to render")
+        if t0 is None:
+            t0 = min(e.start for e in self._events)
+        if t1 is None:
+            t1 = max(e.end for e in self._events)
+        if t1 <= t0:
+            t1 = t0 + 1e-12
+        lanes: dict[str, list[TimelineEvent]] = {}
+        for e in self._events:
+            lanes.setdefault(e.lane, []).append(e)
+        lane_w = max(len(name) for name in lanes)
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            " " * (lane_w + 2)
+            + f"t={t0:.4g}s".ljust(self.width // 2)
+            + f"t={t1:.4g}s".rjust(self.width - self.width // 2)
+        )
+        for name in sorted(lanes):
+            row = [" "] * self.width
+            for e in sorted(lanes[name], key=lambda ev: ev.start):
+                if e.end <= t0 or e.start >= t1:
+                    continue
+                c0 = int((max(e.start, t0) - t0) / (t1 - t0) * self.width)
+                c1 = int((min(e.end, t1) - t0) / (t1 - t0) * self.width)
+                glyph = self._GLYPHS.get(e.category, "?")
+                for c in range(c0, max(c0 + 1, c1)):
+                    if c < self.width:
+                        row[c] = glyph
+            lines.append(f"{name.rjust(lane_w)} |" + "".join(row))
+        used = {e.category for e in self._events}
+        lines.append(
+            "legend: "
+            + "  ".join(f"{self._GLYPHS.get(c, '?')}={c}" for c in sorted(used) if c != "idle")
+        )
+        return "\n".join(lines)
+
+
+class AsciiHeatmap:
+    """2-D scalar field rendering with a density ramp (for Fig. 1's cuts).
+
+    Values map onto a dark-to-bright character ramp; optional row/column
+    coordinate labels mark the physical axes.
+    """
+
+    RAMP = " .:-=+*#%@"
+
+    def __init__(self, *, width: int = 72, title: str = "") -> None:
+        if width < 8:
+            raise ValueError("heatmap too narrow to be legible")
+        self.width = width
+        self.title = title
+
+    def render(
+        self,
+        values,
+        *,
+        row_labels=None,
+        col_axis: str = "",
+        vmin: float | None = None,
+        vmax: float | None = None,
+    ) -> str:
+        """Render a 2-D array (rows x cols), resampled to the width."""
+        import numpy as np
+
+        a = np.asarray(values, dtype=float)
+        if a.ndim != 2:
+            raise ValueError("heatmap needs a 2-D array")
+        if not np.isfinite(a).all():
+            raise ValueError("heatmap values must be finite")
+        lo = float(a.min()) if vmin is None else vmin
+        hi = float(a.max()) if vmax is None else vmax
+        if hi <= lo:
+            hi = lo + 1.0
+        # nearest-neighbour resample columns onto the character width
+        cols = np.linspace(0, a.shape[1] - 1, self.width).round().astype(int)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for r in range(a.shape[0]):
+            row = a[r, cols]
+            idx = ((row - lo) / (hi - lo) * (len(self.RAMP) - 1)).clip(
+                0, len(self.RAMP) - 1
+            )
+            text = "".join(self.RAMP[int(i)] for i in idx)
+            label = ""
+            if row_labels is not None:
+                label = f"{row_labels[r]:>8} "
+            lines.append(f"{label}|{text}|")
+        if col_axis:
+            pad = " " * (9 if row_labels is not None else 0)
+            lines.append(pad + col_axis.center(self.width + 2))
+        lines.append(
+            f"scale: '{self.RAMP[0]}'={lo:.3g}  ..  '{self.RAMP[-1]}'={hi:.3g}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Figure experiments: shape assertions against the paper's findings.
+
+These run the calibrated model at several GPU counts, so they are the
+slowest tests in the suite (a few seconds each); they use a reduced
+calibration where the asserted shape does not depend on solver depth.
+"""
+
+import pytest
+
+from repro.codes import CodeVersion
+from repro.experiments.fig2 import PAPER_WALL, render_fig2, run_fig2
+from repro.experiments.fig3 import PAPER_BARS, render_fig3, run_fig3
+from repro.experiments.fig4 import render_fig4, run_fig4
+from repro.perf.calibration import Calibration
+
+FAST = Calibration(pcg_iters=3, sts_stages=3, bench_steps=1)
+
+UM_VERSIONS = (CodeVersion.ADU, CodeVersion.AD2XU, CodeVersion.D2XU)
+MANUAL_VERSIONS = (CodeVersion.A, CodeVersion.AD, CodeVersion.D2XAD)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2(calibration=FAST)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(calibration=FAST)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4()
+
+
+class TestFig2Shape:
+    def test_code1_fastest_everywhere(self, fig2):
+        for n in (1, 2, 4, 8):
+            for v in (CodeVersion.AD, CodeVersion.ADU, CodeVersion.AD2XU,
+                      CodeVersion.D2XU, CodeVersion.D2XAD):
+                assert fig2.wall(CodeVersion.A, n) <= fig2.wall(v, n) * 1.001
+
+    def test_um_codes_much_slower_at_scale(self, fig2):
+        for v in UM_VERSIONS:
+            assert fig2.slowdown_vs_code1(v, 8) > 2.0
+
+    def test_slowdown_band_from_abstract(self, fig2):
+        """Zero-directive code: slowdown between 1.25x and 3x."""
+        s1 = fig2.slowdown_vs_code1(CodeVersion.D2XU, 1)
+        s8 = fig2.slowdown_vs_code1(CodeVersion.D2XU, 8)
+        assert 1.2 < s1 < 1.6
+        assert 2.4 < s8 < 3.3
+
+    def test_manual_codes_super_scaling_then_dip(self, fig2):
+        for v in MANUAL_VERSIONS:
+            s = fig2.series[v]
+            assert s.speedup(2) > 2.0       # 'super' scaling at first
+            assert s.speedup(8) > 7.0       # close to ideal at 8
+            # the last doubling dips below ideal
+            assert s.wall(4) / s.wall(8) < 2.0
+
+    def test_um_codes_poor_scaling(self, fig2):
+        for v in UM_VERSIONS:
+            assert fig2.series[v].speedup(8) < 6.0
+
+    def test_dc_manual_trails_code1_slightly(self, fig2):
+        """Codes 2 and 6 are 'somewhat slower' than Code 1 (SV-C)."""
+        for v in (CodeVersion.AD, CodeVersion.D2XAD):
+            for n in (1, 8):
+                ratio = fig2.slowdown_vs_code1(v, n)
+                assert 1.0 < ratio < 1.25
+
+    def test_render(self, fig2):
+        out = render_fig2(fig2)
+        assert "Ideal Scaling" in out
+        assert "CODE 1" in out
+
+
+class TestFig3Shape:
+    def test_anchor_bars_within_tolerance(self):
+        """With the full calibration, every bar lands within 15% of the
+        paper (most within 5%)."""
+        full = run_fig3()
+        for n, bars in PAPER_BARS.items():
+            for v, (wall, non_mpi) in bars.items():
+                b = full.breakdown(n, v)
+                assert b.wall_minutes == pytest.approx(wall, rel=0.15), (n, v)
+                assert b.non_mpi_minutes == pytest.approx(non_mpi, rel=0.15), (n, v)
+
+    def test_um_blowup_at_8(self, fig3):
+        assert fig3.um_mpi_blowup(8) > 5.0
+
+    def test_um_blowup_modest_at_1(self, fig3):
+        assert 1.1 < fig3.um_mpi_blowup(1) < 4.0
+
+    def test_mpi_fraction_drops_for_manual(self, fig3):
+        b1 = fig3.breakdown(1, CodeVersion.A)
+        b8 = fig3.breakdown(8, CodeVersion.A)
+        assert b8.mpi_fraction < b1.mpi_fraction * 1.35
+
+    def test_render(self, fig3):
+        out = render_fig3(fig3)
+        assert "1 A100" in out and "8 A100" in out
+        assert "legend" in out
+
+
+class TestFig4Shape:
+    def test_um_iteration_roughly_3x_slower(self, fig4):
+        """'computing a solver iteration three times slower with unified
+        memory management' -- we accept 2x-4x."""
+        assert 2.0 < fig4.um_slowdown < 4.0
+
+    def test_manual_uses_p2p_only(self, fig4):
+        assert fig4.manual_p2p_events > 0
+        assert fig4.manual_staged_events == 0
+
+    def test_um_performs_many_cpu_gpu_transfers(self, fig4):
+        assert fig4.um_staged_events > fig4.manual_p2p_events
+
+    def test_timelines_render(self, fig4):
+        out = render_fig4(fig4)
+        assert "manual memory management" in out
+        assert "unified managed memory" in out
+        assert "P" in fig4.timeline_manual
+        for glyph in ("^", "v"):
+            assert glyph in fig4.timeline_um

@@ -1,0 +1,75 @@
+"""Multi-node extension experiment."""
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.experiments.multinode import (
+    MultiNodeResult,
+    render_multinode,
+    run_multinode,
+)
+from repro.machine.cluster import GpuCluster
+from repro.mas.model import MasModel, ModelConfig
+from repro.mas.validate import states_equivalent
+from repro.perf.calibration import Calibration
+
+FAST = Calibration(pcg_iters=2, sts_stages=2, bench_steps=1)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_multinode(
+        versions=(CodeVersion.A, CodeVersion.ADU),
+        gpu_counts=(8, 16, 32),
+        calibration=FAST,
+    )
+
+
+class TestMultiNodeScaling:
+    def test_manual_code_keeps_scaling(self, result):
+        assert result.speedup(CodeVersion.A, 16) > 1.3
+        assert result.speedup(CodeVersion.A, 32) > result.speedup(CodeVersion.A, 16)
+
+    def test_scaling_sub_linear_across_fabric(self, result):
+        """Crossing nodes costs: speedup well below ideal."""
+        assert result.speedup(CodeVersion.A, 32) < 4.0
+
+    def test_um_code_barely_scales(self, result):
+        """Page-migration MPI doesn't shrink with more GPUs."""
+        assert result.speedup(CodeVersion.ADU, 32) < 2.0
+
+    def test_um_mpi_dominates_everywhere(self, result):
+        for n in (8, 16, 32):
+            assert result.mpi(CodeVersion.ADU, n) > result.mpi(CodeVersion.A, n)
+
+    def test_render(self, result):
+        out = render_multinode(result)
+        assert "32 GPUs" in out
+        assert "speedup" in out
+
+
+class TestMultiNodePhysics:
+    def test_cross_node_run_matches_single_node(self):
+        """A 16-rank 2-node run must produce the same solution as an
+        8-rank single-node run (fabric changes cost, never data)."""
+        kw = dict(shape=(12, 8, 32), pcg_iters=2, sts_stages=2, extra_model_arrays=0)
+        m8 = MasModel(ModelConfig(num_ranks=8, **kw), runtime_config_for(CodeVersion.A))
+        m16 = MasModel(
+            ModelConfig(num_ranks=16, **kw),
+            runtime_config_for(CodeVersion.A),
+            cluster=GpuCluster.of_delta_nodes(2),
+        )
+        m8.run(2)
+        m16.run(2)
+        diffs = states_equivalent(m8.states, m8.decomp, m16.states, m16.decomp, tol=1e-9)
+        assert max(diffs.values()) < 1e-9
+
+    def test_cluster_capacity_enforced(self):
+        with pytest.raises(ValueError, match="exceed"):
+            MasModel(
+                ModelConfig(shape=(12, 8, 32), num_ranks=16, pcg_iters=2,
+                            sts_stages=2, extra_model_arrays=0),
+                runtime_config_for(CodeVersion.A),
+                cluster=GpuCluster.of_delta_nodes(1),
+            )

@@ -1,0 +1,72 @@
+"""OpenACC directive parsing."""
+
+import pytest
+
+from repro.fortran.directives import (
+    DirectiveKind,
+    is_directive_line,
+    parse_directive,
+)
+
+
+class TestIsDirective:
+    @pytest.mark.parametrize(
+        "line,expect",
+        [
+            ("!$acc parallel", True),
+            ("   !$acc loop collapse(3)", True),
+            ("!$acc& present(a, b)", True),
+            ("! a plain comment", False),
+            ("      do i=1,n", False),
+            ("", False),
+        ],
+    )
+    def test_detection(self, line, expect):
+        assert is_directive_line(line) is expect
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "line,kind",
+        [
+            ("!$acc parallel default(present)", DirectiveKind.PARALLEL_LOOP),
+            ("!$acc end parallel", DirectiveKind.PARALLEL_LOOP),
+            ("!$acc loop collapse(3)", DirectiveKind.PARALLEL_LOOP),
+            ("!$acc loop seq", DirectiveKind.PARALLEL_LOOP),
+            ("!$acc enter data copyin(a)", DirectiveKind.DATA),
+            ("!$acc exit data delete(a)", DirectiveKind.DATA),
+            ("!$acc update host(a)", DirectiveKind.DATA),
+            ("!$acc update device(a)", DirectiveKind.DATA),
+            ("!$acc host_data use_device(a)", DirectiveKind.DATA),
+            ("!$acc end host_data", DirectiveKind.DATA),
+            ("!$acc declare create(tab)", DirectiveKind.DATA),
+            ("!$acc atomic update", DirectiveKind.ATOMIC),
+            ("!$acc atomic write", DirectiveKind.ATOMIC),
+            ("!$acc routine seq", DirectiveKind.ROUTINE),
+            ("!$acc kernels", DirectiveKind.KERNELS),
+            ("!$acc end kernels", DirectiveKind.KERNELS),
+            ("!$acc wait(1)", DirectiveKind.WAIT),
+            ("!$acc set device_num(idev)", DirectiveKind.SET_DEVICE),
+            ("!$acc& copyin(b)", DirectiveKind.CONTINUATION),
+        ],
+    )
+    def test_kinds_cover_table2_rows(self, line, kind):
+        assert parse_directive(line).kind is kind
+
+    def test_non_directive_rejected(self):
+        with pytest.raises(ValueError):
+            parse_directive("      do i=1,n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_directive("!$acc frobnicate")
+
+    def test_region_start_end(self):
+        assert parse_directive("!$acc parallel").is_region_start
+        assert parse_directive("!$acc end parallel").is_region_end
+        assert not parse_directive("!$acc loop collapse(2)").is_region_start
+
+    def test_has_clause(self):
+        d = parse_directive("!$acc loop collapse(3) reduction(+:s)")
+        assert d.has_clause("reduction")
+        assert not d.has_clause("gang")

@@ -1,0 +1,71 @@
+"""Routine inliner (manual -Minline)."""
+
+import pytest
+
+from repro.fortran.inline import (
+    InlineRefusedError,
+    inline_call,
+    parse_routine,
+    substitute,
+)
+from repro.fortran.source import SourceFile
+
+ROUTINE = [
+    "  pure subroutine interp1(x, y, z, i, j, k)",
+    "!$acc routine seq",
+    "    real, intent(in)  :: x(:,:,:), y(:,:,:)",
+    "    real, intent(out) :: z(:,:,:)",
+    "    integer, intent(in) :: i, j, k",
+    "    z(i,j,k) = x(i,j,k) * wq0 + y(i,j,k) * wr0",
+    "    z(i,j,k) = z(i,j,k) * norm",
+    "  end subroutine interp1",
+]
+
+
+class TestParseRoutine:
+    def test_dummies_and_body(self):
+        f = SourceFile("t.f90", list(ROUTINE))
+        r = parse_routine(f, 0)
+        assert r.name == "interp1"
+        assert r.dummies == ("x", "y", "z", "i", "j", "k")
+        # declarations and directives excluded from the body
+        assert len(r.body) == 2
+        assert "wq0" in r.body[0]
+
+    def test_not_a_subroutine(self):
+        f = SourceFile("t.f90", ["      x = 1"])
+        with pytest.raises(ValueError):
+            parse_routine(f, 0)
+
+    def test_unterminated(self):
+        f = SourceFile("t.f90", ROUTINE[:-1])
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_routine(f, 0)
+
+
+class TestSubstitute:
+    def test_word_boundaries(self):
+        out = substitute("z(i,j,k) = x(i,j,k) + xi", {"x": "aa", "i": "i1"})
+        assert out == "z(i1,j,k) = aa(i1,j,k) + xi"  # xi untouched
+
+
+class TestInlineCall:
+    def test_body_spliced_with_actuals(self):
+        f = SourceFile("t.f90", list(ROUTINE) + ["      call interp1(p, q, r, i1, j1, k1)"])
+        routine = parse_routine(f, 0)
+        grew = inline_call(f, len(ROUTINE), routine)
+        assert grew == 1
+        assert f.lines[len(ROUTINE)] == "      r(i1,j1,k1) = p(i1,j1,k1) * wq0 + q(i1,j1,k1) * wr0"
+        assert "call interp1" not in "\n".join(f.lines)
+
+    def test_wrong_callee_refused(self):
+        f = SourceFile("t.f90", list(ROUTINE) + ["      call other(p)"])
+        routine = parse_routine(f, 0)
+        with pytest.raises(InlineRefusedError):
+            inline_call(f, len(ROUTINE), routine)
+
+    def test_arity_mismatch_refused(self):
+        f = SourceFile("t.f90", list(ROUTINE) + ["      call interp1(p, q)"])
+        routine = parse_routine(f, 0)
+        with pytest.raises(InlineRefusedError, match="dummies"):
+            inline_call(f, len(ROUTINE), routine)

@@ -1,0 +1,67 @@
+"""Multi-node GPU cluster topology."""
+
+import pytest
+
+from repro.machine.cluster import GpuCluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return GpuCluster.of_delta_nodes(4)
+
+
+class TestTopology:
+    def test_total_gpus(self, cluster):
+        assert cluster.total_gpus == 32
+        assert cluster.gpus_per_node == 8
+
+    def test_node_major_placement(self, cluster):
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(7) == 0
+        assert cluster.node_of(8) == 1
+        assert cluster.node_of(31) == 3
+
+    def test_local_rank(self, cluster):
+        assert cluster.local_rank(0) == 0
+        assert cluster.local_rank(9) == 1
+
+    def test_device_binding(self, cluster):
+        assert cluster.device_of(9).device_id == 1
+        assert cluster.device_of(9) is cluster.nodes[1].device(1)
+
+    def test_same_node(self, cluster):
+        assert cluster.same_node(0, 7)
+        assert not cluster.same_node(7, 8)
+
+    def test_rank_node_map(self, cluster):
+        m = cluster.rank_node_map(16)
+        assert m == [0] * 8 + [1] * 8
+
+    def test_rank_out_of_range(self, cluster):
+        with pytest.raises(IndexError):
+            cluster.node_of(32)
+
+    def test_too_many_ranks(self, cluster):
+        with pytest.raises(ValueError, match="exceed"):
+            cluster.rank_node_map(33)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuCluster(nodes=[])
+        with pytest.raises(ValueError):
+            GpuCluster.of_delta_nodes(0)
+
+
+class TestTransportIntegration:
+    def test_cross_node_messages_slower(self):
+        """The fabric is far slower than NVLink for the same payload."""
+        from repro.machine.interconnect import DELTA_INTERCONNECT
+        from repro.mpi.transport import TransportKind, make_transport
+
+        tr = make_transport(
+            TransportKind.CUDA_AWARE_P2P, interconnect=DELTA_INTERCONNECT
+        )
+        nbytes = 10 * 1024 * 1024
+        intra = tr.wire_time(nbytes, same_device=False, same_node=True)
+        inter = tr.wire_time(nbytes, same_device=False, same_node=False)
+        assert inter > 5 * intra

@@ -1,0 +1,94 @@
+"""Hardware specs, GPU model, locality curve."""
+
+import pytest
+
+from repro.machine.gpu import A100_40GB, GpuDevice, LocalityModel, effective_bandwidth
+from repro.machine.spec import CpuSpec, GpuSpec, LinkSpec
+from repro.util.units import GB
+
+
+class TestSpecValidation:
+    def test_gpu_spec_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", 1, -1.0, 0.8, 1e-6, 1.0, 1)
+
+    def test_gpu_spec_efficiency_range(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", 1, 1.0, 1.5, 1e-6, 1.0, 1)
+
+    def test_cpu_spec_cores(self):
+        with pytest.raises(ValueError):
+            CpuSpec("x", 0, 64, 1.0, 0.7)
+
+    def test_link_transfer_alpha_beta(self):
+        link = LinkSpec("l", latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_link_zero_bytes_free(self):
+        link = LinkSpec("l", latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(0) == 0.0
+
+    def test_link_negative_rejected(self):
+        link = LinkSpec("l", latency=1e-6, bandwidth=1e9)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+
+class TestA100:
+    def test_paper_bandwidth(self):
+        assert A100_40GB.mem_bandwidth == 1555 * GB
+
+    def test_capacity(self):
+        assert A100_40GB.mem_bytes == 40 * GB
+
+
+class TestLocalityModel:
+    def test_full_working_set_no_boost(self):
+        m = LocalityModel(gain=0.1, ref_fraction=0.75)
+        assert m.boost(0.75 * 40 * GB, 40 * GB) == pytest.approx(1.0)
+
+    def test_small_working_set_boosted(self):
+        m = LocalityModel(gain=0.1, ref_fraction=0.75)
+        assert m.boost(0.0, 40 * GB) == pytest.approx(1.1)
+
+    def test_monotone_decreasing_in_ws(self):
+        m = LocalityModel()
+        b = [m.boost(f * 40 * GB, 40 * GB) for f in (0.1, 0.3, 0.5, 0.75)]
+        assert b == sorted(b, reverse=True)
+
+    def test_oversized_working_set_clamped(self):
+        m = LocalityModel()
+        assert m.boost(100 * GB, 40 * GB) == pytest.approx(1.0)
+
+
+class TestGpuDevice:
+    def test_memory_attached(self):
+        d = GpuDevice(A100_40GB, 0)
+        assert d.memory.capacity == A100_40GB.mem_bytes
+
+    def test_negative_device_id(self):
+        with pytest.raises(ValueError):
+            GpuDevice(A100_40GB, -1)
+
+    def test_kernel_time_memory_bound(self):
+        d = GpuDevice(A100_40GB, 0)
+        t = d.kernel_device_time(1e9)
+        expect = 1e9 / effective_bandwidth(A100_40GB)
+        assert t == pytest.approx(expect)
+
+    def test_kernel_time_flop_bound_when_dense(self):
+        d = GpuDevice(A100_40GB, 0)
+        # absurd arithmetic intensity: flop time dominates
+        t = d.kernel_device_time(8, flops=1e12)
+        assert t == pytest.approx(1e12 / A100_40GB.flops_fp64)
+
+    def test_negative_bytes_rejected(self):
+        d = GpuDevice(A100_40GB, 0)
+        with pytest.raises(ValueError):
+            d.kernel_device_time(-1)
+
+    def test_locality_speeds_up_small_working_sets(self):
+        d = GpuDevice(A100_40GB, 0)
+        t_big = d.kernel_device_time(1e9, working_set_bytes=30 * GB)
+        t_small = d.kernel_device_time(1e9, working_set_bytes=4 * GB)
+        assert t_small < t_big

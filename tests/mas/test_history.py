@@ -1,0 +1,113 @@
+"""Run-history diagnostics and the energy budget."""
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.constants import PhysicsParams
+from repro.mas.history import (
+    EnergyBudget,
+    RunHistory,
+    energy_budget,
+    model_energy_budget,
+)
+from repro.mas.model import MasModel, ModelConfig
+
+
+def make(num_ranks=1, **kw):
+    cfg = dict(shape=(10, 8, 12), pcg_iters=2, sts_stages=2, extra_model_arrays=0)
+    cfg.update(kw)
+    return MasModel(ModelConfig(num_ranks=num_ranks, **cfg),
+                    runtime_config_for(CodeVersion.A))
+
+
+class TestEnergyBudget:
+    def test_components_positive(self):
+        m = make()
+        e = model_energy_budget(m)
+        assert e.magnetic > 0      # dipole field
+        assert e.thermal > 0
+        assert e.kinetic >= 0
+        assert e.mass > 0
+        assert e.total == pytest.approx(e.kinetic + e.magnetic + e.thermal)
+
+    def test_rank_sum_matches_single(self):
+        m1, m4 = make(1), make(4, shape=(10, 8, 16))
+        # compare against a 4-rank model of the same grid
+        m1b = make(1, shape=(10, 8, 16))
+        e4 = model_energy_budget(m4)
+        e1 = model_energy_budget(m1b)
+        assert e4.total == pytest.approx(e1.total, rel=1e-12)
+        assert e4.mass == pytest.approx(e1.mass, rel=1e-12)
+
+    def test_dipole_magnetic_energy_scales_b0_squared(self):
+        e1 = model_energy_budget(make(b0=1.0))
+        e2 = model_energy_budget(make(b0=2.0))
+        assert e2.magnetic == pytest.approx(4 * e1.magnetic, rel=1e-12)
+
+    def test_per_rank_callable(self):
+        m = make()
+        e = energy_budget(m.states[0], m.local_grids[0], m.config.params)
+        assert isinstance(e, EnergyBudget)
+
+
+class TestRunHistory:
+    @pytest.fixture(scope="class")
+    def hist(self):
+        h = RunHistory(make())
+        h.run(5)
+        return h
+
+    def test_records_per_step(self, hist):
+        assert len(hist.records) == 5
+        assert hist.records[0].step == 1
+        assert hist.records[-1].step == 5
+
+    def test_time_monotone(self, hist):
+        times = [r.time for r in hist.records]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_divb_stays_zero(self, hist):
+        assert all(r.max_divb < 1e-11 for r in hist.records)
+
+    def test_kinetic_energy_grows_from_rest(self, hist):
+        """The relaxation converts thermal/potential into outflow kinetic
+        energy from the near-zero seed."""
+        assert hist.records[-1].kinetic > hist.records[0].kinetic * 0.5
+        assert hist.records[-1].kinetic > 0
+
+    def test_series(self, hist):
+        t, k = hist.series("kinetic")
+        assert len(t) == len(k) == 5
+        with pytest.raises(AttributeError):
+            hist.series("nonsense")
+
+    def test_csv(self, hist):
+        csv = hist.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("step,time,dt")
+        assert len(lines) == 6
+
+    def test_render(self, hist):
+        out = hist.render("kinetic", "thermal")
+        assert "kinetic" in out and "thermal" in out
+
+    def test_empty_history_rejected(self):
+        h = RunHistory(make())
+        with pytest.raises(ValueError):
+            h.series("kinetic")
+        with pytest.raises(ValueError):
+            h.run(0)
+
+
+class TestDtGrowthLimit:
+    def test_growth_rate_limited(self):
+        m = make(dt_growth_limit=1.1)
+        dts = [m.step().dt for _ in range(4)]
+        for a, b in zip(dts, dts[1:]):
+            assert b <= a * 1.1 + 1e-15
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            ModelConfig(dt_growth_limit=1.0)

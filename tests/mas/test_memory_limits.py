@@ -1,0 +1,56 @@
+"""Device-memory enforcement at model scale (the SV-A sizing constraint).
+
+With manual data management, every array is placed on the device at
+startup (``enter data``): a problem too big for the GPUs must fail with a
+device OOM -- exactly the constraint that made the paper choose 36M cells
+for a 40GB A100. Unified-memory builds don't allocate eagerly (the driver
+pages on demand), so the same oversized problem constructs fine.
+"""
+
+import pytest
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.machine.memory import AllocationError
+from repro.mas.model import MasModel, ModelConfig
+
+OVERSIZED = (300, 600, 800)  # 144M cells: ~4x the paper case per GPU
+
+
+def build(version, nominal, num_ranks=1, extra=70):
+    return MasModel(
+        ModelConfig(
+            shape=(8, 6, 8),
+            nominal_shape=nominal,
+            num_ranks=num_ranks,
+            pcg_iters=2,
+            sts_stages=2,
+            extra_model_arrays=extra,
+        ),
+        runtime_config_for(version),
+    )
+
+
+class TestDeviceOom:
+    def test_oversized_problem_ooms_under_manual_data(self):
+        with pytest.raises(AllocationError, match="out of device memory"):
+            build(CodeVersion.A, OVERSIZED)
+
+    def test_same_problem_constructs_under_um(self):
+        """cudaMallocManaged oversubscribes: construction succeeds (the
+        cost of paging would show up at run time instead)."""
+        m = build(CodeVersion.ADU, OVERSIZED)
+        assert m.rt_config.unified_memory
+
+    def test_oversized_fits_when_spread_over_8_gpus(self):
+        m = build(CodeVersion.A, OVERSIZED, num_ranks=8)
+        assert len(m.ranks) == 8
+
+    def test_paper_case_fits_one_gpu(self):
+        m = build(CodeVersion.A, (150, 300, 800))
+        used = m.ranks[0].env.device_memory.used
+        cap = m.ranks[0].env.device_memory.capacity
+        assert 0.5 < used / cap < 1.0
+
+    def test_peak_memory_tracked(self):
+        m = build(CodeVersion.A, (150, 300, 800))
+        assert m.ranks[0].env.device_memory.peak == m.ranks[0].env.device_memory.used

@@ -1,0 +1,47 @@
+"""Per-category time accounting."""
+
+import pytest
+
+from repro.codes import CodeVersion
+from repro.perf.calibration import Calibration
+from repro.perf.categories import (
+    CategoryBreakdown,
+    measure_categories,
+    render_categories,
+)
+from repro.runtime.clock import TimeCategory
+
+FAST = Calibration(pcg_iters=2, sts_stages=2, bench_steps=1)
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return {
+        v: measure_categories(v, 2, calibration=FAST)
+        for v in (CodeVersion.A, CodeVersion.ADU)
+    }
+
+
+class TestMeasurement:
+    def test_compute_dominates(self, breakdowns):
+        for b in breakdowns.values():
+            assert b.fraction(TimeCategory.COMPUTE) > 0.4
+
+    def test_total_positive(self, breakdowns):
+        for b in breakdowns.values():
+            assert b.total > 0
+
+    def test_um_fault_only_under_um(self, breakdowns):
+        assert breakdowns[CodeVersion.A].seconds.get(TimeCategory.UM_FAULT, 0.0) == 0.0
+
+    def test_fraction_of_absent_category_zero(self, breakdowns):
+        assert breakdowns[CodeVersion.A].fraction(TimeCategory.UM_FAULT) == 0.0
+
+    def test_render(self, breakdowns):
+        out = render_categories(list(breakdowns.values()))
+        assert "A@2" in out and "ADU@2" in out
+        assert "compute" in out
+
+    def test_empty_breakdown_fraction(self):
+        b = CategoryBreakdown(CodeVersion.A, 1, {})
+        assert b.fraction(TimeCategory.COMPUTE) == 0.0

@@ -1,0 +1,64 @@
+"""Problem sizing vs GPU memory (the paper's SV-A sizing decision)."""
+
+import pytest
+
+from repro.machine.gpu import A100_40GB
+from repro.perf.memory_fit import (
+    estimate,
+    max_cells_that_fit,
+    paper_case_fits_one_gpu,
+)
+
+
+class TestEstimate:
+    def test_paper_case_fits_single_a100(self):
+        """SV-A: 36M cells 'can fit into the memory of a single A100'."""
+        e = paper_case_fits_one_gpu()
+        assert e.fits
+        assert e.total_cells == 36_000_000
+        # and it is a *medium* case: uses most of the device, not a sliver
+        assert 0.5 < e.utilization < 1.0
+
+    def test_footprint_shrinks_with_ranks(self):
+        e1 = estimate((150, 300, 800), 1)
+        e8 = estimate((150, 300, 800), 8)
+        assert e8.bytes_per_rank < e1.bytes_per_rank / 6
+
+    def test_footprint_scales_with_cells(self):
+        small = estimate((75, 150, 400), 1)
+        big = estimate((150, 300, 800), 1)
+        assert big.bytes_per_rank > 7 * small.bytes_per_rank
+
+    def test_double_resolution_does_not_fit_one_gpu(self):
+        e = estimate((300, 600, 800), 1)
+        assert not e.fits
+
+    def test_extra_arrays_increase_footprint(self):
+        lean = estimate((150, 300, 800), 1, extra_arrays=0)
+        full = estimate((150, 300, 800), 1, extra_arrays=70)
+        assert full.bytes_per_rank > 3 * lean.bytes_per_rank
+
+
+class TestMaxFit:
+    def test_search_saturates_device(self):
+        e = max_cells_that_fit(1)
+        assert e.fits
+        assert e.utilization > 0.9
+
+    def test_more_gpus_fit_more_cells(self):
+        e1 = max_cells_that_fit(1)
+        e8 = max_cells_that_fit(8)
+        assert e8.total_cells > 6 * e1.total_cells
+
+    def test_paper_case_below_max(self):
+        """36M cells is 'medium-sized': below the single-GPU maximum."""
+        assert paper_case_fits_one_gpu().total_cells < max_cells_that_fit(1).total_cells
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_cells_that_fit(0)
+        with pytest.raises(ValueError):
+            estimate((2, 2, 2), 8)
+
+    def test_capacity_matches_spec(self):
+        assert estimate((150, 300, 800), 1).capacity == A100_40GB.mem_bytes

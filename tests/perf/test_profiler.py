@@ -1,0 +1,88 @@
+"""Profiler event collection and timeline rendering."""
+
+import pytest
+
+from repro.perf.profiler import ProfileEvent, Profiler
+from repro.runtime.clock import SimClock, TimeCategory
+
+
+@pytest.fixture
+def recorded():
+    p = Profiler()
+    c = SimClock()
+    p.attach(c, "gpu0")
+    c.advance(1.0, TimeCategory.COMPUTE, "visc_matvec")
+    c.advance(0.5, TimeCategory.MPI_TRANSFER, "msg_2")
+    c.advance(0.2, TimeCategory.UM_FAULT, "fault_in(buf)")
+    c.advance(0.0, TimeCategory.COMPUTE, "empty")  # zero-length dropped
+    return p, c
+
+
+class TestCollection:
+    def test_events_recorded_in_order(self, recorded):
+        p, _ = recorded
+        assert [e.label for e in p.events] == ["visc_matvec", "msg_2", "fault_in(buf)"]
+        assert p.events[0].start == 0.0
+        assert p.events[1].start == pytest.approx(1.0)
+
+    def test_zero_duration_dropped(self, recorded):
+        p, _ = recorded
+        assert all(e.duration > 0 for e in p.events)
+
+    def test_by_label(self, recorded):
+        p, _ = recorded
+        assert len(p.by_label("visc_")) == 1
+
+    def test_by_category_and_total(self, recorded):
+        p, _ = recorded
+        assert p.total_time(TimeCategory.COMPUTE) == pytest.approx(1.0)
+        assert p.total_time(TimeCategory.MPI_TRANSFER, TimeCategory.UM_FAULT) == pytest.approx(0.7)
+
+    def test_span(self, recorded):
+        p, _ = recorded
+        assert p.span() == (0.0, pytest.approx(1.7))
+
+    def test_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            Profiler().span()
+
+    def test_min_duration_filter(self):
+        p = Profiler(min_duration=0.1)
+        c = SimClock()
+        p.attach(c, "x")
+        c.advance(0.01, TimeCategory.COMPUTE, "tiny")
+        c.advance(0.5, TimeCategory.COMPUTE, "big")
+        assert [e.label for e in p.events] == ["big"]
+
+    def test_multiple_lanes(self):
+        p = Profiler()
+        c0, c1 = SimClock(), SimClock()
+        p.attach(c0, "gpu0")
+        p.attach(c1, "gpu1")
+        c0.advance(1.0, TimeCategory.COMPUTE, "a")
+        c1.advance(1.0, TimeCategory.COMPUTE, "b")
+        assert {e.lane for e in p.events} == {"gpu0", "gpu1"}
+
+
+class TestRendering:
+    def test_transfers_on_mem_lane(self, recorded):
+        p, _ = recorded
+        out = p.render_timeline(title="t")
+        assert "gpu0 |" in out
+        assert "gpu0:mem |" in out
+        assert "K" in out
+
+    def test_p2p_vs_um_glyphs(self):
+        p = Profiler()
+        c = SimClock()
+        p.attach(c, "g")
+        c.advance(1.0, TimeCategory.MPI_TRANSFER, "msg_0")
+        c.advance(1.0, TimeCategory.MPI_TRANSFER, "fault_out(buf)")
+        c.advance(1.0, TimeCategory.MPI_TRANSFER, "um_mpi_sync")
+        out = p.render_timeline()
+        mem_line = [l for l in out.splitlines() if ":mem" in l][0]
+        assert "P" in mem_line and "v" in mem_line and "^" in mem_line
+
+    def test_event_end_property(self):
+        e = ProfileEvent("l", 1.0, 0.5, TimeCategory.COMPUTE, "x")
+        assert e.end == 1.5

@@ -1,0 +1,74 @@
+"""Chrome Trace Format export."""
+
+import json
+
+import pytest
+
+from repro.perf.profiler import Profiler
+from repro.perf.trace_export import to_chrome_trace, write_chrome_trace
+from repro.runtime.clock import SimClock, TimeCategory
+
+
+@pytest.fixture
+def profiler():
+    p = Profiler()
+    c0, c1 = SimClock(), SimClock()
+    p.attach(c0, "gpu0")
+    p.attach(c1, "gpu1")
+    c0.advance(1e-3, TimeCategory.COMPUTE, "visc_matvec")
+    c0.advance(5e-4, TimeCategory.MPI_TRANSFER, "msg_2")
+    c1.advance(2e-3, TimeCategory.UM_FAULT, "fault_in(buf)")
+    return p
+
+
+class TestTraceStructure:
+    def test_complete_events_emitted(self, profiler):
+        trace = to_chrome_trace(profiler)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        k = next(e for e in xs if e["name"] == "visc_matvec")
+        assert k["ts"] == 0.0
+        assert k["dur"] == pytest.approx(1000.0)  # microseconds
+        assert k["cat"] == "kernel"
+
+    def test_memory_events_on_separate_threads(self, profiler):
+        trace = to_chrome_trace(profiler)
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "gpu0" in names and "gpu0:mem" in names
+        assert names["gpu0"] != names["gpu0:mem"]
+        assert "gpu1:mem" in names
+
+    def test_empty_profiler_rejected(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(Profiler())
+
+    def test_write_valid_json(self, profiler, tmp_path):
+        path = write_chrome_trace(profiler, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in data["traceEvents"])
+
+
+class TestModelTrace:
+    def test_full_step_exports(self, tmp_path):
+        from repro.codes import CodeVersion, runtime_config_for
+        from repro.mas.model import MasModel, ModelConfig
+
+        m = MasModel(
+            ModelConfig(shape=(8, 6, 8), num_ranks=2, pcg_iters=2,
+                        sts_stages=2, extra_model_arrays=0),
+            runtime_config_for(CodeVersion.A),
+        )
+        p = Profiler()
+        for r, rt in enumerate(m.ranks):
+            p.attach(rt.clock, f"gpu{r}")
+        m.step()
+        trace = to_chrome_trace(p)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) > 100
+        cats = {e["cat"] for e in xs}
+        assert "kernel" in cats and "mpi" in cats

@@ -1,0 +1,118 @@
+"""Property-based tests of the kernel cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.gpu import A100_40GB, GpuDevice
+from repro.machine.interconnect import PCIE4_X16
+from repro.machine.memory import DeviceMemory
+from repro.runtime.config import ArrayReductionStrategy
+from repro.runtime.cost import KernelCostModel
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.kernel import KernelSpec, LoopCategory
+from repro.util.units import GB, MiB
+
+
+def env_with(nbytes):
+    env = DataEnvironment(
+        DataMode.MANUAL, device_memory=DeviceMemory(40 * GB), host_link=PCIE4_X16
+    )
+    env.register("a", int(nbytes))
+    env.enter_data("a")
+    return env
+
+
+GPU = GpuDevice(A100_40GB, 0)
+CM = KernelCostModel()
+
+
+def body_time(nbytes, *, category=LoopCategory.PLAIN, um=False, ws=None,
+              strategy=ArrayReductionStrategy.ACC_ATOMIC, cm=CM, tags=frozenset()):
+    env = env_with(nbytes)
+    spec = KernelSpec("k", category=category, reads=("a",), tags=tags)
+    return cm.body_time(
+        spec, env, GPU, working_set_bytes=ws,
+        array_reduction=strategy, unified_memory=um,
+    )
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 10**9), st.integers(1, 10**9))
+    def test_more_bytes_never_faster(self, a, b):
+        lo, hi = sorted((a, b))
+        assert body_time(lo) <= body_time(hi)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 10**9))
+    def test_um_never_faster_than_manual(self, nbytes):
+        assert body_time(nbytes, um=True) >= body_time(nbytes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 10**9))
+    def test_penalized_categories_never_faster(self, nbytes):
+        plain = body_time(nbytes)
+        for cat in (LoopCategory.ARRAY_REDUCTION, LoopCategory.ATOMIC_OTHER,
+                    LoopCategory.KERNELS_REGION):
+            assert body_time(nbytes, category=cat) >= plain
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=1 * 2**20, max_value=30 * 2**30))
+    def test_smaller_working_set_never_slower(self, ws):
+        big = body_time(100 * MiB, ws=30 * GB)
+        small = body_time(100 * MiB, ws=ws)
+        assert small <= big * (1 + 1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_pressure_only_affects_mpi_pack(self, pressure, ws_frac):
+        cm = KernelCostModel(mpi_buffer_pressure=pressure)
+        ws = ws_frac * 40 * GB
+        plain = body_time(64 * MiB, ws=ws, cm=cm)
+        plain_ref = body_time(64 * MiB, ws=ws)
+        assert plain == pytest.approx(plain_ref)
+        packed = body_time(64 * MiB, ws=ws, cm=cm, tags=frozenset({"mpi_pack"}))
+        assert packed >= plain
+
+
+class TestStrategies:
+    def test_flipped_beats_atomic(self):
+        atomic = body_time(256 * MiB, category=LoopCategory.ARRAY_REDUCTION,
+                           strategy=ArrayReductionStrategy.DC_ATOMIC)
+        flipped = body_time(256 * MiB, category=LoopCategory.ARRAY_REDUCTION,
+                            strategy=ArrayReductionStrategy.FLIPPED_DC)
+        assert flipped < atomic
+
+    def test_bytes_override_and_work_fraction(self):
+        env = env_with(100 * MiB)
+        full = KernelSpec("k", reads=("a",))
+        half = KernelSpec("k", reads=("a",), work_fraction=0.5)
+        override = KernelSpec("k", bytes_override=100 * 2**20)
+        assert CM.bytes_moved(half, env) == pytest.approx(
+            CM.bytes_moved(full, env) / 2
+        )
+        assert CM.bytes_moved(override, env) == 100 * 2**20
+
+    def test_read_write_both_counted(self):
+        env = env_with(100 * MiB)
+        env.register("b", 100 * MiB)
+        env.enter_data("b")
+        rw = KernelSpec("k", reads=("a",), writes=("b",))
+        r = KernelSpec("k", reads=("a",))
+        assert CM.bytes_moved(rw, env) == pytest.approx(2 * CM.bytes_moved(r, env))
+
+
+class TestValidation:
+    def test_body_scale_floor(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(body_scale=0.9)
+
+    def test_pressure_nonnegative(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(mpi_buffer_pressure=-1.0)
+
+    def test_efficiencies_in_range(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(atomic_penalty=0.0)
+        with pytest.raises(ValueError):
+            KernelCostModel(um_body_efficiency=1.5)

@@ -1,0 +1,155 @@
+"""Data environments: manual directives vs unified memory."""
+
+import numpy as np
+import pytest
+
+from repro.machine.interconnect import PCIE4_X16
+from repro.machine.memory import AllocationError, DeviceMemory
+from repro.runtime.clock import TimeCategory
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.kernel import KernelSpec
+from repro.util.units import GB, MiB
+
+
+def manual_env():
+    return DataEnvironment(
+        DataMode.MANUAL, device_memory=DeviceMemory(40 * GB), host_link=PCIE4_X16
+    )
+
+
+def um_env():
+    return DataEnvironment(
+        DataMode.UNIFIED, device_memory=DeviceMemory(40 * GB), host_link=PCIE4_X16
+    )
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        env = manual_env()
+        env.register("a", 100)
+        with pytest.raises(ValueError):
+            env.register("a", 100)
+
+    def test_data_attached(self):
+        env = manual_env()
+        arr = np.zeros(4)
+        env.register("a", 100, arr)
+        assert env.array("a").data is arr
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError, match="not registered"):
+            manual_env().array("missing")
+
+    def test_cpu_mode_needs_no_device(self):
+        env = DataEnvironment(DataMode.CPU)
+        env.register("a", 100)
+        assert env.prepare_kernel(KernelSpec("k", reads=("a",))) == []
+
+    def test_gpu_mode_requires_device(self):
+        with pytest.raises(ValueError):
+            DataEnvironment(DataMode.MANUAL)
+
+    def test_unregister_manual_releases_device(self):
+        env = manual_env()
+        env.register("a", 100)
+        env.enter_data("a")
+        env.unregister("a")
+        assert "a" not in env
+        assert env.device_memory.used == 0
+
+
+class TestManualDirectives:
+    def test_enter_data_charges_h2d(self):
+        env = manual_env()
+        env.register("a", 1 * MiB)
+        charges = env.enter_data("a")
+        assert charges[0].category is TimeCategory.H2D
+        assert env.is_present("a")
+        assert env.device_memory.used == 1 * MiB
+
+    def test_double_enter_rejected(self):
+        env = manual_env()
+        env.register("a", 1)
+        env.enter_data("a")
+        with pytest.raises(AllocationError):
+            env.enter_data("a")
+
+    def test_exit_data_copyout(self):
+        env = manual_env()
+        env.register("a", 1 * MiB)
+        env.enter_data("a")
+        charges = env.exit_data("a", copyout=True)
+        assert charges[0].category is TimeCategory.D2H
+        assert not env.is_present("a")
+
+    def test_exit_without_enter_rejected(self):
+        env = manual_env()
+        env.register("a", 1)
+        with pytest.raises(AllocationError):
+            env.exit_data("a")
+
+    def test_update_fraction(self):
+        env = manual_env()
+        env.register("a", 100 * MiB)
+        env.enter_data("a")
+        full = env.update_host("a")[0].seconds
+        half = env.update_host("a", 0.5)[0].seconds
+        assert half < full
+
+    def test_update_fraction_validated(self):
+        env = manual_env()
+        env.register("a", 1)
+        env.enter_data("a")
+        with pytest.raises(ValueError):
+            env.update_host("a", 0.0)
+
+    def test_manual_directives_rejected_in_um_mode(self):
+        env = um_env()
+        env.register("a", 1)
+        with pytest.raises(RuntimeError, match="manual-data directive"):
+            env.enter_data("a")
+
+
+class TestPrepareKernel:
+    def test_manual_default_present_enforced(self):
+        """default(present) semantics: touching non-resident data fails, the
+        exact programming error the paper keeps the clause to catch."""
+        env = manual_env()
+        env.register("a", 1)
+        with pytest.raises(AllocationError, match="not present"):
+            env.prepare_kernel(KernelSpec("k", reads=("a",)))
+
+    def test_manual_present_is_free(self):
+        env = manual_env()
+        env.register("a", 1)
+        env.enter_data("a")
+        assert env.prepare_kernel(KernelSpec("k", reads=("a",))) == []
+
+    def test_um_first_touch_faults(self):
+        env = um_env()
+        env.register("a", 8 * MiB)
+        charges = env.prepare_kernel(KernelSpec("k", reads=("a",)))
+        assert len(charges) == 1
+        assert charges[0].category is TimeCategory.UM_FAULT
+
+    def test_um_steady_state_free(self):
+        env = um_env()
+        env.register("a", 8 * MiB)
+        env.prepare_kernel(KernelSpec("k", reads=("a",)))
+        assert env.prepare_kernel(KernelSpec("k2", writes=("a",))) == []
+
+    def test_host_access_pages_out(self):
+        env = um_env()
+        env.register("a", 8 * MiB)
+        env.prepare_kernel(KernelSpec("k", reads=("a",)))
+        out = env.host_access("a")
+        assert out and out[0].category is TimeCategory.UM_FAULT
+        # next kernel touch faults back in
+        back = env.prepare_kernel(KernelSpec("k2", reads=("a",)))
+        assert back and back[0].seconds > 0
+
+    def test_host_access_free_in_manual_mode(self):
+        env = manual_env()
+        env.register("a", 8 * MiB)
+        env.enter_data("a")
+        assert env.host_access("a") == []

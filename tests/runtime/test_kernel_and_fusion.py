@@ -1,0 +1,136 @@
+"""Kernel specs, dependence analysis, fusion planning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.fusion import FusionGroup, FusionPlanner, plan_fusion
+from repro.runtime.kernel import KernelSpec, LoopCategory
+
+
+def k(name, reads=(), writes=(), **kw):
+    return KernelSpec(name, reads=tuple(reads), writes=tuple(writes), **kw)
+
+
+class TestKernelSpec:
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            KernelSpec("")
+
+    def test_work_fraction_range(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", work_fraction=0.0)
+        with pytest.raises(ValueError):
+            KernelSpec("k", work_fraction=1.5)
+
+    def test_arrays_deduplicated_ordered(self):
+        spec = k("k", reads=("a", "b"), writes=("b", "c"))
+        assert spec.arrays == ("a", "b", "c")
+
+    def test_run_body(self):
+        spec = KernelSpec("k", body=lambda: 42)
+        assert spec.run_body() == 42
+
+    def test_run_body_none(self):
+        assert KernelSpec("k").run_body() is None
+
+    def test_with_tags(self):
+        spec = k("k").with_tags("mpi_pack")
+        assert "mpi_pack" in spec.tags
+
+
+class TestDependence:
+    def test_raw(self):
+        a = k("w", writes=("x",))
+        b = k("r", reads=("x",))
+        assert b.depends_on(a)
+
+    def test_war(self):
+        a = k("r", reads=("x",))
+        b = k("w", writes=("x",))
+        assert b.depends_on(a)
+
+    def test_waw(self):
+        a = k("w1", writes=("x",))
+        b = k("w2", writes=("x",))
+        assert b.depends_on(a)
+
+    def test_independent(self):
+        a = k("a", reads=("x",), writes=("y",))
+        b = k("b", reads=("x",), writes=("z",))
+        assert not b.depends_on(a)
+        assert not a.depends_on(b)
+
+
+class TestPlanFusion:
+    def test_disabled_gives_singletons(self):
+        specs = [k("a", writes=("x",)), k("b", writes=("y",))]
+        groups = plan_fusion(specs, enabled=False)
+        assert [g.size for g in groups] == [1, 1]
+
+    def test_independent_loops_fuse(self):
+        specs = [k("a", reads=("q",), writes=("x",)), k("b", reads=("q",), writes=("y",)),
+                 k("c", reads=("q",), writes=("z",))]
+        groups = plan_fusion(specs, enabled=True)
+        assert [g.size for g in groups] == [3]
+        assert groups[0].name == "a+2"
+
+    def test_dependence_splits_group(self):
+        specs = [k("a", writes=("x",)), k("b", reads=("x",), writes=("y",))]
+        groups = plan_fusion(specs, enabled=True)
+        assert [g.size for g in groups] == [1, 1]
+
+    def test_dependence_on_any_group_member_splits(self):
+        specs = [
+            k("a", writes=("x",)),
+            k("b", writes=("y",)),
+            k("c", reads=("x",), writes=("z",)),  # depends on a, two back
+        ]
+        groups = plan_fusion(specs, enabled=True)
+        assert [g.size for g in groups] == [2, 1]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            FusionGroup(())
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=12))
+    def test_fusion_preserves_order_and_count(self, arrays):
+        """Property: fusion never reorders or drops kernels."""
+        specs = [k(f"k{i}", writes=(a,)) for i, a in enumerate(arrays)]
+        groups = plan_fusion(specs, enabled=True)
+        flat = [sp.name for g in groups for sp in g.kernels]
+        assert flat == [s.name for s in specs]
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.sampled_from("abc")),
+                    min_size=1, max_size=10))
+    def test_no_intra_group_dependences(self, pairs):
+        """Property: within any fused group, no kernel depends on another."""
+        specs = [k(f"k{i}", reads=(r,), writes=(w,)) for i, (r, w) in enumerate(pairs)]
+        for g in plan_fusion(specs, enabled=True):
+            for i, a in enumerate(g.kernels):
+                for b in g.kernels[i + 1:]:
+                    assert not b.depends_on(a)
+
+
+class TestFusionPlanner:
+    def test_region_protocol(self):
+        p = FusionPlanner(enabled=True)
+        p.open_region()
+        p.submit(k("a", writes=("x",)))
+        p.submit(k("b", writes=("y",)))
+        groups = p.close_region()
+        assert [g.size for g in groups] == [2]
+        assert not p.in_region
+
+    def test_nested_region_rejected(self):
+        p = FusionPlanner(enabled=True)
+        p.open_region()
+        with pytest.raises(RuntimeError):
+            p.open_region()
+
+    def test_submit_outside_region_rejected(self):
+        with pytest.raises(RuntimeError):
+            FusionPlanner(enabled=True).submit(k("a"))
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(RuntimeError):
+            FusionPlanner(enabled=True).close_region()

@@ -1,0 +1,66 @@
+"""Async launch-queue model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.stream import AsyncQueue
+
+
+@pytest.fixture
+def q():
+    return AsyncQueue(submit_overhead=2e-6, completion_latency=4e-6)
+
+
+class TestSync:
+    def test_each_kernel_pays_full_overhead(self, q):
+        r = q.simulate([1e-3, 1e-3], async_launch=False)
+        assert r.total_time == pytest.approx(2e-3 + 2 * 6e-6)
+        assert r.gap_time == pytest.approx(12e-6)
+
+    def test_empty(self, q):
+        r = q.simulate([], async_launch=False)
+        assert r.total_time == 0.0
+
+
+class TestAsync:
+    def test_pipeline_hides_overheads(self, q):
+        r = q.simulate([1e-3] * 10, async_launch=True)
+        # ten kernels: one submit before the device gets going, one final
+        # completion; intermediate submits overlap execution entirely.
+        assert r.total_time == pytest.approx(10e-3 + 2e-6 + 4e-6)
+
+    def test_async_never_slower_than_sync(self, q):
+        bodies = [1e-4, 5e-6, 2e-3]
+        a = q.simulate(bodies, async_launch=True)
+        s = q.simulate(bodies, async_launch=False)
+        assert a.total_time <= s.total_time
+
+    def test_tiny_kernels_submit_bound(self, q):
+        # kernels shorter than submit overhead: host becomes the bottleneck
+        r = q.simulate([1e-9] * 100, async_launch=True)
+        assert r.total_time >= 100 * 2e-6
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e-2), min_size=1, max_size=30))
+    def test_total_at_least_body_time(self, bodies):
+        q = AsyncQueue()
+        for mode in (True, False):
+            r = q.simulate(bodies, async_launch=mode)
+            assert r.total_time >= r.body_time
+            assert r.gap_time == pytest.approx(r.total_time - r.body_time, abs=1e-12)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e-2), min_size=1, max_size=30))
+    def test_async_dominates_sync(self, bodies):
+        q = AsyncQueue()
+        a = q.simulate(bodies, async_launch=True)
+        s = q.simulate(bodies, async_launch=False)
+        assert a.total_time <= s.total_time + 1e-15
+
+
+class TestValidation:
+    def test_negative_body_rejected(self, q):
+        with pytest.raises(ValueError):
+            q.simulate([-1.0], async_launch=True)
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncQueue(submit_overhead=-1)

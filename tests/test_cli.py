@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.version == "A"
+        assert args.ranks == 1
+
+    def test_run_version_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--version", "Z"])
+
+
+class TestCommands:
+    def test_port(self, capsys):
+        assert main(["port"]) == 0
+        out = capsys.readouterr().out
+        assert "73865" in out and "68994" in out
+
+    def test_table1_exit_code_and_csv(self, tmp_path, capsys):
+        csv = tmp_path / "t1.csv"
+        assert main(["table1", "--csv", str(csv)]) == 0
+        assert "Table I" in capsys.readouterr().out
+        text = csv.read_text()
+        assert text.splitlines()[0].startswith("version,")
+        assert "1458" in text
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "parallel, loop" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        rc = main(
+            ["run", "--version", "AD", "--steps", "2", "--ranks", "2",
+             "--shape", "8", "6", "8", "--pcg-iters", "2", "--sts-stages", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "step   0" in out
+        assert "max|divB|" in out
+
+    def test_portability(self, capsys):
+        assert main(["portability"]) == 0
+        out = capsys.readouterr().out
+        assert "nvfortran" in out
+        assert "202X" in out
+
+    def test_memfit(self, capsys):
+        assert main(["memfit"]) == 0
+        out = capsys.readouterr().out
+        assert "36M cells" in out
+        assert "fits: True" in out
+
+    def test_report_writes_file(self, tmp_path, capsys, monkeypatch):
+        # report with the full calibration is slow; patch to the fast one
+        from repro.perf import calibration as cal_mod
+
+        fast = cal_mod.Calibration(pcg_iters=2, sts_stages=2, bench_steps=1)
+        monkeypatch.setattr(cal_mod, "PAPER_CALIBRATION", fast)
+        # experiment modules captured PAPER_CALIBRATION as default args at
+        # import time; exercising the full report here would re-run them
+        # with the slow calibration, so only check the CLI wiring exists.
+        parser = build_parser()
+        args = parser.parse_args(["report", "--output", str(tmp_path / "E.md")])
+        assert args.fn.__name__ == "cmd_report"
+
+
+class TestNewCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "meridional cut" in out
+
+    def test_categories_parser(self):
+        args = build_parser().parse_args(["categories", "--ranks", "4"])
+        assert args.ranks == 4
+        assert args.fn.__name__ == "cmd_categories"
+
+    def test_multinode_parser(self):
+        args = build_parser().parse_args(["multinode"])
+        assert args.fn.__name__ == "cmd_multinode"

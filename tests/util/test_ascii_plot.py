@@ -1,0 +1,93 @@
+"""ASCII plotting renderers."""
+
+import pytest
+
+from repro.util.ascii_plot import AsciiBarChart, AsciiLinePlot, AsciiTimeline
+
+
+class TestLinePlot:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AsciiLinePlot().render()
+
+    def test_log_rejects_nonpositive(self):
+        p = AsciiLinePlot()
+        with pytest.raises(ValueError):
+            p.add_series("bad", [0, 1], [1, 2])
+
+    def test_mismatched_lengths(self):
+        p = AsciiLinePlot()
+        with pytest.raises(ValueError):
+            p.add_series("bad", [1, 2], [1])
+
+    def test_renders_series_markers_and_legend(self):
+        p = AsciiLinePlot(title="Fig 2")
+        p.add_series("CODE 1 (A)", [1, 2, 4, 8], [200.9, 96.0, 46.0, 23.0])
+        p.add_series("ideal", [1, 2, 4, 8], [200.9, 100.45, 50.2, 25.1])
+        out = p.render()
+        assert "Fig 2" in out
+        assert "CODE 1 (A)" in out
+        assert "o" in out and "x" in out
+
+    def test_too_small_plot_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiLinePlot(width=4, height=4)
+
+    def test_single_point_series(self):
+        p = AsciiLinePlot(logx=False, logy=False)
+        p.add_series("pt", [1.0], [1.0])
+        assert "pt" in p.render()
+
+
+class TestBarChart:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AsciiBarChart().render()
+
+    def test_negative_segment_rejected(self):
+        c = AsciiBarChart()
+        with pytest.raises(ValueError):
+            c.add_group("x", [("mpi", -1.0)])
+
+    def test_stacked_totals_shown(self):
+        c = AsciiBarChart(unit="min")
+        c.add_group("CODE 1", [("wall-mpi", 171.9), ("mpi", 29.0)])
+        c.add_group("CODE 3", [("wall-mpi", 227.5), ("mpi", 41.4)])
+        out = c.render()
+        assert "200.9 min" in out
+        assert "268.9 min" in out
+        assert "legend" in out
+
+    def test_distinct_fills_per_segment(self):
+        c = AsciiBarChart()
+        c.add_group("g", [("a", 1.0), ("b", 1.0)])
+        legend = c.render().splitlines()[-1]
+        assert "#=a" in legend and "==b" in legend.replace(" ", "")
+
+
+class TestTimeline:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AsciiTimeline().render()
+
+    def test_event_order_validated(self):
+        t = AsciiTimeline()
+        with pytest.raises(ValueError):
+            t.add_event("gpu0", 2.0, 1.0, "kernel")
+
+    def test_lanes_and_glyphs(self):
+        t = AsciiTimeline(width=40, title="fig4")
+        t.add_event("gpu0", 0.0, 1.0, "kernel")
+        t.add_event("gpu0", 1.0, 1.5, "p2p")
+        t.add_event("gpu1", 0.5, 2.0, "h2d")
+        out = t.render()
+        assert "fig4" in out
+        assert "gpu0 |" in out and "gpu1 |" in out
+        assert "K" in out and "P" in out and "^" in out
+
+    def test_window_clipping(self):
+        t = AsciiTimeline(width=20)
+        t.add_event("g", 0.0, 10.0, "kernel")
+        t.add_event("g", 20.0, 30.0, "p2p")
+        out = t.render(t0=0.0, t1=10.0)
+        assert "P" not in out.splitlines()[-2]

@@ -1,0 +1,58 @@
+"""ASCII heatmap renderer."""
+
+import numpy as np
+import pytest
+
+from repro.util.ascii_plot import AsciiHeatmap
+
+
+class TestHeatmap:
+    def test_ramp_orders_values(self):
+        h = AsciiHeatmap(width=10)
+        out = h.render(np.array([[0.0, 1.0]]))
+        row = out.splitlines()[0]
+        # left half dark, right half bright
+        assert row[1] == AsciiHeatmap.RAMP[0]
+        assert row[-2] == AsciiHeatmap.RAMP[-1]
+
+    def test_row_labels(self):
+        h = AsciiHeatmap(width=8)
+        out = h.render(np.zeros((2, 4)), row_labels=["r=1.0", "r=2.0"])
+        assert "r=1.0" in out and "r=2.0" in out
+
+    def test_scale_line(self):
+        h = AsciiHeatmap(width=8)
+        out = h.render(np.array([[1.0, 5.0]]))
+        assert "1" in out.splitlines()[-1]
+        assert "5" in out.splitlines()[-1]
+
+    def test_constant_field_does_not_divide_by_zero(self):
+        h = AsciiHeatmap(width=8)
+        out = h.render(np.full((2, 3), 7.0))
+        assert out  # renders without error
+
+    def test_explicit_limits(self):
+        h = AsciiHeatmap(width=8)
+        out = h.render(np.array([[0.5]]), vmin=0.0, vmax=1.0)
+        # midpoint of the ramp, not the extremes
+        ch = out.splitlines()[0][1]
+        assert ch not in (AsciiHeatmap.RAMP[0], AsciiHeatmap.RAMP[-1])
+
+    def test_resampling_to_width(self):
+        h = AsciiHeatmap(width=16)
+        out = h.render(np.zeros((1, 100)))
+        assert len(out.splitlines()[0]) == 18  # width + 2 borders
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiHeatmap(width=2)
+        h = AsciiHeatmap(width=8)
+        with pytest.raises(ValueError):
+            h.render(np.zeros(3))
+        with pytest.raises(ValueError):
+            h.render(np.array([[np.nan, 1.0]]))
+
+    def test_column_axis_label(self):
+        h = AsciiHeatmap(width=12)
+        out = h.render(np.zeros((1, 3)), col_axis="phi")
+        assert "phi" in out

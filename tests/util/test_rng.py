@@ -1,0 +1,40 @@
+"""Seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng("codebase").random(8)
+        b = make_rng("codebase").random(8)
+        assert np.array_equal(a, b)
+
+    def test_name_separates_streams(self):
+        a = make_rng("a").random(8)
+        b = make_rng("b").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_rng("")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs("ranks", 4)) == 4
+
+    def test_children_independent(self):
+        a, b = spawn_rngs("ranks", 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_deterministic_across_calls(self):
+        a1 = spawn_rngs("ranks", 3)[2].random(4)
+        a2 = spawn_rngs("ranks", 3)[2].random(4)
+        assert np.array_equal(a1, a2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs("x", -1)

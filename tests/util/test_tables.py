@@ -1,0 +1,62 @@
+"""Table renderer."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTableConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_align_length_checked(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"], align=["l"])
+
+    def test_align_values_checked(self):
+        with pytest.raises(ValueError):
+            Table(["a"], align=["x"])
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+
+class TestTableRendering:
+    def test_floats_rounded_to_two_places(self):
+        t = Table(["code", "wall"])
+        t.add_row(["1 (A)", 725.536])
+        assert "725.54" in t.render()
+
+    def test_bools_render_yes_no(self):
+        t = Table(["flag"])
+        t.add_row([True])
+        t.add_row([False])
+        assert "yes" in t.render() and "no" in t.render()
+
+    def test_title_included(self):
+        t = Table(["x"], title="Table III")
+        t.add_row([1])
+        assert t.render().startswith("Table III")
+
+    def test_alignment_right(self):
+        t = Table(["name", "v"])
+        t.add_row(["a", 5])
+        t.add_row(["bb", 500])
+        lines = t.render().splitlines()
+        # right-aligned numeric column: '5' ends where '500' ends
+        assert lines[-1].rstrip().endswith("|")
+        assert lines[-2].index("5") > 0
+
+    def test_csv(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2.0])
+        assert t.to_csv() == "a,b\n1,2.00"
+
+    def test_rows_are_copies(self):
+        t = Table(["a"])
+        t.add_row([1])
+        t.rows[0][0] = "mutated"
+        assert t.rows[0][0] == "1"
