@@ -1,0 +1,116 @@
+"""Telemetry overhead bench: instrumented run, enabled vs disabled.
+
+Measures the host wall-clock of a small fig2-style run three ways --
+telemetry disabled (the default no-op path), telemetry enabled in
+memory, and enabled with artifact finalization -- plus the raw cost of
+one disabled hook (``current()`` + ``enabled`` check). Results land in
+``BENCH_telemetry.json`` at the repo root so PRs can track the overhead
+like the other BENCH artifacts.
+
+Run with ``pytest benchmarks/bench_obs_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_block
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.model import MasModel, ModelConfig
+from repro.obs.telemetry import NULL, current, session
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_telemetry.json"
+
+STEPS = 3
+SHAPE = (8, 6, 8)
+RANKS = 2
+
+
+def _run_model() -> int:
+    model = MasModel(
+        ModelConfig(shape=SHAPE, num_ranks=RANKS, pcg_iters=2,
+                    sts_stages=2, extra_model_arrays=0),
+        runtime_config_for(CodeVersion.A),
+    )
+    launches = 0
+    for t in model.run(STEPS):
+        launches += t.launches
+    return launches
+
+
+def _timed(fn) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _hook_ns(n: int = 50000) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        tel = current()
+        if tel.enabled:
+            raise AssertionError("telemetry must be disabled here")
+    return (time.perf_counter() - t0) / n * 1e9
+
+
+def test_telemetry_overhead(tmp_path, benchmark):
+    assert current() is NULL
+    _run_model()  # warm numpy/import caches before timing
+
+    disabled_s, launches = benchmark.pedantic(
+        lambda: _timed(_run_model), rounds=1, iterations=1
+    )
+
+    def enabled_run():
+        with session(tmp_path / "tel"):
+            return _run_model()
+
+    enabled_s, _ = _timed(enabled_run)
+
+    def memory_only():
+        with session(tmp_path / "mem") as tel:
+            launches = _run_model()
+            tel.out_dir = None  # skip artifact writing
+            return launches
+
+    memory_s, _ = _timed(memory_only)
+
+    hook_ns = _hook_ns()
+    result = {
+        "schema": "repro-bench-telemetry/1",
+        "config": {"steps": STEPS, "shape": list(SHAPE), "ranks": RANKS,
+                   "version": "A"},
+        "kernel_launches": launches,
+        "disabled_seconds": disabled_s,
+        "enabled_memory_seconds": memory_s,
+        "enabled_finalized_seconds": enabled_s,
+        "enabled_overhead_fraction": memory_s / disabled_s - 1.0,
+        "noop_hook_ns": hook_ns,
+        "noop_hook_calls_per_run": launches * 4,
+        "noop_overhead_fraction": launches * 4 * hook_ns * 1e-9 / disabled_s,
+    }
+    ARTIFACT.write_text(json.dumps(result, indent=2) + "\n")
+
+    print_block(
+        "TELEMETRY OVERHEAD -- enabled vs no-op",
+        "\n".join(
+            [
+                f"disabled run        {disabled_s * 1e3:8.1f} ms ({launches} launches)",
+                f"enabled (memory)    {memory_s * 1e3:8.1f} ms "
+                f"({result['enabled_overhead_fraction'] * 100:+.1f}%)",
+                f"enabled (finalized) {enabled_s * 1e3:8.1f} ms",
+                f"no-op hook          {hook_ns:8.1f} ns/call -> "
+                f"{result['noop_overhead_fraction'] * 100:.3f}% of a run",
+                f"wrote {ARTIFACT}",
+            ]
+        ),
+    )
+
+    # the disabled path must stay effectively free
+    assert result["noop_overhead_fraction"] < 0.05
+    # enabled telemetry on a tiny run should stay within the same order
+    assert memory_s < disabled_s * 3

@@ -22,6 +22,31 @@ def _add_csv(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", metavar="FILE", help="also write rows as CSV")
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="collect metrics/spans/logs and write a telemetry directory "
+        "(manifest, JSONL log, Prometheus metrics, merged Chrome trace)",
+    )
+
+
+def _telemetry_session(args: argparse.Namespace):
+    """Activate a telemetry session for one CLI command (no-op without
+    ``--telemetry``); records the command line in the run manifest."""
+    from repro.obs import session
+
+    cli = {
+        k: v
+        for k, v in vars(args).items()
+        if k not in ("fn", "telemetry") and not callable(v)
+    }
+    return session(
+        getattr(args, "telemetry", None), command=args.command, cli=cli
+    )
+
+
 def _write_csv(path: str | None, header: list[str], rows: list[list]) -> None:
     if not path:
         return
@@ -90,7 +115,8 @@ def cmd_fig2(args: argparse.Namespace) -> int:
     from repro.experiments.fig2 import render_fig2, run_fig2
     from repro.perf.scaling import GPU_COUNTS
 
-    result = run_fig2()
+    with _telemetry_session(args):
+        result = run_fig2()
     print(render_fig2(result))
     _write_csv(
         args.csv,
@@ -108,7 +134,8 @@ def cmd_fig3(args: argparse.Namespace) -> int:
     from repro.experiments.fig3 import GPU_PANELS, render_fig3, run_fig3
     from repro.codes import GPU_VERSIONS
 
-    result = run_fig3()
+    with _telemetry_session(args):
+        result = run_fig3()
     print(render_fig3(result))
     _write_csv(
         args.csv,
@@ -125,7 +152,9 @@ def cmd_fig3(args: argparse.Namespace) -> int:
 def cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments.fig4 import render_fig4, run_fig4
 
-    print(render_fig4(run_fig4()))
+    with _telemetry_session(args):
+        result = run_fig4()
+    print(render_fig4(result))
     return 0
 
 
@@ -133,22 +162,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.mas.model import MasModel, ModelConfig
 
     version = CodeVersion[args.version]
-    model = MasModel(
-        ModelConfig(
-            shape=tuple(args.shape),
-            num_ranks=args.ranks,
-            pcg_iters=args.pcg_iters,
-            sts_stages=args.sts_stages,
-        ),
-        runtime_config_for(version),
-    )
-    print(f"running {version_info(version).tag}: {version_info(version).description}")
-    for i, t in enumerate(model.run(args.steps)):
-        print(
-            f"step {i:3d}  dt={t.dt:.5f}  wall={t.wall * 1e3:8.2f} ms  "
-            f"mpi={t.mpi * 1e3:7.2f} ms  launches={t.launches}"
+    with _telemetry_session(args):
+        model = MasModel(
+            ModelConfig(
+                shape=tuple(args.shape),
+                num_ranks=args.ranks,
+                pcg_iters=args.pcg_iters,
+                sts_stages=args.sts_stages,
+            ),
+            runtime_config_for(version),
         )
-    d = model.diagnostics()
+        print(f"running {version_info(version).tag}: {version_info(version).description}")
+        for i, t in enumerate(model.run(args.steps)):
+            print(
+                f"step {i:3d}  dt={t.dt:.5f}  wall={t.wall * 1e3:8.2f} ms  "
+                f"mpi={t.mpi * 1e3:7.2f} ms  launches={t.launches}"
+            )
+        d = model.diagnostics()
     print(
         f"done: t={model.time:.4f}, mass={d['mass']:.4f}, "
         f"max|divB|={d['max_divb']:.2e}, max vr={d['max_vr']:.4f}"
@@ -234,11 +264,23 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
 def cmd_categories(args: argparse.Namespace) -> int:
     from repro.perf.categories import measure_categories, render_categories
 
-    breakdowns = [
-        measure_categories(v, args.ranks)
-        for v in (CodeVersion.A, CodeVersion.AD, CodeVersion.ADU, CodeVersion.D2XU)
-    ]
+    with _telemetry_session(args):
+        breakdowns = [
+            measure_categories(v, args.ranks)
+            for v in (CodeVersion.A, CodeVersion.AD, CodeVersion.ADU, CodeVersion.D2XU)
+        ]
     print(render_categories(breakdowns))
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_dir
+
+    try:
+        print(summarize_dir(args.dir))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -258,9 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=doc)
         _add_csv(p)
+        if name in ("fig2", "fig3"):
+            _add_telemetry(p)
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("fig4", help="Fig. 4: viscosity-solver timeline")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_fig4)
 
     p = sub.add_parser("fig1", help="Fig. 1: test-case visualization")
@@ -268,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("categories", help="per-step time by category per version")
     p.add_argument("--ranks", type=int, default=8)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_categories)
 
     p = sub.add_parser("tradeoff", help="directive count vs performance synthesis")
@@ -282,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("NR", "NT", "NP"))
     p.add_argument("--pcg-iters", type=int, default=5)
     p.add_argument("--sts-stages", type=int, default=5)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("port", help="run the source-porting pipeline")
@@ -299,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("multinode", help="extension: scaling beyond one node")
     p.set_defaults(fn=cmd_multinode)
+
+    p = sub.add_parser("telemetry", help="summarize a telemetry directory")
+    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.set_defaults(fn=cmd_telemetry)
     return parser
 
 

@@ -44,6 +44,7 @@ from repro.mas.viscosity import implicit_matvec, jacobi_diagonal
 from repro.mpi.collectives import allreduce_max, allreduce_min, allreduce_sum
 from repro.mpi.decomp import Decomposition3D
 from repro.mpi.halo import HaloExchanger, HaloSpec
+from repro.obs.telemetry import current as _telemetry
 from repro.mpi.transport import TransportKind, make_transport
 from repro.runtime.clock import TimeCategory
 from repro.runtime.config import RuntimeConfig
@@ -259,8 +260,14 @@ class MasModel:
             buffer_init_fraction=halo_buffer_init_fraction,
             rank_nodes=self.rank_nodes,
         )
-        self._exchange_state()
-        self._apply_boundaries()
+        # Register with the active telemetry session (no-op by default):
+        # attaches the session profiler to the rank clocks, rebinds the span
+        # tracer's simulated-time source, and records the model
+        # configuration in the run manifest.
+        _telemetry().bind_model(self)
+        with _telemetry().tracer.span("setup/initial_exchange"):
+            self._exchange_state()
+            self._apply_boundaries()
 
     # ------------------------------------------------------------------ setup
 
@@ -396,27 +403,39 @@ class MasModel:
 
     def step(self) -> StepTiming:
         """Advance the full system one step; returns timing deltas."""
+        tel = _telemetry()
         t0 = [rt.clock.now for rt in self.ranks]
         mpi0 = [rt.clock.mpi_time for rt in self.ranks]
         comp0 = [rt.clock.by_category.get(TimeCategory.COMPUTE, 0.0) for rt in self.ranks]
         launches0 = sum(rt.stats.launches for rt in self.ranks)
+        cat0 = [dict(rt.clock.by_category) for rt in self.ranks] if tel.enabled else None
 
-        self._wrapper_inits()
-        self._exchange_state()
-        self._apply_boundaries()
-        dt = self.compute_dt()
-
-        self._hydro_advance(dt)
-        self._shell_diagnostics()
-        self._momentum_predictor(dt)
-        self._semi_implicit_solve(dt)
-        self._viscosity_solve(dt)
-        self._exchange_state(names=("vr", "vt", "vp"))
-        self._apply_boundaries()
-        self._induction(dt)
-        self._conduction(dt)
-        self._energy_sources(dt)
-        self._floors()
+        span = tel.tracer.span
+        with span("step", index=self.steps_taken):
+            with span("step/exchange"):
+                self._wrapper_inits()
+                self._exchange_state()
+                self._apply_boundaries()
+            with span("step/cfl"):
+                dt = self.compute_dt()
+            with span("step/hydro"):
+                self._hydro_advance(dt)
+                self._shell_diagnostics()
+            with span("step/momentum"):
+                self._momentum_predictor(dt)
+            self._semi_implicit_solve(dt)
+            with span("step/viscosity"):
+                self._viscosity_solve(dt)
+            with span("step/exchange"):
+                self._exchange_state(names=("vr", "vt", "vp"))
+                self._apply_boundaries()
+            with span("step/induction"):
+                self._induction(dt)
+            with span("step/conduction"):
+                self._conduction(dt)
+            with span("step/sources"):
+                self._energy_sources(dt)
+                self._floors()
 
         self.time += dt
         self.steps_taken += 1
@@ -433,7 +452,38 @@ class MasModel:
             )
         )
         launches = sum(rt.stats.launches for rt in self.ranks) - launches0
-        return StepTiming(dt=dt, wall=wall, mpi=mpi, compute=comp, launches=launches)
+        timing = StepTiming(dt=dt, wall=wall, mpi=mpi, compute=comp, launches=launches)
+        if tel.enabled:
+            self._record_step(tel, timing, cat0)
+        return timing
+
+    def _record_step(self, tel, timing: StepTiming, cat0: list[dict]) -> None:
+        """Per-step metrics and one structured JSONL record."""
+        n = len(self.ranks)
+        categories: dict[str, float] = {}
+        for r, rt in enumerate(self.ranks):
+            for cat, t in rt.clock.by_category.items():
+                delta = t - cat0[r].get(cat, 0.0)
+                categories[cat.value] = categories.get(cat.value, 0.0) + delta / n
+        tel.metrics.counter("steps_total", "model steps completed").inc()
+        tel.metrics.histogram(
+            "step_seconds", "simulated wall seconds per step (max over ranks)"
+        ).observe(timing.wall)
+        tel.metrics.gauge("sim_dt", "last CFL timestep (simulation units)").set(
+            timing.dt
+        )
+        tel.metrics.gauge("sim_time", "simulated physical time").set(self.time)
+        tel.logger.log(
+            "step",
+            step=self.steps_taken - 1,
+            dt=float(timing.dt),
+            wall=float(timing.wall),
+            mpi=float(timing.mpi),
+            compute=float(timing.compute),
+            launches=int(timing.launches),
+            sim_time=float(self.time),
+            categories=categories,
+        )
 
     def run(self, n_steps: int) -> list[StepTiming]:
         """Advance ``n_steps`` steps, returning per-step timings."""
@@ -621,6 +671,7 @@ class MasModel:
 
     def _implicit_velocity_solve(self, nu: float, dt: float, tag: str) -> None:
         """(I - dt nu Lap) v = v* per component via PCG (Jacobi precond)."""
+        tracer = _telemetry().tracer
         diags = [jacobi_diagonal(g, nu, dt) for g in self.local_grids]
         precond = jacobi_preconditioner(diags)
 
@@ -704,15 +755,16 @@ class MasModel:
                                    tags=frozenset({cost_tag}))
                     )
 
-            pcg_solve(
-                apply_a,
-                rhs,
-                arrays,
-                dot=dot,
-                precondition=precondition,
-                combine=combine,
-                iterations=self.config.pcg_iters,
-            )
+            with tracer.span(f"step/{cost_tag}/pcg", component=comp):
+                pcg_solve(
+                    apply_a,
+                    rhs,
+                    arrays,
+                    dot=dot,
+                    precondition=precondition,
+                    combine=combine,
+                    iterations=self.config.pcg_iters,
+                )
 
     # -- induction -------------------------------------------------------------------
 

@@ -18,6 +18,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.telemetry import current as _telemetry
+
 RankArrays = list[np.ndarray]
 
 
@@ -28,6 +30,27 @@ class PcgResult:
     iterations: int
     residual_norm: float
     converged: bool
+
+
+def _observe_solve(result: PcgResult) -> PcgResult:
+    """Record the finished solve in the active telemetry session."""
+    tel = _telemetry()
+    if tel.enabled:
+        tel.metrics.counter("pcg_solves_total", "PCG solves completed").inc()
+        tel.metrics.counter(
+            "pcg_iterations_total", "PCG iterations across all solves"
+        ).inc(result.iterations)
+        tel.metrics.histogram(
+            "pcg_residual_norm", "relative residual at solve end",
+            buckets=(1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0),
+        ).observe(result.residual_norm)
+        tel.logger.log(
+            "pcg_solve",
+            iterations=result.iterations,
+            residual_norm=result.residual_norm,
+            converged=result.converged,
+        )
+    return result
 
 
 def pcg_solve(
@@ -81,7 +104,7 @@ def pcg_solve(
             ri -= alpha * api
         res_norm = np.sqrt(max(dot(r, r), 0.0)) / rhs_norm
         if tol > 0.0 and res_norm < tol:
-            return PcgResult(it, float(res_norm), True)
+            return _observe_solve(PcgResult(it, float(res_norm), True))
         z = precondition(r)
         rz_new = dot(r, z)
         beta = rz_new / rz if rz != 0 else 0.0
@@ -89,7 +112,9 @@ def pcg_solve(
         for pi in p:
             pi *= beta
         combine(p, 1.0, z)  # p = z + beta * p
-    return PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol)
+    return _observe_solve(
+        PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol)
+    )
 
 
 def numpy_dot(a: RankArrays, b: RankArrays) -> float:

@@ -15,11 +15,22 @@ from typing import Sequence
 import numpy as np
 
 from repro.machine.spec import LinkSpec
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.clock import TimeCategory
 from repro.runtime.dispatcher import RankRuntime
 
 #: Host-side overhead per collective when buffers are UM-managed.
 UM_COLLECTIVE_OVERHEAD = 25e-6
+
+
+def _observe_collective(op: str) -> None:
+    """Count one allreduce (PCG dots and CFL minima dominate these)."""
+    tel = _telemetry()
+    if tel.enabled:
+        tel.metrics.counter(
+            "allreduce_total", "MPI allreduces issued, by reduction op",
+            labelnames=("op",),
+        ).labels(op=op).inc()
 
 
 def _collective_cost(
@@ -56,6 +67,7 @@ def allreduce_sum(
     """MPI_Allreduce(SUM): every rank contributes, every rank gets the sum."""
     if len(values) != len(ranks):
         raise ValueError("one value per rank required")
+    _observe_collective("sum")
     barrier(ranks, "allreduce")
     total = values[0]
     for v in values[1:]:
@@ -77,6 +89,7 @@ def allreduce_min(
     """MPI_Allreduce(MIN), used by the CFL timestep controller."""
     if len(values) != len(ranks):
         raise ValueError("one value per rank required")
+    _observe_collective("min")
     barrier(ranks, "allreduce")
     result = min(values)
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
@@ -96,6 +109,7 @@ def allreduce_max(
     """MPI_Allreduce(MAX), used by the semi-implicit wave-speed estimate."""
     if len(values) != len(ranks):
         raise ValueError("one value per rank required")
+    _observe_collective("max")
     barrier(ranks, "allreduce")
     result = max(values)
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)

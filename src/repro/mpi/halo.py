@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.mpi.decomp import Decomposition3D
 from repro.mpi.transport import Transport
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.clock import TimeCategory
 from repro.runtime.dispatcher import RankRuntime
 from repro.runtime.kernel import KernelSpec
@@ -175,6 +176,23 @@ class HaloExchanger:
                         f"array extent {a.shape[axis]} too small for halo depth {g}"
                     )
         self.ensure_buffers(g)
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "halo_exchanges_total", "ghost-layer exchanges, by field",
+                labelnames=("field",),
+            ).labels(field=field_name).inc()
+        with tel.tracer.span("halo_exchange", field=field_name):
+            self._exchange_spec(field_name, locals_, spec, g, stagger_axis)
+
+    def _exchange_spec(
+        self,
+        field_name: str,
+        locals_: list[np.ndarray],
+        spec: HaloSpec,
+        g: int,
+        stagger_axis: int | None,
+    ) -> None:
         if self.buffer_init_fraction > 0.0:
             for rt in self.ranks:
                 nb = (
@@ -234,6 +252,17 @@ class HaloExchanger:
         self._barrier()
 
         # -- phase C: messages -----------------------------------------------------
+        tel = _telemetry()
+        msg_counter = bytes_counter = None
+        if tel.enabled:
+            msg_counter = tel.metrics.counter(
+                "halo_messages_total", "halo messages sent, by transport",
+                labelnames=("transport",),
+            ).labels(transport=self.transport.kind.value)
+            bytes_counter = tel.metrics.counter(
+                "halo_bytes_total", "nominal halo payload bytes sent, by rank",
+                labelnames=("rank",),
+            )
         received: dict[tuple[int, int], np.ndarray] = {}
         for rank, rt in enumerate(self.ranks):
             for direction in (-1, 1):
@@ -266,6 +295,9 @@ class HaloExchanger:
                 received[(nb, -direction)] = buf
                 self.messages += 1
                 self.bytes_sent += nbytes
+                if msg_counter is not None:
+                    msg_counter.inc()
+                    bytes_counter.labels(rank=str(rank)).inc(nbytes)
 
         # -- phase D: unpack into ghosts -----------------------------------------
         for (rank, direction), buf in received.items():

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.machine.interconnect import Interconnect
 from repro.machine.spec import LinkSpec
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.clock import TimeCategory
 from repro.runtime.data_env import Charge, DataEnvironment, DataMode
 
@@ -127,6 +128,7 @@ class UnifiedMemoryTransport(Transport):
     def send_charges(self, env, buffer_name, nbytes):
         if env.mode is not DataMode.UNIFIED:
             raise ValueError("UM transport requires a unified data environment")
+        self._observe_staging(nbytes, "send")
         charges = [
             Charge(self.host_mpi_overhead, TimeCategory.MPI_TRANSFER, "um_mpi_sync")
         ]
@@ -151,6 +153,7 @@ class UnifiedMemoryTransport(Transport):
     def recv_charges(self, env, buffer_name, nbytes):
         if env.mode is not DataMode.UNIFIED:
             raise ValueError("UM transport requires a unified data environment")
+        self._observe_staging(nbytes, "recv")
         # MPI writes the receive buffer on the host; pages (if device
         # resident) must migrate out first, and will fault back in at the
         # next unpack kernel -- that fault is charged by prepare_kernel.
@@ -158,6 +161,16 @@ class UnifiedMemoryTransport(Transport):
             Charge(c.seconds, TimeCategory.MPI_TRANSFER, c.label)
             for c in env.host_access(buffer_name, int(nbytes * self.page_amplification))
         ]
+
+    def _observe_staging(self, nbytes: int, side: str) -> None:
+        """Count host-staged page traffic (the Fig. 4 UM pathology)."""
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "um_staged_bytes_total",
+                "page-granular bytes staged through the host by UM MPI",
+                labelnames=("side",),
+            ).labels(side=side).inc(nbytes * self.page_amplification)
 
 
 @dataclass(frozen=True, slots=True)

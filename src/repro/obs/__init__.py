@@ -1,0 +1,51 @@
+"""Unified telemetry layer: metrics, span tracing, structured logging.
+
+The observability subsystem the solver/runtime/MPI stack reports into
+(see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` -- labeled counters/gauges/histograms with
+  Prometheus-text and JSON exporters;
+* :mod:`repro.obs.tracing` -- hierarchical spans over simulated time,
+  merged into the Chrome trace next to profiler lanes;
+* :mod:`repro.obs.runlog` -- structured JSONL run records + manifest;
+* :mod:`repro.obs.telemetry` -- the session facade and the global
+  :func:`current` accessor instrumented code uses;
+* :mod:`repro.obs.summary` -- ``repro telemetry DIR`` table rendering.
+
+Everything is a near-zero-cost no-op unless a session is active.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.runlog import RunLogger, build_manifest, git_sha
+from repro.obs.telemetry import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    current,
+    deactivate,
+    session,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NULL",
+    "NullTelemetry",
+    "RunLogger",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "activate",
+    "build_manifest",
+    "current",
+    "deactivate",
+    "git_sha",
+    "parse_prometheus_text",
+    "session",
+]

@@ -1,0 +1,121 @@
+"""Structured JSONL run logging and the run manifest.
+
+:class:`RunLogger` accumulates structured records -- dicts with an
+``event`` discriminator plus arbitrary fields -- and serializes them one
+JSON object per line. The model emits one ``step`` record per step (dt,
+wall, mpi, per-category simulated seconds), the PCG solver one
+``pcg_solve`` record per solve, etc.; ``repro telemetry DIR`` aggregates
+them back into tables.
+
+:func:`build_manifest` captures run provenance: CLI command and
+arguments, code version(s), grid, seed, git SHA, interpreter and numpy
+versions. The manifest is what makes two ``BENCH_*.json`` /
+telemetry directories comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any
+
+
+def _json_default(o: Any) -> Any:
+    item = getattr(o, "item", None)  # numpy scalars -> python scalars
+    if callable(item):
+        return item()
+    if isinstance(o, (set, frozenset, tuple)):
+        return list(o)
+    return str(o)
+
+
+def json_dumps(obj: Any) -> str:
+    """JSON serialization tolerant of numpy scalars and odd types."""
+    return json.dumps(obj, default=_json_default)
+
+
+class RunLogger:
+    """Append-only structured log, serialized as JSONL."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def log(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one record; returns it (mutating it later is visible)."""
+        rec: dict[str, Any] = {"event": event, **fields}
+        self.records.append(rec)
+        return rec
+
+    def by_event(self, event: str) -> list[dict[str, Any]]:
+        """All records with the given event type."""
+        return [r for r in self.records if r.get("event") == event]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line."""
+        return "\n".join(json_dumps(r) for r in self.records)
+
+
+class NullRunLogger:
+    """Logger twin for disabled telemetry."""
+
+    __slots__ = ()
+
+    records: tuple = ()
+
+    def log(self, event: str, **fields: Any) -> None:
+        return None
+
+    def by_event(self, event: str) -> tuple:
+        return ()
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+NULL_LOGGER = NullRunLogger()
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """HEAD commit of the enclosing repo, or None outside git / on error."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else str(Path(__file__).resolve().parent),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def build_manifest(**extra: Any) -> dict[str, Any]:
+    """Provenance manifest: environment + whatever the caller adds.
+
+    ``extra`` typically carries ``command`` (CLI subcommand), ``cli``
+    (parsed arguments) and ``models`` (per-model config recorded by
+    :meth:`~repro.obs.telemetry.Telemetry.bind_model`).
+    """
+    from repro.util.rng import ROOT_SEED
+
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    manifest: dict[str, Any] = {
+        "schema": "repro-telemetry-manifest/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "seed": ROOT_SEED,
+        "git_sha": git_sha(),
+        "argv": list(sys.argv),
+    }
+    manifest.update(extra)
+    return manifest

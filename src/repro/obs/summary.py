@@ -1,0 +1,157 @@
+"""Summarize a telemetry directory into human-readable tables.
+
+``repro telemetry DIR`` reads the artifacts a finalized
+:class:`~repro.obs.telemetry.Telemetry` session wrote (manifest, JSONL
+log, spans, metrics snapshot) and renders: run provenance, per-step
+statistics, the hottest span names by total simulated time, and the
+counter/gauge/histogram values -- the quick "what did this run do and
+where did the time go" view without opening Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs import telemetry as tmod
+from repro.util.tables import Table
+
+
+def _read_json(path: Path) -> Any:
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    out = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return out
+
+
+def _manifest_block(manifest: dict | None) -> str:
+    if not manifest:
+        return "manifest: (missing)"
+    lines = ["run manifest:"]
+    for key in ("command", "git_sha", "python", "numpy", "seed"):
+        if key in manifest and manifest[key] is not None:
+            lines.append(f"  {key:8s} {manifest[key]}")
+    models = manifest.get("models") or []
+    for m in models:
+        lines.append(
+            f"  model    #{m.get('index', '?')} {m.get('version', '?')}"
+            f" shape={tuple(m.get('shape', ()))} ranks={m.get('num_ranks', '?')}"
+            f" um={m.get('unified_memory')}"
+        )
+    return "\n".join(lines)
+
+
+def _steps_table(records: list[dict]) -> str | None:
+    steps = [r for r in records if r.get("event") == "step"]
+    if not steps:
+        return None
+    t = Table(
+        ["steps", "mean dt", "mean wall (ms)", "mean mpi (ms)", "mean compute (ms)",
+         "launches"],
+        title="Per-step records (log.jsonl)",
+    )
+
+    def mean(key: str) -> float:
+        vals = [float(r[key]) for r in steps if key in r]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    t.add_row(
+        [
+            len(steps),
+            f"{mean('dt'):.5f}",
+            mean("wall") * 1e3,
+            mean("mpi") * 1e3,
+            mean("compute") * 1e3,
+            int(sum(r.get("launches", 0) for r in steps)),
+        ]
+    )
+    return t.render()
+
+
+def _spans_table(spans: list[dict], top: int = 12) -> str | None:
+    if not spans:
+        return None
+    agg: dict[str, tuple[int, float]] = {}
+    for s in spans:
+        if s.get("end") is None:
+            continue
+        n, total = agg.get(s["name"], (0, 0.0))
+        agg[s["name"]] = (n + 1, total + float(s.get("duration", 0.0)))
+    if not agg:
+        return None
+    t = Table(
+        ["span", "count", "total (ms)", "mean (ms)"],
+        title=f"Hottest spans by total simulated time (top {top})",
+    )
+    for name, (n, total) in sorted(agg.items(), key=lambda kv: -kv[1][1])[:top]:
+        t.add_row([name, n, total * 1e3, total / n * 1e3])
+    return t.render()
+
+
+def _metrics_table(metrics: dict | None, top: int = 30) -> str | None:
+    if not metrics:
+        return None
+    t = Table(["metric", "labels", "value"], title="Metrics snapshot")
+    rows = 0
+    for name in sorted(metrics):
+        fam = metrics[name]
+        for sample in fam.get("samples", []):
+            labels = ",".join(f"{k}={v}" for k, v in sample.get("labels", {}).items())
+            if fam.get("type") == "histogram":
+                count = sample.get("count", 0)
+                mean = sample.get("sum", 0.0) / count if count else 0.0
+                value = f"count={count} mean={mean:.6g}"
+            else:
+                value = f"{sample.get('value', 0.0):.6g}"
+            t.add_row([name, labels or "-", value])
+            rows += 1
+            if rows >= top:
+                break
+        if rows >= top:
+            break
+    return t.render() if rows else None
+
+
+def summarize_dir(path: str | Path) -> str:
+    """Render the summary for one telemetry directory."""
+    d = Path(path)
+    if not d.is_dir():
+        raise FileNotFoundError(f"telemetry directory {d} does not exist")
+    manifest = _read_json(d / tmod.MANIFEST_FILE)
+    records = _read_jsonl(d / tmod.LOG_FILE)
+    spans = _read_jsonl(d / tmod.SPANS_FILE)
+    metrics = _read_json(d / tmod.METRICS_JSON_FILE)
+
+    blocks = [f"telemetry summary: {d}", _manifest_block(manifest)]
+    for block in (
+        _steps_table(records),
+        _spans_table(spans),
+        _metrics_table(metrics),
+    ):
+        if block:
+            blocks.append(block)
+    trace = d / tmod.TRACE_FILE
+    if trace.is_file():
+        blocks.append(
+            f"chrome trace: {trace} (open at https://ui.perfetto.dev, "
+            f"{trace.stat().st_size} bytes)"
+        )
+    return "\n\n".join(blocks)

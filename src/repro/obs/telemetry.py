@@ -1,0 +1,220 @@
+"""Telemetry facade: one object the whole stack reports into.
+
+A :class:`Telemetry` bundles the three signal types plus a profiler:
+
+* ``metrics`` -- :class:`~repro.obs.metrics.MetricsRegistry` of labeled
+  counters/gauges/histograms (``kernel_launches_total{version,category}``,
+  ``halo_bytes_total{rank}``, ``step_seconds`` ...);
+* ``tracer`` -- :class:`~repro.obs.tracing.Tracer` of hierarchical spans
+  stamped in simulated seconds;
+* ``logger`` -- :class:`~repro.obs.runlog.RunLogger` of structured JSONL
+  records (one per step, per PCG solve, ...);
+* ``profiler`` -- a :class:`~repro.perf.profiler.Profiler` attached to
+  every bound model's rank clocks, feeding the merged Chrome trace.
+
+Instrumented code never holds a Telemetry directly: it calls
+:func:`current`, which returns the innermost *active* session or the
+shared :data:`NULL` no-op when telemetry is disabled (the default). The
+no-op path costs one function call and an attribute check, so hot loops
+stay hot (benchmarked in ``benchmarks/bench_obs_overhead.py``).
+
+Activate a session around any run with::
+
+    with session("out/", command="run") as tel:
+        model = MasModel(...)   # binds itself via current()
+        model.run(10)
+    # out/ now holds manifest.json, log.jsonl, spans.jsonl,
+    # metrics.prom, metrics.json, trace.json
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.runlog import NULL_LOGGER, RunLogger, build_manifest, json_dumps
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+#: Files a finalized telemetry directory contains.
+MANIFEST_FILE = "manifest.json"
+LOG_FILE = "log.jsonl"
+SPANS_FILE = "spans.jsonl"
+METRICS_PROM_FILE = "metrics.prom"
+METRICS_JSON_FILE = "metrics.json"
+TRACE_FILE = "trace.json"
+
+
+class Telemetry:
+    """An active telemetry session collecting metrics, spans and logs."""
+
+    enabled = True
+
+    def __init__(self, out_dir: str | Path | None = None) -> None:
+        # Deferred import: repro.perf pulls in the code-version registry,
+        # which transitively imports the instrumented runtime modules --
+        # importing it at module scope would close an import cycle.
+        from repro.perf.profiler import Profiler
+
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.logger = RunLogger()
+        self.profiler = Profiler()
+        #: Extra manifest fields (command, cli args, bound models).
+        self.manifest_extra: dict[str, Any] = {"models": []}
+        self._models_bound = 0
+
+    # -- model binding -------------------------------------------------------
+
+    def bind_model(self, model: Any) -> str:
+        """Hook a MasModel into this session; returns its lane prefix.
+
+        Attaches the profiler to every rank clock (lanes ``m<i>.rank<r>``),
+        points the tracer's simulated-time source at the model's clocks,
+        and records the model's configuration for the manifest.
+        """
+        idx = self._models_bound
+        self._models_bound += 1
+        prefix = f"m{idx}"
+        clocks = [rt.clock for rt in model.ranks]
+        for r, clock in enumerate(clocks):
+            self.profiler.attach(clock, f"{prefix}.rank{r}")
+        self.tracer.time_fn = lambda: max(c.now for c in clocks)
+        cfg = model.config
+        entry = {
+            "index": idx,
+            "version": model.rt_config.name,
+            "target": model.rt_config.target,
+            "unified_memory": model.rt_config.unified_memory,
+            "shape": list(cfg.shape),
+            "nominal_shape": list(cfg.nominal_shape),
+            "num_ranks": cfg.num_ranks,
+            "pcg_iters": cfg.pcg_iters,
+            "sts_stages": cfg.sts_stages,
+        }
+        self.manifest_extra["models"].append(entry)
+        self.logger.log("model_created", **entry)
+        self.metrics.counter(
+            "models_total", "models bound to this telemetry session"
+        ).inc()
+        return prefix
+
+    # -- snapshots & finalization --------------------------------------------
+
+    def build_manifest(self) -> dict[str, Any]:
+        """Provenance manifest for this session."""
+        return build_manifest(**self.manifest_extra)
+
+    def chrome_trace(self) -> dict:
+        """Merged Chrome trace: profiler lanes + tracer spans."""
+        from repro.perf.trace_export import to_chrome_trace
+
+        if not self.profiler.events and not self.tracer.spans:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return to_chrome_trace(self.profiler, spans=self.tracer.spans)
+
+    def finalize(self, out_dir: str | Path | None = None) -> dict[str, Path]:
+        """Write every artifact; returns ``{artifact_name: path}``.
+
+        A no-op (returns ``{}``) when no output directory was configured.
+        """
+        target = Path(out_dir) if out_dir is not None else self.out_dir
+        if target is None:
+            return {}
+        target.mkdir(parents=True, exist_ok=True)
+        import json
+
+        paths: dict[str, Path] = {}
+
+        def write(name: str, text: str) -> None:
+            p = target / name
+            p.write_text(text)
+            paths[name] = p
+
+        write(MANIFEST_FILE, json_dumps(self.build_manifest()))
+        write(LOG_FILE, self.logger.to_jsonl() + "\n" if self.logger.records else "")
+        write(SPANS_FILE, self.tracer.to_jsonl() + "\n" if self.tracer.spans else "")
+        write(METRICS_PROM_FILE, self.metrics.to_prometheus_text())
+        write(METRICS_JSON_FILE, self.metrics.to_json_text())
+        write(TRACE_FILE, json.dumps(self.chrome_trace()))
+        return paths
+
+
+class NullTelemetry:
+    """The disabled-telemetry singleton: every component is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    metrics = NULL_REGISTRY
+    tracer = NULL_TRACER
+    logger = NULL_LOGGER
+    profiler = None
+    out_dir = None
+
+    def bind_model(self, model: Any) -> str:
+        return ""
+
+    def build_manifest(self) -> dict:
+        return {}
+
+    def chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def finalize(self, out_dir: Any = None) -> dict:
+        return {}
+
+
+NULL = NullTelemetry()
+
+#: Stack of active sessions; instrumented code reads the top via current().
+_ACTIVE: list[Telemetry] = []
+
+
+def current() -> Telemetry | NullTelemetry:
+    """The innermost active telemetry session, or the shared no-op."""
+    return _ACTIVE[-1] if _ACTIVE else NULL
+
+
+def activate(telemetry: Telemetry) -> Telemetry:
+    """Push a session onto the active stack; returns it."""
+    _ACTIVE.append(telemetry)
+    return telemetry
+
+
+def deactivate(telemetry: Telemetry) -> None:
+    """Pop a session (it need not be the innermost)."""
+    for i in range(len(_ACTIVE) - 1, -1, -1):
+        if _ACTIVE[i] is telemetry:
+            del _ACTIVE[i]
+            return
+    raise ValueError("telemetry session is not active")
+
+
+@contextmanager
+def session(
+    out_dir: str | Path | None, **manifest_extra: Any
+) -> Iterator[Telemetry | NullTelemetry]:
+    """Activate a telemetry session; finalize to ``out_dir`` on exit.
+
+    With ``out_dir=None`` (or an empty string -- an empty ``--telemetry``
+    value must not scatter artifacts into the CWD) nothing is activated
+    and the shared no-op is yielded, so callers can wrap code
+    unconditionally::
+
+        with session(args.telemetry, command="fig2"):
+            run_fig2()
+    """
+    if out_dir is None or str(out_dir) == "":
+        yield NULL
+        return
+    tel = Telemetry(out_dir)
+    tel.manifest_extra.update(manifest_extra)
+    activate(tel)
+    try:
+        yield tel
+    finally:
+        deactivate(tel)
+        tel.finalize()

@@ -50,15 +50,49 @@ class Profiler:
     events: list[ProfileEvent] = field(default_factory=list)
     #: Drop events shorter than this (keeps Fig. 4 renders readable).
     min_duration: float = 0.0
+    #: Live subscriptions: (clock id, lane) -> (clock, observer). Keyed so
+    #: repeated attach() of the same lane is idempotent and detach() can
+    #: unsubscribe (SimClock otherwise accumulates observers forever).
+    _attached: dict = field(default_factory=dict, repr=False, compare=False)
 
     def attach(self, clock: SimClock, lane: str) -> None:
-        """Start recording a clock's advances under ``lane``."""
+        """Start recording a clock's advances under ``lane``.
+
+        Idempotent per ``(clock, lane)`` pair: attaching the same clock to
+        the same lane twice records each advance once.
+        """
+        key = (id(clock), lane)
+        if key in self._attached:
+            return
 
         def observer(start: float, dt: float, category: TimeCategory, label: str) -> None:
             if dt >= self.min_duration and dt > 0:
                 self.events.append(ProfileEvent(lane, start, dt, category, label))
 
         clock.subscribe(observer)
+        self._attached[key] = (clock, observer)
+
+    def detach(self, clock: SimClock | None = None) -> int:
+        """Unsubscribe from ``clock`` (or every clock); returns removals.
+
+        Recorded events are kept; use :meth:`clear` to drop them.
+        """
+        removed = 0
+        for key, (c, obs) in list(self._attached.items()):
+            if clock is None or c is clock:
+                c.unsubscribe(obs)
+                del self._attached[key]
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop all recorded events (subscriptions stay live)."""
+        self.events.clear()
+
+    @property
+    def attached_count(self) -> int:
+        """Number of live (clock, lane) subscriptions."""
+        return len(self._attached)
 
     # -- queries -----------------------------------------------------------
 

@@ -1,9 +1,14 @@
-"""Export profiler events as Chrome Trace Format JSON.
+"""Export profiler events (and telemetry spans) as Chrome Trace JSON.
 
 ``chrome://tracing`` / Perfetto open these files and render the same
 picture as Fig. 4's NSIGHT screenshot -- compute rows per GPU with
 transfer rows underneath. Complements the ASCII renderer for interactive
 inspection.
+
+Telemetry spans (:mod:`repro.obs.tracing`) merge into the same file as a
+separate process (pid 0, named ``spans``) so Perfetto draws the
+hierarchical step/solver spans *above* the per-rank profiler lanes
+(pid 1): both share the simulated-seconds timebase.
 
 Format reference: the Trace Event Format's "complete" events
 (``"ph": "X"``) with microsecond timestamps.
@@ -13,9 +18,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 
 from repro.perf.profiler import ProfileEvent, Profiler
 from repro.runtime.clock import TimeCategory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import Span
 
 #: Trace category per clock category (drives Perfetto's coloring).
 _TRACE_CATEGORY = {
@@ -36,6 +45,10 @@ _MEM_CATEGORIES = frozenset(
     {TimeCategory.UM_FAULT, TimeCategory.H2D, TimeCategory.D2H, TimeCategory.MPI_TRANSFER}
 )
 
+#: Process ids: spans draw above the profiler lanes.
+SPAN_PID = 0
+PROFILER_PID = 1
+
 
 def _event_json(e: ProfileEvent, tids: dict[str, int]) -> dict:
     lane = e.lane + (":mem" if e.category in _MEM_CATEGORIES else "")
@@ -46,33 +59,89 @@ def _event_json(e: ProfileEvent, tids: dict[str, int]) -> dict:
         "ph": "X",
         "ts": e.start * 1e6,
         "dur": e.duration * 1e6,
-        "pid": 1,
+        "pid": PROFILER_PID,
         "tid": tid,
         "args": {"category": e.category.value},
     }
 
 
-def to_chrome_trace(profiler: Profiler) -> dict:
-    """Build the trace dict (``traceEvents`` plus thread names)."""
-    if not profiler.events:
-        raise ValueError("no events to export")
-    tids: dict[str, int] = {}
-    events = [_event_json(e, tids) for e in profiler.events]
-    metadata = [
+def _span_json(s: "Span", tids: dict[str, int]) -> dict:
+    lane = str(s.attrs.get("lane", "spans"))
+    tid = tids.setdefault(lane, len(tids))
+    end = s.end if s.end is not None else s.start
+    return {
+        "name": s.name,
+        "cat": "span",
+        "ph": "X",
+        "ts": s.start * 1e6,
+        "dur": (end - s.start) * 1e6,
+        "pid": SPAN_PID,
+        "tid": tid,
+        "args": {
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "depth": s.depth,
+            **{k: _scalar(v) for k, v in s.attrs.items()},
+        },
+    }
+
+
+def _scalar(v: object) -> object:
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+def _thread_meta(pid: int, tids: dict[str, int]) -> list[dict]:
+    return [
         {
             "name": "thread_name",
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "args": {"name": lane},
         }
         for lane, tid in sorted(tids.items(), key=lambda kv: kv[1])
     ]
+
+
+def to_chrome_trace(profiler: Profiler, *, spans: Sequence["Span"] = ()) -> dict:
+    """Build the trace dict (``traceEvents`` plus thread/process names)."""
+    if not profiler.events and not spans:
+        raise ValueError("no events to export")
+    tids: dict[str, int] = {}
+    events = [_event_json(e, tids) for e in profiler.events]
+    metadata = _thread_meta(PROFILER_PID, tids)
+    if profiler.events:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PROFILER_PID,
+                "tid": 0,
+                "args": {"name": "profiler"},
+            }
+        )
+    if spans:
+        span_tids: dict[str, int] = {}
+        events += [_span_json(s, span_tids) for s in spans]
+        metadata += _thread_meta(SPAN_PID, span_tids)
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SPAN_PID,
+                "tid": 0,
+                "args": {"name": "spans"},
+            }
+        )
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(profiler: Profiler, path: str | Path) -> Path:
+def write_chrome_trace(
+    profiler: Profiler, path: str | Path, *, spans: Sequence["Span"] = ()
+) -> Path:
     """Write the trace JSON to disk; returns the path."""
     target = Path(path)
-    target.write_text(json.dumps(to_chrome_trace(profiler)))
+    target.write_text(json.dumps(to_chrome_trace(profiler, spans=spans)))
     return target

@@ -70,6 +70,20 @@ class SimClock:
         """Register an observer of every advance (e.g. the profiler)."""
         self._observers.append(observer)
 
+    def unsubscribe(
+        self, observer: Callable[[float, float, TimeCategory, str], None]
+    ) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def observer_count(self) -> int:
+        """Number of registered observers (leak checks in tests)."""
+        return len(self._observers)
+
     def total(self, categories: frozenset[TimeCategory] | None = None) -> float:
         """Total time, optionally restricted to a category set."""
         if categories is None:

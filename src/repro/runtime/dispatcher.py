@@ -21,6 +21,7 @@ from typing import Any, Iterator
 
 from repro.machine.cpu import CpuNodeModel
 from repro.machine.gpu import GpuDevice
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.clock import SimClock, TimeCategory
 from repro.runtime.config import ArrayReductionStrategy, Backend, RuntimeConfig
 from repro.runtime.cost import KernelCostModel
@@ -233,6 +234,13 @@ class RankRuntime:
                 tags=spec.tags,
             )
         result = spec.run_body()
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "kernel_launches_total",
+                "kernels dispatched, by code version and loop category",
+                labelnames=("version", "category"),
+            ).labels(version=self.config.name, category=category.value).inc()
         cost_spec = _cost_only(spec)
         if self.config.target == "cpu":
             self._execute_cpu(cost_spec)

@@ -1,0 +1,76 @@
+"""Telemetry-directory summarizer."""
+
+import json
+
+import pytest
+
+from repro.obs.summary import summarize_dir
+from repro.obs.telemetry import (
+    LOG_FILE,
+    MANIFEST_FILE,
+    METRICS_JSON_FILE,
+    SPANS_FILE,
+    TRACE_FILE,
+)
+
+
+@pytest.fixture
+def tel_dir(tmp_path):
+    d = tmp_path / "tel"
+    d.mkdir()
+    (d / MANIFEST_FILE).write_text(json.dumps({
+        "command": "run",
+        "git_sha": "deadbeef" * 5,
+        "python": "3.11.7",
+        "seed": 1,
+        "models": [{"index": 0, "version": "code1_A", "shape": [8, 6, 8],
+                    "num_ranks": 2, "unified_memory": False}],
+    }))
+    (d / LOG_FILE).write_text("\n".join(
+        json.dumps({"event": "step", "step": i, "dt": 0.03, "wall": 0.026,
+                    "mpi": 0.001, "compute": 0.025, "launches": 400})
+        for i in range(2)
+    ))
+    (d / SPANS_FILE).write_text(json.dumps({
+        "span_id": 1, "parent_id": None, "name": "step",
+        "start": 0.0, "end": 0.05, "duration": 0.05, "depth": 0,
+        "attrs": {}, "host_seconds": 0.001,
+    }))
+    (d / METRICS_JSON_FILE).write_text(json.dumps({
+        "steps_total": {"type": "counter", "help": "", "labelnames": [],
+                        "samples": [{"labels": {}, "value": 2.0}]},
+        "step_seconds": {"type": "histogram", "help": "", "labelnames": [],
+                         "samples": [{"labels": {}, "sum": 0.052, "count": 2,
+                                      "buckets": {"+Inf": 2}}]},
+    }))
+    (d / TRACE_FILE).write_text('{"traceEvents": []}')
+    return d
+
+
+class TestSummarizeDir:
+    def test_full_summary(self, tel_dir):
+        text = summarize_dir(tel_dir)
+        assert "run manifest" in text
+        assert "code1_A" in text
+        assert "Per-step records" in text
+        assert "Hottest spans" in text
+        assert "steps_total" in text
+        assert "count=2" in text  # histogram rendering
+        assert "perfetto" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            summarize_dir(tmp_path / "nope")
+
+    def test_empty_dir_degrades_gracefully(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        text = summarize_dir(d)
+        assert "(missing)" in text
+
+    def test_corrupt_files_tolerated(self, tel_dir):
+        (tel_dir / LOG_FILE).write_text("not json\n{broken")
+        (tel_dir / METRICS_JSON_FILE).write_text("{bad")
+        text = summarize_dir(tel_dir)
+        assert "Hottest spans" in text  # spans still render
+        assert "Per-step" not in text

@@ -86,3 +86,52 @@ class TestRendering:
     def test_event_end_property(self):
         e = ProfileEvent("l", 1.0, 0.5, TimeCategory.COMPUTE, "x")
         assert e.end == 1.5
+
+
+class TestLifecycle:
+    def test_attach_idempotent_per_lane(self):
+        p = Profiler()
+        c = SimClock()
+        p.attach(c, "gpu0")
+        p.attach(c, "gpu0")  # repeated attach must not double-record
+        c.advance(1.0, TimeCategory.COMPUTE, "k")
+        assert len(p.events) == 1
+        assert p.attached_count == 1
+        assert c.observer_count == 1
+
+    def test_detach_stops_recording(self):
+        p = Profiler()
+        c = SimClock()
+        p.attach(c, "gpu0")
+        c.advance(1.0, TimeCategory.COMPUTE, "before")
+        assert p.detach(c) == 1
+        c.advance(1.0, TimeCategory.COMPUTE, "after")
+        assert [e.label for e in p.events] == ["before"]
+        assert c.observer_count == 0
+
+    def test_detach_all(self):
+        p = Profiler()
+        c0, c1 = SimClock(), SimClock()
+        p.attach(c0, "a")
+        p.attach(c1, "b")
+        assert p.detach() == 2
+        assert p.attached_count == 0
+
+    def test_detach_unattached_clock_is_noop(self):
+        p = Profiler()
+        assert p.detach(SimClock()) == 0
+
+    def test_clear_keeps_subscriptions(self):
+        p = Profiler()
+        c = SimClock()
+        p.attach(c, "gpu0")
+        c.advance(1.0, TimeCategory.COMPUTE, "a")
+        p.clear()
+        assert p.events == []
+        c.advance(1.0, TimeCategory.COMPUTE, "b")
+        assert [e.label for e in p.events] == ["b"]
+
+    def test_unsubscribe_unknown_observer_is_noop(self):
+        c = SimClock()
+        c.unsubscribe(lambda *a: None)
+        assert c.observer_count == 0

@@ -53,6 +53,48 @@ class TestTraceStructure:
         assert any(e["ph"] == "X" for e in data["traceEvents"])
 
 
+class TestSpanMerge:
+    def test_spans_merge_as_separate_process(self, profiler):
+        from repro.obs.tracing import Tracer
+
+        tr = Tracer()
+        with tr.span("step"):
+            with tr.span("step/viscosity"):
+                pass
+        trace = to_chrome_trace(profiler, spans=tr.spans)
+        span_events = [
+            e for e in trace["traceEvents"] if e["ph"] == "X" and e["pid"] == 0
+        ]
+        prof_events = [
+            e for e in trace["traceEvents"] if e["ph"] == "X" and e["pid"] == 1
+        ]
+        assert [e["name"] for e in span_events] == ["step", "step/viscosity"]
+        assert len(prof_events) == 3
+        child = span_events[1]
+        assert child["args"]["parent_id"] == span_events[0]["args"]["span_id"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {0: "spans", 1: "profiler"}
+
+    def test_spans_only_export(self):
+        from repro.obs.tracing import Tracer
+
+        tr = Tracer()
+        with tr.span("solo", component="vr"):
+            pass
+        trace = to_chrome_trace(Profiler(), spans=tr.spans)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+        assert xs[0]["args"]["component"] == "vr"
+
+    def test_empty_both_rejected(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(Profiler(), spans=())
+
+
 class TestModelTrace:
     def test_full_step_exports(self, tmp_path):
         from repro.codes import CodeVersion, runtime_config_for

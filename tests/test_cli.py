@@ -92,3 +92,46 @@ class TestNewCommands:
     def test_multinode_parser(self):
         args = build_parser().parse_args(["multinode"])
         assert args.fn.__name__ == "cmd_multinode"
+
+
+class TestTelemetry:
+    def test_telemetry_flag_default_none(self):
+        for argv in (["run"], ["fig2"], ["fig3"], ["fig4"], ["categories"]):
+            assert build_parser().parse_args(argv).telemetry is None
+
+    def test_run_with_telemetry_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "tel"
+        rc = main(
+            ["run", "--steps", "2", "--ranks", "2", "--shape", "8", "6", "8",
+             "--pcg-iters", "2", "--sts-stages", "2",
+             "--telemetry", str(out)]
+        )
+        assert rc == 0
+        for name in ("manifest.json", "log.jsonl", "spans.jsonl",
+                     "metrics.prom", "metrics.json", "trace.json"):
+            assert (out / name).exists(), name
+
+    def test_telemetry_summary_command(self, tmp_path, capsys):
+        out = tmp_path / "tel"
+        main(
+            ["run", "--steps", "2", "--ranks", "2", "--shape", "8", "6", "8",
+             "--pcg-iters", "2", "--sts-stages", "2",
+             "--telemetry", str(out)]
+        )
+        capsys.readouterr()
+        assert main(["telemetry", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "run manifest" in text
+        assert "kernel_launches_total" in text
+        assert "step/viscosity/pcg" in text
+
+    def test_telemetry_summary_missing_dir(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_without_telemetry_stays_disabled(self):
+        from repro.obs.telemetry import NULL, current
+
+        main(["run", "--steps", "1", "--shape", "8", "6", "8",
+              "--pcg-iters", "2", "--sts-stages", "2"])
+        assert current() is NULL
