@@ -1,0 +1,117 @@
+"""Shadow-checker overhead bench: attached vs detached dispatcher.
+
+Measures the host wall-clock of a small run three ways -- checker
+detached (the default ``self._shadow is None`` fast path), checker
+attached with footprint fingerprinting on, and attached with
+fingerprinting off (residency/race checks only) -- plus the raw cost of
+one detached dispatch check. Results land in ``BENCH_lint.json`` at the
+repo root; the ISSUE acceptance bound is the detached fraction < 1%.
+
+Run with ``pytest benchmarks/bench_lint_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_block
+
+from repro.analysis.shadow import ShadowChecker
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.model import MasModel, ModelConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_lint.json"
+
+STEPS = 3
+SHAPE = (8, 6, 8)
+RANKS = 2
+
+
+def _model() -> MasModel:
+    return MasModel(
+        ModelConfig(shape=SHAPE, num_ranks=RANKS, pcg_iters=2,
+                    sts_stages=2, extra_model_arrays=0),
+        runtime_config_for(CodeVersion.A),
+    )
+
+
+def _run(model: MasModel) -> int:
+    launches = 0
+    for t in model.run(STEPS):
+        launches += t.launches
+    return launches
+
+
+def _timed(fn) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _check_ns(model: MasModel, n: int = 200000) -> float:
+    """Nanoseconds for one detached dispatch check (attribute test)."""
+    rt = model.ranks[0]
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if rt._shadow is not None:
+            raise AssertionError("checker must be detached")
+    return (time.perf_counter() - t0) / n * 1e9
+
+
+def test_shadow_overhead(benchmark):
+    _run(_model())  # warm numpy/import caches before timing
+
+    detached_s, launches = benchmark.pedantic(
+        lambda: _timed(lambda: _run(_model())), rounds=1, iterations=1
+    )
+
+    def attached_run(check_footprint: bool) -> int:
+        model = _model()
+        for rt in model.ranks:
+            rt.attach_shadow(ShadowChecker(check_footprint=check_footprint))
+        return _run(model)
+
+    full_s, _ = _timed(lambda: attached_run(True))
+    light_s, _ = _timed(lambda: attached_run(False))
+
+    check_ns = _check_ns(_model())
+    # one launch-time check + one body wrap per dispatch
+    detached_fraction = launches * 2 * check_ns * 1e-9 / detached_s
+    result = {
+        "schema": "repro-bench-lint/1",
+        "config": {"steps": STEPS, "shape": list(SHAPE), "ranks": RANKS,
+                   "version": "A"},
+        "kernel_launches": launches,
+        "detached_seconds": detached_s,
+        "attached_light_seconds": light_s,
+        "attached_full_seconds": full_s,
+        "attached_full_overhead_fraction": full_s / detached_s - 1.0,
+        "detached_check_ns": check_ns,
+        "detached_check_calls_per_run": launches * 2,
+        "detached_overhead_fraction": detached_fraction,
+    }
+    ARTIFACT.write_text(json.dumps(result, indent=2) + "\n")
+
+    print_block(
+        "SHADOW CHECKER OVERHEAD -- attached vs detached",
+        "\n".join(
+            [
+                f"detached run          {detached_s * 1e3:8.1f} ms "
+                f"({launches} launches)",
+                f"attached (no prints)  {light_s * 1e3:8.1f} ms "
+                f"(residency+races)",
+                f"attached (full)       {full_s * 1e3:8.1f} ms "
+                f"({result['attached_full_overhead_fraction'] * 100:+.1f}%, "
+                f"fingerprinting on)",
+                f"detached check        {check_ns:8.1f} ns/call -> "
+                f"{detached_fraction * 100:.3f}% of a run",
+                f"wrote {ARTIFACT}",
+            ]
+        ),
+    )
+
+    # ISSUE acceptance: the disabled path must stay under 1%
+    assert detached_fraction < 0.01

@@ -1,0 +1,254 @@
+"""Fixture corpora for the analyzer: seeded bugs and a clean twin.
+
+:func:`seeded_bug_codebase` emits one small file per rule, each containing
+exactly the unsafe pattern its rule describes; :data:`EXPECTED_SEEDED`
+maps file name -> the rule IDs the analyzer must report there (the test
+asserts both directions: every expectation found, nothing extra).
+
+:func:`clean_codebase` exercises the same constructs written *correctly*
+(declared reductions, atomics, local clauses, covered data regions) and
+must produce literally zero findings -- the false-positive regression
+gate.
+"""
+
+from __future__ import annotations
+
+from repro.fortran.source import Codebase, SourceFile
+
+
+def _f(name: str, *lines: str) -> SourceFile:
+    return SourceFile(name, list(lines))
+
+
+def seeded_bug_codebase() -> Codebase:
+    """One file per rule, each seeded with exactly that bug."""
+    files = [
+        _f(
+            "bug_dc001_carried.f90",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(3)",
+            "      do k=1,n3",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        a(i,j,k) = a(i-1,j,k) + b(i,j,k)",
+            "      enddo",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "bug_dc001_dc_read.f90",
+            "      do concurrent (i=1:n1, j=1:n2)",
+            "        c(i,j) = c(i,j+1) * 0.5",
+            "      enddo",
+        ),
+        _f(
+            "bug_dc002_reduction.f90",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(3)",
+            "      do k=1,n3",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        s = s + e(i,j,k)**2",
+            "      enddo",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "bug_dc003_shared.f90",
+            "      do concurrent (j=1:n2, i=1:n1)",
+            "        col(i) = col(i) + q(i,j)",
+            "      enddo",
+        ),
+        _f(
+            "bug_dc004_scalar.f90",
+            "      do concurrent (i=1:n1)",
+            "        b(i) = smooth * a(i)",
+            "        smooth = a(i)",
+            "      enddo",
+        ),
+        _f(
+            "bug_dc005_indirect.f90",
+            "      do concurrent (i=1:n1, j=1:n2)",
+            "        hist(bin(i,j)) = hist(bin(i,j)) + 1",
+            "      enddo",
+        ),
+        _f(
+            "bug_dc006_region.f90",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        p(i,j) = a(i,j) * w1",
+            "      enddo",
+            "      enddo",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        q(i,j) = p(i,j) * w2",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "bug_acc101_orphan_end.f90",
+            "      do i=1,n1",
+            "        x(i) = y(i)",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "bug_acc102_orphan_cont.f90",
+            "      nrm = 0.",
+            "!$acc& copyin(aux0)",
+        ),
+        _f(
+            "bug_acc103_idle_wait.f90",
+            "!$acc parallel default(present) async(1)",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        u(i,j) = v(i,j) + w0",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+            "!$acc wait(7)",
+        ),
+        _f(
+            "bug_um201_uncovered.f90",
+            "!$acc enter data copyin(covered)",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        stray(i,j) = covered(i,j) * 2.0",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+            "!$acc exit data delete(covered)",
+            "!$acc exit data delete(stray)",
+        ),
+        _f(
+            "bug_um203_phantom.f90",
+            "!$acc enter data copyin(real_arr)",
+            "!$acc update host(phantom)",
+            "!$acc exit data delete(real_arr)",
+        ),
+    ]
+    return Codebase("seeded_bugs", files)
+
+
+#: file name -> rule IDs the analyzer must (exactly) report there.
+EXPECTED_SEEDED: dict[str, tuple[str, ...]] = {
+    "bug_dc001_carried.f90": ("DC001",),
+    "bug_dc001_dc_read.f90": ("DC001",),
+    "bug_dc002_reduction.f90": ("DC002",),
+    "bug_dc003_shared.f90": ("DC003",),
+    "bug_dc004_scalar.f90": ("DC004",),
+    "bug_dc005_indirect.f90": ("DC005",),
+    "bug_dc006_region.f90": ("DC006",),
+    "bug_acc101_orphan_end.f90": ("ACC101",),
+    "bug_acc102_orphan_cont.f90": ("ACC102",),
+    "bug_acc103_idle_wait.f90": ("ACC103",),
+    "bug_um201_uncovered.f90": ("UM201", "UM202"),  # stray: touched + exited
+    "bug_um203_phantom.f90": ("UM203",),
+}
+
+
+def clean_codebase() -> Codebase:
+    """The same constructs, written safely: must lint to zero findings."""
+    files = [
+        _f(
+            "ok_plain.f90",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(3)",
+            "      do k=1,n3",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        a(i,j,k) = b(i,j,k) + c0 * d(i,j,k)",
+            "      enddo",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "ok_reduction.f90",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(3) reduction(+:s)",
+            "      do k=1,n3",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        s = s + e(i,j,k)**2",
+            "      enddo",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "ok_dc_reduce.f90",
+            "      do concurrent (i=1:n1) reduce(+:total)",
+            "        total = total + f(i)",
+            "      enddo",
+        ),
+        _f(
+            "ok_atomic.f90",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "!$acc atomic update",
+            "        hist(bin(i,j)) = hist(bin(i,j)) + 1",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+        ),
+        _f(
+            "ok_private_scalar.f90",
+            "      do concurrent (i=1:n1)",
+            "        tmp = a(i) * 0.5",
+            "        b(i) = tmp + tmp**2",
+            "      enddo",
+        ),
+        _f(
+            "ok_local_clause.f90",
+            "      do concurrent (i=1:n1) local(buf)",
+            "        c(i) = buf + a(i)",
+            "      enddo",
+        ),
+        _f(
+            "ok_independent_region.f90",
+            "!$acc parallel default(present) async(1)",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        p(i,j) = a(i,j) * w1",
+            "      enddo",
+            "      enddo",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        q(i,j) = b(i,j) * w2",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+            "!$acc wait(1)",
+        ),
+        _f(
+            "ok_data_coverage.f90",
+            "!$acc enter data copyin(rho, temp)",
+            "!$acc& copyin(vmag)",
+            "!$acc parallel default(present)",
+            "!$acc loop collapse(2)",
+            "      do j=1,n2",
+            "      do i=1,n1",
+            "        vmag(i,j) = rho(i,j) * temp(i,j)",
+            "      enddo",
+            "      enddo",
+            "!$acc end parallel",
+            "!$acc update host(vmag)",
+            "!$acc exit data delete(rho, temp)",
+            "!$acc& delete(vmag)",
+        ),
+    ]
+    return Codebase("clean_corpus", files)

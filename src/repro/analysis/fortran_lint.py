@@ -1,0 +1,478 @@
+"""Static DC-safety lint over the Fortran subset the transforms rewrite.
+
+Three layers of checks, all producing :class:`~repro.analysis.findings.Finding`:
+
+1. **Loop units** (``DC0xx``): every OpenACC parallel region's loop nests
+   and every free-standing ``do concurrent`` loop is run through the
+   shared dependence core (:func:`repro.analysis.dependence.analyze_loop_body`)
+   to find loop-carried dependences, undeclared reductions, unprotected
+   shared writes, scalars needing privatization, and indirect writes whose
+   safety is unprovable.
+2. **Directive hygiene** (``ACC1xx``): orphan region ends, stray
+   continuation lines, waits naming async queues nothing launches on.
+3. **Data-region coverage** (``UM2xx``): in a manually-managed codebase
+   (one using ``enter data``), arrays that exit/update-host without ever
+   being entered, and device regions touching arrays the data directives
+   manage elsewhere but never entered here -- the implicit-UM-traffic risk
+   behind the paper's Fig. 4 pathology.
+
+:func:`region_port_safety` distills a region's loop reports into the
+port/don't-port vocabulary the transform pipelines use, so tests can
+assert the transforms and the analyzer agree on every region.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.dependence import LoopReport, Statement, analyze_loop_body, depends
+from repro.analysis.findings import Finding
+from repro.fortran.directives import (
+    DirectiveKind,
+    is_directive_line,
+    parse_directive,
+)
+from repro.fortran.lexer import LineKind, classify_line
+from repro.fortran.parser import (
+    ParallelRegion,
+    RegionKind,
+    find_parallel_regions,
+    parse_loop_nest,
+)
+from repro.fortran.source import Codebase, SourceFile
+
+_REDUCTION_CLAUSE_RE = re.compile(
+    r"\b(?:reduction|reduce)\s*\(\s*[^:)]+:\s*([^)]*)\)", re.I
+)
+_LOCAL_CLAUSE_RE = re.compile(r"\blocal\s*\(\s*([^)]*)\)", re.I)
+_ASYNC_RE = re.compile(r"\basync\s*\(\s*(\w+)\s*\)", re.I)
+_WAIT_RE = re.compile(r"^wait\s*(?:\(\s*([\w,\s]+)\s*\))?", re.I)
+_DC_HEADER_RE = re.compile(r"^\s*do\s+concurrent\s*\(", re.I)
+#: Data-directive clauses and the role they give their arrays.
+_DATA_CLAUSE_RE = re.compile(
+    r"\b(copyin|copyout|copy|create|delete|present|device|host|self|use_device)"
+    r"\s*\(\s*([^)]*)\)",
+    re.I,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """What to check and what to keep quiet about."""
+
+    disabled_rules: frozenset[str] = frozenset()
+    #: ``(rule_id, file_glob)`` pairs; matching findings are dropped.
+    suppressions: tuple[tuple[str, str], ...] = ()
+
+    def allows(self, finding: Finding) -> bool:
+        if finding.rule_id in self.disabled_rules:
+            return False
+        for rule_id, pattern in self.suppressions:
+            if rule_id == finding.rule_id and fnmatch.fnmatch(finding.file, pattern):
+                return False
+        return True
+
+
+@dataclass(slots=True)
+class LoopUnit:
+    """One analyzable parallel loop: an ACC-region nest or a DC loop."""
+
+    file: SourceFile
+    header_line: int            # 0-based line of the do / do concurrent
+    indices: list[str]
+    statements: list[Statement]
+    reductions: list[str]
+    locals_declared: list[str]
+    report: LoopReport | None = field(default=None)
+
+    def analyze(self) -> LoopReport:
+        if self.report is None:
+            self.report = analyze_loop_body(
+                self.statements,
+                self.indices,
+                declared_reductions=self.reductions,
+                locals_declared=self.locals_declared,
+            )
+        return self.report
+
+
+def _clause_arrays(text: str) -> list[str]:
+    """Array names from a data clause argument list (``a(:)`` -> ``a``,
+    ``dt%arr`` kept whole)."""
+    out = []
+    for part in text.split(","):
+        name = part.strip().split("(")[0].strip().lower()
+        if name:
+            out.append(name)
+    return out
+
+
+def _gather_statements(
+    file: SourceFile, first: int, last: int
+) -> list[Statement]:
+    """Assignment-candidate statements in [first, last], with atomic flags."""
+    out = []
+    prev_atomic = False
+    for i in range(first, last + 1):
+        line = file.lines[i]
+        kind = classify_line(line)
+        if kind is LineKind.DIRECTIVE:
+            d = parse_directive(line)
+            prev_atomic = d.kind is DirectiveKind.ATOMIC
+            continue
+        if kind is LineKind.STATEMENT:
+            out.append(Statement(line=i, text=line, protected=prev_atomic))
+        prev_atomic = False
+    return out
+
+
+def _region_clause_vars(file: SourceFile, region: ParallelRegion, pattern: re.Pattern) -> list[str]:
+    out: list[str] = []
+    for i in region.directive_lines:
+        for m in pattern.finditer(file.lines[i]):
+            out.extend(_clause_arrays(m.group(1)))
+    return out
+
+
+def _split_paren_args(header: str) -> tuple[str, str]:
+    """Split ``do concurrent (args) trailing`` -> (args, trailing)."""
+    start = header.index("(")
+    depth = 0
+    for i in range(start, len(header)):
+        if header[i] == "(":
+            depth += 1
+        elif header[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return header[start + 1 : i], header[i + 1 :]
+    raise ValueError(f"unbalanced parens in DC header: {header!r}")
+
+
+def _dc_units(file: SourceFile) -> list[LoopUnit]:
+    """Free-standing ``do concurrent`` loops as analyzable units.
+
+    Nested DC loops become their own units too; an outer unit's statement
+    list includes the inner loops' statements (its iterations race on
+    them just the same).
+    """
+    units: list[LoopUnit] = []
+    lines = file.lines
+    for i, line in enumerate(lines):
+        if classify_line(line) is not LineKind.DO_CONCURRENT:
+            continue
+        args, trailing = _split_paren_args(line)
+        indices = []
+        for part in args.split(","):
+            name = part.split("=")[0].strip().lower()
+            if name:
+                indices.append(name)
+        reductions, locals_declared = [], []
+        for m in _REDUCTION_CLAUSE_RE.finditer(trailing):
+            reductions.extend(_clause_arrays(m.group(1)))
+        for m in _LOCAL_CLAUSE_RE.finditer(trailing):
+            locals_declared.extend(_clause_arrays(m.group(1)))
+        # walk to the matching enddo
+        level, j = 1, i + 1
+        while j < len(lines) and level:
+            k = classify_line(lines[j])
+            if k in (LineKind.DO, LineKind.DO_CONCURRENT):
+                level += 1
+            elif k is LineKind.ENDDO:
+                level -= 1
+            j += 1
+        end = j - 1
+        units.append(
+            LoopUnit(
+                file=file,
+                header_line=i,
+                indices=indices,
+                statements=_gather_statements(file, i + 1, end - 1),
+                reductions=reductions,
+                locals_declared=locals_declared,
+            )
+        )
+    return units
+
+
+def _region_units(file: SourceFile, region: ParallelRegion) -> list[LoopUnit]:
+    """One unit per do-nest of an OpenACC parallel region."""
+    reductions = _region_clause_vars(file, region, _REDUCTION_CLAUSE_RE)
+    units = []
+    for nest in region.loops:
+        first, last = nest.body_range
+        units.append(
+            LoopUnit(
+                file=file,
+                header_line=nest.start,
+                indices=[v.lower() for v in nest.index_vars],
+                statements=_gather_statements(file, first, last),
+                reductions=reductions,
+                locals_declared=[],
+            )
+        )
+    return units
+
+
+def _loop_findings(unit: LoopUnit) -> list[Finding]:
+    rep = unit.analyze()
+    f = unit.file.name
+    out = []
+    for a in rep.carried:
+        out.append(Finding("DC001", f, a.line + 1, f"{a.array}: {a.detail}"))
+    for s in rep.undeclared_reductions:
+        out.append(Finding("DC002", f, s.line + 1, f"{s.scalar}: {s.detail}"))
+    for a in rep.shared_writes:
+        out.append(Finding("DC003", f, a.line + 1, f"{a.array}: {a.detail}"))
+    for s in rep.carried_scalars:
+        out.append(Finding("DC004", f, s.line + 1, f"{s.scalar}: {s.detail}"))
+    for a in rep.indirect_writes:
+        out.append(Finding("DC005", f, a.line + 1, f"{a.array}: {a.detail}"))
+    return out
+
+
+def _region_fusion_findings(
+    file: SourceFile, units: list[LoopUnit]
+) -> list[Finding]:
+    """DC006: hazards between sibling nests sharing one parallel region."""
+    out = []
+    for i in range(len(units)):
+        for j in range(i + 1, len(units)):
+            a, b = units[i].analyze(), units[j].analyze()
+            if depends(a.reads, a.writes, b.reads, b.writes):
+                out.append(
+                    Finding(
+                        "DC006", file.name, units[j].header_line + 1,
+                        "loop nest depends on an earlier nest in the same "
+                        "parallel region; fusion/split changes synchronization",
+                    )
+                )
+    return out
+
+
+def _hygiene_findings(file: SourceFile) -> list[Finding]:
+    """ACC101/102/103: structural directive problems in one file."""
+    out = []
+    region_depth = 0
+    prev_was_directive = False
+    wait_ids: list[tuple[str, int]] = []
+    async_ids: set[str] = set()
+    for i, line in enumerate(file.lines):
+        if not is_directive_line(line):
+            prev_was_directive = False
+            continue
+        d = parse_directive(line)
+        if d.kind is DirectiveKind.CONTINUATION:
+            if not prev_was_directive:
+                out.append(
+                    Finding("ACC102", file.name, i + 1,
+                            "continuation line follows a non-directive line")
+                )
+            # a continuation extends the previous directive; keep the flag
+            prev_was_directive = True
+            continue
+        prev_was_directive = True
+        if d.is_region_end:
+            if region_depth == 0:
+                out.append(
+                    Finding("ACC101", file.name, i + 1,
+                            f"'{d.payload}' closes no open region")
+                )
+            else:
+                region_depth -= 1
+        elif d.is_region_start:
+            region_depth += 1
+        m = _ASYNC_RE.search(d.payload)
+        if m:
+            async_ids.add(m.group(1).lower())
+        if d.kind is DirectiveKind.WAIT:
+            wm = _WAIT_RE.match(d.payload)
+            if wm and wm.group(1):
+                for qid in wm.group(1).split(","):
+                    wait_ids.append((qid.strip().lower(), i))
+    # Only meaningful in files that launch async work at all: after the DC
+    # passes convert the async plain regions, leftover waits are harmless
+    # global barriers (and their lines are pinned by the Table I census),
+    # not queue-mismatch bugs -- see docs/ANALYSIS.md.
+    for qid, i in wait_ids:
+        if async_ids and qid not in async_ids:
+            out.append(
+                Finding("ACC103", file.name, i + 1,
+                        f"wait({qid}) but nothing in this file launches on "
+                        f"async({qid})")
+            )
+    return out
+
+
+@dataclass(slots=True)
+class _DataCoverage:
+    """Codebase-wide picture of which arrays the data directives manage."""
+
+    entered: set[str] = field(default_factory=set)    # enter data / declare
+    exited: dict[str, tuple[str, int]] = field(default_factory=dict)
+    updated_host: dict[str, tuple[str, int]] = field(default_factory=dict)
+    manual_mode: bool = False  # any enter data anywhere
+
+    def mentioned(self) -> set[str]:
+        """Every array any data directive manages (the UM201 universe)."""
+        return self.entered | set(self.exited) | set(self.updated_host)
+
+
+def _scan_data_directives(cb: Codebase) -> _DataCoverage:
+    cov = _DataCoverage()
+    for file in cb.files:
+        active_roles: dict[str, str] = {}  # clause -> role of current directive
+        current_kind: DirectiveKind | None = None
+        in_host_data = False
+        for i, line in enumerate(file.lines):
+            if not is_directive_line(line):
+                current_kind = None
+                continue
+            d = parse_directive(line)
+            if d.kind is DirectiveKind.CONTINUATION:
+                if current_kind is not DirectiveKind.DATA or in_host_data:
+                    continue
+                payload = d.payload
+            else:
+                current_kind = d.kind
+                if d.kind is not DirectiveKind.DATA:
+                    continue
+                p = d.payload.lower()
+                in_host_data = p.startswith(("host_data", "end host_data"))
+                if in_host_data:
+                    continue  # use_device() is address plumbing, not residency
+                if p.startswith("enter data"):
+                    cov.manual_mode = True
+                payload = d.payload
+            for m in _DATA_CLAUSE_RE.finditer(payload):
+                clause = m.group(1).lower()
+                arrays = _clause_arrays(m.group(2))
+                if clause in ("copyin", "copy", "create", "present"):
+                    cov.entered.update(arrays)
+                elif clause in ("delete", "copyout"):
+                    for a in arrays:
+                        cov.exited.setdefault(a, (file.name, i))
+                elif clause in ("host", "self"):
+                    for a in arrays:
+                        cov.updated_host.setdefault(a, (file.name, i))
+                # device / use_device: pushes or address-taking; imposes no
+                # residency obligation we can check without false positives
+                # (Code 6 re-adds update device() for tables that live via
+                # declare in other builds) -- see docs/ANALYSIS.md.
+    return cov
+
+
+def _coverage_findings(cb: Codebase) -> list[Finding]:
+    """UM201/202/203 over the whole codebase."""
+    cov = _scan_data_directives(cb)
+    out = []
+    if not cov.manual_mode:
+        return out  # UM-managed build: coverage rules don't apply
+    for a, (fname, i) in sorted(cov.exited.items()):
+        if a not in cov.entered:
+            out.append(
+                Finding("UM202", fname, i + 1,
+                        f"{a} exits a data region it never entered")
+            )
+    for a, (fname, i) in sorted(cov.updated_host.items()):
+        if a not in cov.entered:
+            out.append(
+                Finding("UM203", fname, i + 1,
+                        f"update host({a}) but {a} was never entered")
+            )
+    # region accesses of arrays the data directives manage elsewhere
+    universe = cov.mentioned()
+    for file in cb.files:
+        for region in find_parallel_regions(file):
+            for unit in _region_units(file, region):
+                rep = unit.analyze()
+                for name in sorted((rep.reads | rep.writes) & universe):
+                    if name not in cov.entered:
+                        out.append(
+                            Finding(
+                                "UM201", file.name, unit.header_line + 1,
+                                f"device region touches {name}, which no "
+                                "enter data/declare covers: implicit UM "
+                                "paging risk",
+                            )
+                        )
+    return out
+
+
+def analyze_file(file: SourceFile) -> list[Finding]:
+    """All per-file findings (loop units + hygiene)."""
+    out = []
+    region_lines: set[int] = set()
+    for region in find_parallel_regions(file):
+        units = _region_units(file, region)
+        region_lines.update(range(region.start, region.end + 1))
+        for unit in units:
+            out.extend(_loop_findings(unit))
+        out.extend(_region_fusion_findings(file, units))
+    for unit in _dc_units(file):
+        if unit.header_line in region_lines:
+            continue  # DC inside an ACC region: the region units cover it
+        out.extend(_loop_findings(unit))
+    out.extend(_hygiene_findings(file))
+    return out
+
+
+def analyze_codebase(
+    cb: Codebase, config: LintConfig | None = None
+) -> list[Finding]:
+    """Every finding in a codebase, suppressions applied, telemetry bumped."""
+    from repro.analysis.findings import record_findings, sort_findings
+
+    config = config or LintConfig()
+    out: list[Finding] = []
+    for file in cb.files:
+        out.extend(analyze_file(file))
+    out.extend(_coverage_findings(cb))
+    kept = sort_findings(f for f in out if config.allows(f))
+    record_findings(kept, source=cb.name)
+    return kept
+
+
+# -- transform agreement -------------------------------------------------------
+
+
+class PortSafety(enum.Enum):
+    """What a region needs to become valid ``do concurrent``."""
+
+    SAFE_F2018 = "safe_f2018"      # plain DC, no extra clauses
+    NEEDS_REDUCE = "needs_reduce"  # F2023 reduce() clause required
+    NEEDS_ATOMIC = "needs_atomic"  # atomics (or a reduction flip) required
+    UNSAFE = "unsafe"              # loop-carried dependence; do not port
+
+
+def region_port_safety(file: SourceFile, region: ParallelRegion) -> PortSafety:
+    """The analyzer's verdict on porting one OpenACC region to DC.
+
+    Mirrors the SIV taxonomy the transforms use: ``RegionKind`` says what
+    the region *is*; this says what the dependence core *proves* it needs.
+    """
+    units = _region_units(file, region)
+    reports = [u.analyze() for u in units]
+    if any(r.carried or r.shared_writes for r in reports):
+        return PortSafety.UNSAFE
+    if any(r.undeclared_reductions for r in reports):
+        return PortSafety.NEEDS_ATOMIC  # scalar races with no clause: restructure
+    if any(r.atomic_protected or r.indirect_writes for r in reports):
+        return PortSafety.NEEDS_ATOMIC
+    declared = _region_clause_vars(file, region, _REDUCTION_CLAUSE_RE)
+    if declared:
+        return PortSafety.NEEDS_REDUCE
+    return PortSafety.SAFE_F2018
+
+
+#: RegionKind -> the PortSafety the analyzer must independently reach for
+#: the synthetic corpus (the transform-agreement contract).
+EXPECTED_SAFETY: dict[RegionKind, PortSafety] = {
+    RegionKind.PLAIN: PortSafety.SAFE_F2018,
+    RegionKind.ROUTINE_CALLER: PortSafety.SAFE_F2018,
+    RegionKind.SCALAR_REDUCTION: PortSafety.NEEDS_REDUCE,
+    RegionKind.ARRAY_REDUCTION: PortSafety.NEEDS_ATOMIC,
+    RegionKind.ATOMIC_OTHER: PortSafety.NEEDS_ATOMIC,
+}

@@ -1,0 +1,120 @@
+"""Finding exporters: terminal table, JSON, and SARIF 2.1.0.
+
+The SARIF export is the CI-facing artifact: GitHub's code-scanning upload
+and most editors consume it directly, so ``repro lint --sarif out.sarif``
+is all a pipeline needs to annotate a PR with analyzer findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.findings import (
+    Finding,
+    RULES,
+    count_by_severity,
+    sort_findings,
+)
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    """Severity-ranked table plus a one-line summary."""
+    from repro.util.tables import Table
+
+    ranked = sort_findings(findings)
+    if not ranked:
+        return "no findings"
+    t = Table(["severity", "rule", "location", "message"])
+    for f in ranked:
+        loc = f"{f.file}:{f.line}" if f.line else f.file
+        t.add_row([f.severity.name.lower(), f.rule_id, loc, f.message])
+    counts = count_by_severity(ranked)
+    summary = ", ".join(
+        f"{n} {name.lower()}{'s' if n != 1 else ''}"
+        for name, n in counts.items()
+        if n
+    )
+    return t.render() + f"\n{len(ranked)} findings: {summary}"
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable dump (stable ordering)."""
+    ranked = sort_findings(findings)
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "severity": f.severity.name.lower(),
+                "title": f.rule.title,
+                "file": f.file,
+                "line": f.line,
+                "message": f.message,
+                **({"context": f.context} if f.context else {}),
+            }
+            for f in ranked
+        ],
+        "counts": {
+            k.lower(): v for k, v in count_by_severity(ranked).items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_to_sarif(
+    findings: Iterable[Finding], *, tool_version: str = "1.0"
+) -> str:
+    """Minimal valid SARIF 2.1.0 log with one run."""
+    ranked = sort_findings(findings)
+    used_rules = sorted({f.rule_id for f in ranked})
+    rules = [
+        {
+            "id": rid,
+            "name": RULES[rid].title.title().replace(" ", ""),
+            "shortDescription": {"text": RULES[rid].title},
+            "fullDescription": {"text": RULES[rid].summary},
+            "defaultConfiguration": {
+                "level": RULES[rid].severity.sarif_level
+            },
+        }
+        for rid in used_rules
+    ]
+    rule_index = {rid: i for i, rid in enumerate(used_rules)}
+    results = []
+    for f in ranked:
+        result = {
+            "ruleId": f.rule_id,
+            "ruleIndex": rule_index[f.rule_id],
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.file},
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        results.append(result)
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

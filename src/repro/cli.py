@@ -6,6 +6,9 @@ Commands mirror the paper's artifacts plus utility actions:
   -- regenerate one artifact and print it (optionally ``--csv FILE``);
 * ``run`` -- run the MHD model under a chosen code version;
 * ``port`` -- run the source-porting pipeline and show per-version counts;
+* ``lint`` -- DC-safety analyzer over ported code, fixtures, or a
+  shadow-checked runtime smoke test (``docs/ANALYSIS.md``);
+* ``telemetry`` -- summarize one telemetry directory or ``--compare`` two;
 * ``report`` -- regenerate EXPERIMENTS.md.
 """
 
@@ -277,11 +280,82 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.obs.summary import summarize_dir
 
     try:
+        if args.compare:
+            from repro.obs.compare import (
+                compare_metrics,
+                load_metrics,
+                render_compare,
+            )
+
+            a_dir, b_dir = args.compare
+            deltas = compare_metrics(load_metrics(a_dir), load_metrics(b_dir))
+            print(render_compare(deltas, a_name=a_dir, b_name=b_dir))
+            return 0
+        if args.dir is None:
+            print("error: a telemetry DIR (or --compare A B) is required",
+                  file=sys.stderr)
+            return 2
         print(summarize_dir(args.dir))
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _lint_static(version: str) -> list:
+    """Findings for the ported codebase(s): 'all' or one CodeVersion."""
+    from repro.analysis.fortran_lint import analyze_codebase
+    from repro.fortran.codebase import generate_mas_codebase
+    from repro.fortran.pipeline import build_version
+
+    code1 = generate_mas_codebase()
+    versions = list(CodeVersion) if version == "all" else [CodeVersion[version]]
+    findings = []
+    for v in versions:
+        findings.extend(analyze_codebase(build_version(v, code1=code1)))
+    return findings
+
+
+def _lint_fixtures(which: str) -> list:
+    from repro.analysis.fixtures import clean_codebase, seeded_bug_codebase
+    from repro.analysis.fortran_lint import analyze_codebase
+
+    cb = seeded_bug_codebase() if which == "seeded" else clean_codebase()
+    return analyze_codebase(cb)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import Severity, max_severity
+    from repro.analysis.report import (
+        findings_to_json,
+        findings_to_sarif,
+        render_findings,
+    )
+
+    with _telemetry_session(args):
+        if args.fixtures:
+            findings = _lint_fixtures(args.fixtures)
+        else:
+            findings = _lint_static(args.version)
+        if args.runtime:
+            from repro.analysis.shadow import shadow_smoke
+
+            rt_version = args.version if args.version != "all" else "A"
+            findings.extend(shadow_smoke(rt_version))
+    print(render_findings(findings))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(findings_to_json(findings) + "\n")
+        print(f"wrote {args.json}")
+    if args.sarif:
+        with open(args.sarif, "w") as fh:
+            fh.write(findings_to_sarif(findings) + "\n")
+        print(f"wrote {args.sarif}")
+    if args.fail_on == "never" or not findings:
+        return 0
+    threshold = Severity[args.fail_on.upper()]
+    worst = max_severity(findings)
+    return 1 if worst is not None and worst >= threshold else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,8 +422,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_multinode)
 
     p = sub.add_parser("telemetry", help="summarize a telemetry directory")
-    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.add_argument("dir", nargs="?", default=None,
+                   help="directory written by a --telemetry run")
+    p.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
+                   help="diff the metrics.json of two telemetry directories")
     p.set_defaults(fn=cmd_telemetry)
+
+    p = sub.add_parser(
+        "lint",
+        help="DC-safety analyzer: dependence, directive, and data-region lint",
+    )
+    p.add_argument("--version", default="all",
+                   choices=["all"] + [v.name for v in CodeVersion],
+                   help="lint one ported code version (default: all six)")
+    p.add_argument("--fixtures", choices=["seeded", "clean"], default=None,
+                   help="lint a fixture corpus instead of the ported code")
+    p.add_argument("--runtime", action="store_true",
+                   help="also run the shadow-checked model smoke test")
+    p.add_argument("--json", metavar="FILE", help="write findings as JSON")
+    p.add_argument("--sarif", metavar="FILE",
+                   help="write findings as SARIF 2.1.0 (CI code-scanning)")
+    p.add_argument("--fail-on", default="warning",
+                   choices=["note", "warning", "error", "never"],
+                   help="exit 1 when any finding is at or above this severity")
+    _add_telemetry(p)
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 

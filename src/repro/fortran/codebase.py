@@ -119,7 +119,9 @@ def _plain2(e: _Emitter, ident: int) -> None:
 
 
 def _double_region(e: _Emitter, ident: int, *, continuation: bool) -> None:
-    e.emit("!$acc parallel default(present) async(1)")
+    # alternate the async queue so both queues the wait directives name
+    # actually carry work (the lint's orphan-wait rule checks this)
+    e.emit(f"!$acc parallel default(present) async({ident % 2 + 1})")
     if continuation:
         e.emit(f"!$acc& present(a{ident}, b{ident}, p{ident}, q{ident})")
     e.emit(

@@ -10,11 +10,19 @@ The observability subsystem the solver/runtime/MPI stack reports into
 * :mod:`repro.obs.runlog` -- structured JSONL run records + manifest;
 * :mod:`repro.obs.telemetry` -- the session facade and the global
   :func:`current` accessor instrumented code uses;
-* :mod:`repro.obs.summary` -- ``repro telemetry DIR`` table rendering.
+* :mod:`repro.obs.summary` -- ``repro telemetry DIR`` table rendering;
+* :mod:`repro.obs.compare` -- ``repro telemetry --compare A B`` cross-run
+  metrics diff.
 
 Everything is a near-zero-cost no-op unless a session is active.
 """
 
+from repro.obs.compare import (
+    MetricDelta,
+    compare_metrics,
+    load_metrics,
+    render_compare,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -34,6 +42,7 @@ from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL",
     "NullTelemetry",
@@ -43,9 +52,12 @@ __all__ = [
     "Tracer",
     "activate",
     "build_manifest",
+    "compare_metrics",
     "current",
     "deactivate",
     "git_sha",
+    "load_metrics",
     "parse_prometheus_text",
+    "render_compare",
     "session",
 ]

@@ -118,6 +118,19 @@ class RankRuntime:
             )
         self._planner = FusionPlanner(enabled=config.fusion)
         self._cpu_stats = LaunchStats()
+        #: Optional shadow checker (repro.analysis.shadow); None keeps the
+        #: dispatch hot path at a single attribute test.
+        self._shadow = None
+
+    # -- shadow checker ------------------------------------------------------
+
+    def attach_shadow(self, checker) -> None:
+        """Attach a :class:`~repro.analysis.shadow.ShadowChecker`."""
+        self._shadow = checker
+
+    def detach_shadow(self) -> None:
+        """Remove the shadow checker (restores the no-op hot path)."""
+        self._shadow = None
 
     # -- array registration -------------------------------------------------
 
@@ -233,7 +246,13 @@ class RankRuntime:
                 body=spec.body,
                 tags=spec.tags,
             )
-        result = spec.run_body()
+        if self._shadow is not None:
+            self._shadow.on_launch(
+                spec, self.env, async_launch=self.config.async_launch
+            )
+            result = self._shadow.run_body(spec, self.env)
+        else:
+            result = spec.run_body()
         tel = _telemetry()
         if tel.enabled:
             tel.metrics.counter(
@@ -296,12 +315,16 @@ class RankRuntime:
 
     def update_host(self, name: str, fraction: float = 1.0) -> None:
         """Charge an ``!$acc update host`` transfer."""
+        if self._shadow is not None:
+            self._shadow.sync()  # update synchronizes outstanding queues
         if self.env.mode is DataMode.MANUAL:
             for c in self.env.update_host(name, fraction):
                 self.clock.advance(c.seconds, c.category, c.label)
 
     def update_device(self, name: str, fraction: float = 1.0) -> None:
         """Charge an ``!$acc update device`` transfer."""
+        if self._shadow is not None:
+            self._shadow.sync()
         if self.env.mode is DataMode.MANUAL:
             for c in self.env.update_device(name, fraction):
                 self.clock.advance(c.seconds, c.category, c.label)
@@ -309,5 +332,7 @@ class RankRuntime:
     def host_access(self, name: str, nbytes: float | None = None,
                     category: TimeCategory = TimeCategory.UM_FAULT) -> None:
         """Host-side touch (MPI library or setup code) with UM migration."""
+        if self._shadow is not None:
+            self._shadow.sync()
         for c in self.env.host_access(name, nbytes):
             self.clock.advance(c.seconds, category, c.label)

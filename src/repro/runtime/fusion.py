@@ -3,9 +3,10 @@
 Inside one ``!$acc parallel`` region, data-independent loops can be compiled
 into a single GPU kernel ("kernel fusion", SIV-B). Converting such loops to
 ``do concurrent`` forces one kernel per loop ("kernel fission"), multiplying
-launch overheads. The planner performs the real dependence analysis: loops
-fuse greedily until a data dependence (RAW/WAR/WAW on logical arrays) or a
-category change stops the group.
+launch overheads. The dependence analysis itself lives in the shared core
+(:mod:`repro.analysis.dependence`); loops fuse greedily until a data
+dependence (RAW/WAR/WAW on logical arrays) or a category change stops the
+group.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.analysis.dependence import depends
 from repro.runtime.kernel import KernelSpec
 
 
@@ -51,7 +53,10 @@ def plan_fusion(kernels: Sequence[KernelSpec], *, enabled: bool) -> list[FusionG
     groups: list[FusionGroup] = []
     current: list[KernelSpec] = []
     for k in kernels:
-        if current and any(k.depends_on(prev) for prev in current):
+        if current and any(
+            depends(prev.reads, prev.writes, k.reads, k.writes)
+            for prev in current
+        ):
             groups.append(FusionGroup(tuple(current)))
             current = [k]
         else:

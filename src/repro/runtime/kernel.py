@@ -74,15 +74,13 @@ class KernelSpec:
         """True if this kernel must run after ``other`` (RAW/WAR/WAW).
 
         Used by the fusion planner: OpenACC may fuse only data-independent
-        loops inside one parallel region.
+        loops inside one parallel region. Delegates to the shared
+        dependence core (`repro.analysis.dependence`) so the planner, the
+        async race detector, and the Fortran lint agree on hazards.
         """
-        mine_r, mine_w = set(self.reads), set(self.writes)
-        theirs_r, theirs_w = set(other.reads), set(other.writes)
-        return bool(
-            (mine_r & theirs_w)   # read-after-write
-            or (mine_w & theirs_r)  # write-after-read
-            or (mine_w & theirs_w)  # write-after-write
-        )
+        from repro.analysis.dependence import depends
+
+        return depends(other.reads, other.writes, self.reads, self.writes)
 
     def with_tags(self, *tags: str) -> "KernelSpec":
         """Copy with extra tags (e.g. 'mpi_pack' for halo buffer loads)."""

@@ -1,0 +1,142 @@
+"""Shared dependence core: hazard algebra and loop-body analysis."""
+
+from repro.analysis.dependence import (
+    Hazard,
+    SubscriptKind,
+    analyze_loop_body,
+    array_refs,
+    classify_subscript,
+    depends,
+    hazards_between,
+    parse_assignment,
+    scalar_reads,
+)
+
+
+class TestHazards:
+    def test_raw(self):
+        hz = hazards_between(("a",), ("b",), ("b",), ("c",))
+        assert hz == frozenset({Hazard.RAW})
+
+    def test_war(self):
+        hz = hazards_between(("x",), (), (), ("x",))
+        assert hz == frozenset({Hazard.WAR})
+
+    def test_waw(self):
+        hz = hazards_between((), ("y",), (), ("y",))
+        assert hz == frozenset({Hazard.WAW})
+
+    def test_all_three(self):
+        hz = hazards_between(("a", "b"), ("a", "b"), ("a",), ("b", "a"))
+        assert hz == frozenset({Hazard.RAW, Hazard.WAR, Hazard.WAW})
+
+    def test_disjoint_footprints_independent(self):
+        assert not depends(("a",), ("b",), ("c",), ("d",))
+        assert hazards_between(("a",), ("b",), ("c",), ("d",)) == frozenset()
+
+    def test_read_read_is_not_a_hazard(self):
+        assert not depends(("a",), (), ("a",), ())
+
+
+class TestExprParsing:
+    def test_array_refs_and_scalars(self):
+        refs = array_refs("c0 * a(i-1,j) + b(i,j)**2 + w")
+        assert {r.name for r in refs} == {"a", "b"}
+        assert set(scalar_reads("c0 * a(i-1,j) + b(i,j)**2 + w")) == {
+            "c0", "w", "i", "j",
+        }
+
+    def test_intrinsics_recursed_not_reported(self):
+        refs = array_refs("sqrt(a(i,j)) + max(b(i), c0)")
+        assert {r.name for r in refs} == {"a", "b"}
+
+    def test_parse_assignment_splits_on_bare_equals(self):
+        lhs, rhs = parse_assignment("a(i,j) = b(i,j) + 1")
+        assert lhs == "a(i,j)" and "b(i,j)" in rhs
+
+    def test_parse_assignment_ignores_comparisons(self):
+        assert parse_assignment("if (a == b) cycle") is None
+
+
+class TestSubscripts:
+    def test_kinds(self):
+        idx = ("i", "j")
+        assert classify_subscript("i", idx) is SubscriptKind.INDEX
+        assert classify_subscript("i-1", idx) is SubscriptKind.SHIFTED
+        assert classify_subscript("map(i)", idx) is SubscriptKind.INDIRECT
+        assert classify_subscript("2", idx) is SubscriptKind.FREE
+
+
+def _report(lines, indices, **kw):
+    from repro.analysis.dependence import Statement
+
+    stmts = [Statement(n, t, False) for n, t in enumerate(lines)]
+    return analyze_loop_body(
+        stmts, indices,
+        declared_reductions=kw.get("declared_reductions", frozenset()),
+        locals_declared=kw.get("locals_declared", frozenset()),
+    )
+
+
+def _arrays(issues):
+    return {i.array for i in issues}
+
+
+def _scalars(issues):
+    return {i.scalar for i in issues}
+
+
+class TestLoopBody:
+    def test_clean_stencil_is_safe(self):
+        r = _report(["a(i,j) = b(i,j) * c0"], ("i", "j"))
+        assert r.safe
+        assert r.reads == {"b"} and r.writes == {"a"}
+
+    def test_shifted_self_access_is_carried(self):
+        r = _report(["a(i,j) = a(i-1,j) + b(i,j)"], ("i", "j"))
+        assert "a" in _arrays(r.carried) and not r.safe
+
+    def test_scalar_accumulation_is_undeclared_reduction(self):
+        r = _report(["s = s + e(i,j)**2"], ("i", "j"))
+        assert "s" in _scalars(r.undeclared_reductions)
+
+    def test_declared_reduction_suppressed(self):
+        r = _report(
+            ["s = s + e(i,j)**2"], ("i", "j"),
+            declared_reductions=frozenset({"s"}),
+        )
+        assert r.safe
+
+    def test_missing_index_write_is_shared(self):
+        r = _report(["col(i) = col(i) + q(i,j)"], ("j", "i"))
+        assert "col" in _arrays(r.shared_writes)
+
+    def test_assigned_first_scalar_is_private(self):
+        r = _report(["tmp = a(i) * 0.5", "b(i) = tmp"], ("i",))
+        assert r.safe and not r.carried_scalars
+
+    def test_read_before_write_scalar_needs_privatization(self):
+        r = _report(["b(i) = smooth * a(i)", "smooth = a(i)"], ("i",))
+        assert "smooth" in _scalars(r.carried_scalars)
+
+    def test_local_clause_suppresses_scalar(self):
+        r = _report(
+            ["c(i) = buf + a(i)"], ("i",),
+            locals_declared=frozenset({"buf"}),
+        )
+        assert r.safe and not r.carried_scalars
+
+    def test_indirect_write_unprotected(self):
+        r = _report(["hist(bin(i)) = hist(bin(i)) + 1"], ("i",))
+        assert "hist" in _arrays(r.indirect_writes)
+
+    def test_indirect_write_atomic_protected(self):
+        from repro.analysis.dependence import Statement
+
+        stmts = [Statement(0, "hist(bin(i)) = hist(bin(i)) + 1", True)]
+        r = analyze_loop_body(
+            stmts, ("i",),
+            declared_reductions=frozenset(), locals_declared=frozenset(),
+        )
+        assert "hist" in _arrays(r.atomic_protected)
+        assert not r.indirect_writes

@@ -1,0 +1,114 @@
+"""Finding exporters: table, JSON, SARIF; severity plumbing."""
+
+import json
+
+from repro.analysis.findings import (
+    Finding,
+    RULES,
+    Severity,
+    count_by_severity,
+    max_severity,
+    sort_findings,
+)
+from repro.analysis.report import (
+    findings_to_json,
+    findings_to_sarif,
+    render_findings,
+)
+
+F = [
+    Finding("DC005", "z.f90", 9, "indirect write"),
+    Finding("DC001", "a.f90", 3, "carried dependence"),
+    Finding("UM201", "b.f90", 1, "uncovered array"),
+]
+
+
+class TestSeverity:
+    def test_ordering_and_sarif_levels(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.NOTE
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.NOTE.sarif_level == "note"
+
+    def test_every_rule_has_severity_and_summary(self):
+        for rid, rule in RULES.items():
+            assert rule.severity in Severity
+            assert rule.title and rule.summary, rid
+
+    def test_sort_is_severity_then_rule(self):
+        ranked = sort_findings(F)
+        assert [f.rule_id for f in ranked] == ["DC001", "UM201", "DC005"]
+
+    def test_counts_and_max(self):
+        counts = count_by_severity(F)
+        assert counts["ERROR"] == 1 and counts["WARNING"] == 1
+        assert max_severity(F) is Severity.ERROR
+        assert max_severity([]) is None
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_findings([]) == "no findings"
+
+    def test_table_contains_location_and_summary_line(self):
+        text = render_findings(F)
+        assert "a.f90:3" in text
+        assert "3 findings" in text and "1 error" in text
+
+
+class TestJson:
+    def test_roundtrips_and_counts(self):
+        payload = json.loads(findings_to_json(F))
+        assert [f["rule"] for f in payload["findings"]] == [
+            "DC001", "UM201", "DC005",
+        ]
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["severity"] == "error"
+
+
+class TestSarif:
+    def test_valid_minimal_log(self):
+        log = json.loads(findings_to_sarif(F))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == {"DC001", "DC005", "UM201"}
+        for result in run["results"]:
+            idx = result["ruleIndex"]
+            assert run["tool"]["driver"]["rules"][idx]["id"] == result["ruleId"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+
+    def test_line_zero_clamped_for_runtime_findings(self):
+        log = json.loads(findings_to_sarif([Finding("RT320", "k", 0, "m")]))
+        region = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]["region"]
+        assert region["startLine"] == 1
+
+
+class TestSharedDependenceCore:
+    """Satellite (a): fusion and the kernel graph ride the same core."""
+
+    def test_kernel_depends_on_delegates_to_core(self):
+        from repro.analysis.dependence import depends
+        from repro.runtime.kernel import KernelSpec
+
+        k1 = KernelSpec("w", writes=("a",))
+        k2 = KernelSpec("r", reads=("a",))
+        assert k2.depends_on(k1)
+        assert k2.depends_on(k1) == depends(
+            k1.reads, k1.writes, k2.reads, k2.writes
+        )
+
+    def test_plan_fusion_barriers_match_core_verdicts(self):
+        from repro.runtime.fusion import plan_fusion
+        from repro.runtime.kernel import KernelSpec
+
+        specs = [
+            KernelSpec("k1", reads=("a",), writes=("b",)),
+            KernelSpec("k2", reads=("c",), writes=("d",)),  # independent
+            KernelSpec("k3", reads=("b",), writes=("e",)),  # RAW on k1
+        ]
+        groups = plan_fusion(specs, enabled=True)
+        # k1+k2 fuse (independent); k3 opens a new group (RAW on k1's b)
+        assert [len(g.kernels) for g in groups] == [2, 1]
+        assert groups[1].kernels[0].name == "k3"

@@ -1,0 +1,96 @@
+"""Cross-run metrics diff (``repro telemetry --compare A B``)."""
+
+import json
+
+import pytest
+
+from repro.obs.compare import (
+    MetricDelta,
+    compare_metrics,
+    load_metrics,
+    render_compare,
+)
+
+
+def _counter(value, **labels):
+    return {
+        "type": "counter",
+        "help": "h",
+        "labelnames": sorted(labels),
+        "samples": [{"labels": labels, "value": value}],
+    }
+
+
+def _hist(total, count, **labels):
+    return {
+        "type": "histogram",
+        "help": "h",
+        "labelnames": sorted(labels),
+        "samples": [
+            {"labels": labels, "sum": total, "count": count, "buckets": {}}
+        ],
+    }
+
+
+class TestCompare:
+    def test_unchanged_series_dropped(self):
+        a = {"c": _counter(5.0, op="sum")}
+        assert compare_metrics(a, {"c": _counter(5.0, op="sum")}) == []
+
+    def test_value_delta_and_rel(self):
+        a = {"c": _counter(100.0, op="sum")}
+        b = {"c": _counter(150.0, op="sum")}
+        (d,) = compare_metrics(a, b)
+        assert d.delta == 50.0 and d.rel == pytest.approx(0.5)
+        assert d.label_text == "op=sum"
+
+    def test_appear_and_disappear(self):
+        a = {"c": _counter(3.0, op="min")}
+        b = {"c": _counter(7.0, op="max")}
+        deltas = compare_metrics(a, b)
+        by_label = {d.label_text: d for d in deltas}
+        assert by_label["op=max"].rel == float("inf")  # new in B
+        assert by_label["op=min"].rel == float("-inf")  # gone in B
+
+    def test_histogram_count_and_mean(self):
+        a = {"h": _hist(10.0, 10)}
+        b = {"h": _hist(30.0, 15)}
+        (d,) = compare_metrics(a, b)
+        assert d.kind == "histogram"
+        assert (d.a, d.b) == (10.0, 15.0)  # counts
+        assert (d.a_mean, d.b_mean) == (1.0, 2.0)
+
+    def test_histogram_mean_shift_with_same_count_survives(self):
+        a = {"h": _hist(10.0, 10)}
+        b = {"h": _hist(20.0, 10)}
+        (d,) = compare_metrics(a, b)
+        assert d.delta == 0.0 and d.b_mean == 2.0
+
+    def test_sorted_by_relative_magnitude(self):
+        a = {"x": _counter(100.0), "y": _counter(100.0)}
+        b = {"x": _counter(110.0), "y": _counter(300.0)}
+        deltas = compare_metrics(a, b)
+        assert [d.name for d in deltas] == ["y", "x"]
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_compare([]) == "no metric differences"
+
+    def test_table_has_names_and_rel(self):
+        d = MetricDelta("c", (("op", "sum"),), "counter", 100.0, 150.0)
+        text = render_compare([d], a_name="runA", b_name="runB")
+        assert "runA" in text and "runB" in text
+        assert "+50.0%" in text and "1 series changed" in text
+
+
+class TestLoad:
+    def test_loads_dir_or_file(self, tmp_path):
+        payload = {"c": _counter(1.0)}
+        (tmp_path / "metrics.json").write_text(json.dumps(payload))
+        assert load_metrics(tmp_path) == payload
+        assert load_metrics(tmp_path / "metrics.json") == payload
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_metrics(tmp_path / "nope")

@@ -135,3 +135,77 @@ class TestTelemetry:
         main(["run", "--steps", "1", "--shape", "8", "6", "8",
               "--pcg-iters", "2", "--sts-stages", "2"])
         assert current() is NULL
+
+
+class TestTelemetryCompare:
+    def _run(self, out, steps):
+        main(
+            ["run", "--steps", str(steps), "--ranks", "2",
+             "--shape", "8", "6", "8",
+             "--pcg-iters", "2", "--sts-stages", "2",
+             "--telemetry", str(out)]
+        )
+
+    def test_compare_two_runs(self, tmp_path, capsys):
+        self._run(tmp_path / "a", steps=2)
+        self._run(tmp_path / "b", steps=3)  # more steps -> more launches
+        capsys.readouterr()
+        assert main(["telemetry", "--compare",
+                     str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        text = capsys.readouterr().out
+        assert "Metrics diff" in text
+        assert "kernel_launches_total" in text
+        assert "series changed" in text
+
+    def test_identical_runs_have_no_diff(self, tmp_path, capsys):
+        self._run(tmp_path / "a", steps=2)
+        self._run(tmp_path / "b", steps=2)
+        capsys.readouterr()
+        assert main(["telemetry", "--compare",
+                     str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "no metric differences" in capsys.readouterr().out
+
+    def test_compare_missing_dir(self, tmp_path, capsys):
+        assert main(["telemetry", "--compare",
+                     str(tmp_path / "x"), str(tmp_path / "y")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_dir_still_optional_only_with_compare(self, capsys):
+        assert main(["telemetry"]) == 2
+        assert "required" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.version == "all"
+        assert args.fail_on == "warning"
+        assert args.fixtures is None and not args.runtime
+
+    def test_clean_fixtures_exit_zero(self, capsys):
+        assert main(["lint", "--fixtures", "clean"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_seeded_fixtures_fail_gate_and_artifacts(self, tmp_path, capsys):
+        js, sarif = tmp_path / "f.json", tmp_path / "f.sarif"
+        rc = main(["lint", "--fixtures", "seeded",
+                   "--json", str(js), "--sarif", str(sarif)])
+        assert rc == 1  # errors >= the default warning threshold
+        out = capsys.readouterr().out
+        assert "DC001" in out and "findings:" in out
+        import json
+
+        assert json.loads(js.read_text())["counts"]["error"] >= 1
+        assert json.loads(sarif.read_text())["version"] == "2.1.0"
+
+    def test_seeded_fixtures_never_gate(self):
+        assert main(["lint", "--fixtures", "seeded",
+                     "--fail-on", "never"]) == 0
+
+    def test_one_version_lints_clean(self, capsys):
+        assert main(["lint", "--version", "A"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_runtime_smoke_stays_below_warning(self, capsys):
+        rc = main(["lint", "--version", "A", "--runtime"])
+        assert rc == 0  # RT321 notes are below the warning threshold
