@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.analysis.fixes import Fix
 
 
 class Severity(enum.IntEnum):
@@ -107,6 +110,11 @@ class Finding:
     """One analyzer finding, anchored to a file/line or runtime site.
 
     ``line`` is 1-based (0 for runtime findings with no source anchor).
+    ``context`` carries the symbol (array/scalar) the finding is about,
+    when there is one -- fix generation keys off it instead of parsing
+    messages back apart. ``fix`` is an optional machine-applicable repair
+    (:class:`repro.analysis.fixes.Fix`), attached by
+    :func:`repro.analysis.fixes.attach_fixes` and exported in SARIF.
     """
 
     rule_id: str
@@ -114,6 +122,7 @@ class Finding:
     line: int
     message: str
     context: str = ""
+    fix: "Fix | None" = None
 
     @property
     def rule(self) -> Rule:
@@ -129,10 +138,15 @@ class Finding:
 
 
 def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
-    """Severity-ranked (worst first), then by location for stable output."""
+    """Severity-ranked (worst first), then (file, line, rule, message).
+
+    The tiebreak chain is total over every field a finding renders with,
+    so two runs over the same input produce byte-identical JSON/SARIF
+    exports (asserted by the determinism regression test).
+    """
     return sorted(
         findings,
-        key=lambda f: (-int(f.severity), f.rule_id, f.file, f.line, f.message),
+        key=lambda f: (-int(f.severity), f.file, f.line, f.rule_id, f.message),
     )
 
 

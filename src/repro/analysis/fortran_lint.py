@@ -48,6 +48,7 @@ _REDUCTION_CLAUSE_RE = re.compile(
     r"\b(?:reduction|reduce)\s*\(\s*[^:)]+:\s*([^)]*)\)", re.I
 )
 _LOCAL_CLAUSE_RE = re.compile(r"\blocal\s*\(\s*([^)]*)\)", re.I)
+_PRIVATE_CLAUSE_RE = re.compile(r"\bprivate\s*\(\s*([^)]*)\)", re.I)
 _ASYNC_RE = re.compile(r"\basync\s*\(\s*(\w+)\s*\)", re.I)
 _WAIT_RE = re.compile(r"^wait\s*(?:\(\s*([\w,\s]+)\s*\))?", re.I)
 _DC_HEADER_RE = re.compile(r"^\s*do\s+concurrent\s*\(", re.I)
@@ -200,6 +201,7 @@ def _dc_units(file: SourceFile) -> list[LoopUnit]:
 def _region_units(file: SourceFile, region: ParallelRegion) -> list[LoopUnit]:
     """One unit per do-nest of an OpenACC parallel region."""
     reductions = _region_clause_vars(file, region, _REDUCTION_CLAUSE_RE)
+    privates = _region_clause_vars(file, region, _PRIVATE_CLAUSE_RE)
     units = []
     for nest in region.loops:
         first, last = nest.body_range
@@ -210,7 +212,7 @@ def _region_units(file: SourceFile, region: ParallelRegion) -> list[LoopUnit]:
                 indices=[v.lower() for v in nest.index_vars],
                 statements=_gather_statements(file, first, last),
                 reductions=reductions,
-                locals_declared=[],
+                locals_declared=privates,
             )
         )
     return units
@@ -221,15 +223,20 @@ def _loop_findings(unit: LoopUnit) -> list[Finding]:
     f = unit.file.name
     out = []
     for a in rep.carried:
-        out.append(Finding("DC001", f, a.line + 1, f"{a.array}: {a.detail}"))
+        out.append(Finding("DC001", f, a.line + 1, f"{a.array}: {a.detail}",
+                           context=a.array))
     for s in rep.undeclared_reductions:
-        out.append(Finding("DC002", f, s.line + 1, f"{s.scalar}: {s.detail}"))
+        out.append(Finding("DC002", f, s.line + 1, f"{s.scalar}: {s.detail}",
+                           context=s.scalar))
     for a in rep.shared_writes:
-        out.append(Finding("DC003", f, a.line + 1, f"{a.array}: {a.detail}"))
+        out.append(Finding("DC003", f, a.line + 1, f"{a.array}: {a.detail}",
+                           context=a.array))
     for s in rep.carried_scalars:
-        out.append(Finding("DC004", f, s.line + 1, f"{s.scalar}: {s.detail}"))
+        out.append(Finding("DC004", f, s.line + 1, f"{s.scalar}: {s.detail}",
+                           context=s.scalar))
     for a in rep.indirect_writes:
-        out.append(Finding("DC005", f, a.line + 1, f"{a.array}: {a.detail}"))
+        out.append(Finding("DC005", f, a.line + 1, f"{a.array}: {a.detail}",
+                           context=a.array))
     return out
 
 
@@ -374,13 +381,15 @@ def _coverage_findings(cb: Codebase) -> list[Finding]:
         if a not in cov.entered:
             out.append(
                 Finding("UM202", fname, i + 1,
-                        f"{a} exits a data region it never entered")
+                        f"{a} exits a data region it never entered",
+                        context=a)
             )
     for a, (fname, i) in sorted(cov.updated_host.items()):
         if a not in cov.entered:
             out.append(
                 Finding("UM203", fname, i + 1,
-                        f"update host({a}) but {a} was never entered")
+                        f"update host({a}) but {a} was never entered",
+                        context=a)
             )
     # region accesses of arrays the data directives manage elsewhere
     universe = cov.mentioned()
@@ -396,6 +405,7 @@ def _coverage_findings(cb: Codebase) -> list[Finding]:
                                 f"device region touches {name}, which no "
                                 "enter data/declare covers: implicit UM "
                                 "paging risk",
+                                context=name,
                             )
                         )
     return out

@@ -1,0 +1,393 @@
+"""Automated OpenACC -> `do concurrent` porting assistant.
+
+Targets mirror the paper's end states:
+
+* ``acc-opt``  -> Code 2 (AD): DC for the loops F2018 can express, OpenACC
+  retained for reductions/atomics/data (the first production-safe stop);
+* ``pure-dc``  -> Code 5 (D2XU): literally zero directives, unified memory;
+* ``dc``       -> Code 6 (D2XAd): all loops DC, manual data management via
+  the wrapper module -- the paper's production endpoint.
+
+Where the hand-built pipeline (:mod:`repro.fortran.pipeline`) selects
+regions by :class:`~repro.fortran.parser.RegionKind` (what a region *is*),
+the porter selects by :func:`~repro.analysis.fortran_lint.region_port_safety`
+(what the dependence core *proves*):
+
+* ``SAFE_F2018``   -> plain ``do concurrent`` (Listing 1 -> 2);
+* ``NEEDS_REDUCE`` -> DC with the ``reduce(op:var)`` clause (202X);
+* ``NEEDS_ATOMIC`` -> DC with the atomics retained in the body (Listing 4);
+* ``UNSAFE``       -> **refused**: recorded for ``acc-opt`` (the region
+  stays OpenACC, which is still valid), fatal for the all-DC targets.
+
+For the Code 5/6 targets the porter also flags every atomic the paper
+dropped via "small code modifications" (the non-accumulation atomics
+PureDc rewrites away) so a reviewer can audit them.
+
+:func:`verify_port` is the differential harness: the ported tree must
+match the hand-built artifact on (a) the exact lint finding set, (b) the
+Table I/II line counts and directive census, and (c) the region-kind
+multiset plus DC loop count.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.fortran_lint import PortSafety, region_port_safety
+from repro.codes import CodeVersion
+from repro.codes.versions import version_info
+from repro.fortran.codebase import GeneratorBudget, MAS_BUDGET, generate_mas_codebase
+from repro.fortran.directives import DirectiveKind, is_directive_line, parse_directive
+from repro.fortran.lexer import LineKind, classify_line
+from repro.fortran.metrics import directive_census, measure
+from repro.fortran.parser import apply_edits, find_parallel_regions
+from repro.fortran.source import Codebase
+from repro.fortran.transforms import PureDcPass, ReaddDataPass, UnifiedMemPass
+from repro.fortran.transforms.base import convert_nest_to_dc
+from repro.fortran.transforms.dc2x import (
+    async_and_dtype_data_edits,
+    convert_region_dc2x,
+    drop_legacy_paths,
+    reduce_clause_of,
+)
+from repro.fortran.transforms.pure_dc import ACCUM_RE, find_dc_loop_end
+
+
+class PortTarget(enum.Enum):
+    """What the porter should produce (CLI ``--to`` values)."""
+
+    ACC_OPT = "acc-opt"   # Code 2 (AD)
+    PURE_DC = "pure-dc"   # Code 5 (D2XU)
+    DC = "dc"             # Code 6 (D2XAd)
+
+
+#: The hand-built version each target is differentially verified against.
+TARGET_VERSION: dict[PortTarget, CodeVersion] = {
+    PortTarget.ACC_OPT: CodeVersion.AD,
+    PortTarget.PURE_DC: CodeVersion.D2XU,
+    PortTarget.DC: CodeVersion.D2XAD,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class RefusedRegion:
+    """One parallel region the porter declined to convert."""
+
+    file: str
+    line: int  # 1-based line of the region's first directive
+    kind: str
+    reason: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line} [{self.kind}] {self.reason}"
+
+
+class PortRefusedError(RuntimeError):
+    """An all-DC target hit regions the dependence core proves unsafe."""
+
+    def __init__(self, target: "PortTarget", refused: list[RefusedRegion]):
+        self.target = target
+        self.refused = refused
+        listing = "; ".join(r.render() for r in refused)
+        super().__init__(
+            f"cannot port to {target.value}: {len(refused)} region(s) "
+            f"refused: {listing}"
+        )
+
+
+@dataclass(slots=True)
+class PortResult:
+    """What one :func:`port_codebase` run produced."""
+
+    target: PortTarget
+    codebase: Codebase
+    converted: Counter = field(default_factory=Counter)  # PortSafety -> n
+    refused: list[RefusedRegion] = field(default_factory=list)
+    dropped_atomics: list[tuple[str, int]] = field(default_factory=list)
+    stages: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        conv = ", ".join(
+            f"{n} {s.value}" for s, n in sorted(
+                self.converted.items(), key=lambda kv: kv[0].value
+            )
+        ) or "none"
+        parts = [f"target {self.target.value}", f"converted: {conv}"]
+        if self.refused:
+            parts.append(f"{len(self.refused)} refused")
+        if self.dropped_atomics:
+            parts.append(
+                f"{len(self.dropped_atomics)} atomics dropped by code "
+                "modification"
+            )
+        parts.append(f"stages: {' -> '.join(self.stages)}")
+        return "; ".join(parts)
+
+
+def _convert_stage(
+    cb: Codebase,
+    *,
+    safeties: frozenset[PortSafety],
+    result: PortResult,
+) -> None:
+    """Convert every region whose analyzer verdict is in ``safeties``.
+
+    UNSAFE regions are never converted; they are recorded as refused and
+    left as OpenACC (the caller decides whether that is fatal).
+    """
+    for f in cb.files:
+        edits: list[tuple[int, int, list[str]]] = []
+        for region in find_parallel_regions(f):
+            safety = region_port_safety(f, region)
+            if safety is PortSafety.UNSAFE:
+                result.refused.append(RefusedRegion(
+                    file=f.name, line=region.start + 1,
+                    kind=region.kind.name.lower(),
+                    reason="dependence core proves a loop-carried hazard",
+                ))
+                continue
+            if safety not in safeties:
+                continue
+            if not region.loops:
+                result.refused.append(RefusedRegion(
+                    file=f.name, line=region.start + 1,
+                    kind=region.kind.name.lower(),
+                    reason="parallel region without a loop nest",
+                ))
+                continue
+            if safety is PortSafety.SAFE_F2018:
+                replacement: list[str] = []
+                for nest in region.loops:
+                    replacement.extend(convert_nest_to_dc(region, nest))
+            else:
+                clause = (
+                    reduce_clause_of(f, region)
+                    if safety is PortSafety.NEEDS_REDUCE
+                    else ""
+                )
+                replacement = convert_region_dc2x(f, region, clause=clause)
+            edits.append((region.start, region.end, replacement))
+            result.converted[safety] += 1
+        if PortSafety.NEEDS_ATOMIC in safeties:
+            # 202X stage: nothing is async any more, the derived-type data
+            # lines go with the loops that touched the types
+            edits.extend(async_and_dtype_data_edits(f))
+        apply_edits(f, edits)
+        if PortSafety.NEEDS_ATOMIC in safeties:
+            drop_legacy_paths(f)
+
+
+def _scan_dropped_atomics(cb: Codebase) -> list[tuple[str, int]]:
+    """(file, 1-based line) of atomics PureDc will drop by code change.
+
+    Atomics guarding accumulation statements become the flipped-loop
+    reduction (Listing 4 -> 5) and are accounted for; atomics guarding
+    anything else disappear in a "small code modification" the paper
+    applies by hand -- flag those for review.
+    """
+    dropped: list[tuple[str, int]] = []
+    for f in cb.files:
+        i = 0
+        while i < len(f.lines):
+            if classify_line(f.lines[i]) is not LineKind.DO_CONCURRENT:
+                i += 1
+                continue
+            end = find_dc_loop_end(f.lines, i)
+            atomics = [
+                k for k in range(i + 1, end)
+                if is_directive_line(f.lines[k])
+                and parse_directive(f.lines[k]).kind is DirectiveKind.ATOMIC
+            ]
+            if atomics and not any(
+                ACCUM_RE.match(f.lines[k + 1]) for k in atomics
+            ):
+                dropped.extend((f.name, k + 1) for k in atomics)
+            i = end + 1
+    return dropped
+
+
+def _record(result: PortResult) -> None:
+    """Telemetry counters for the port run (no-op when disabled)."""
+    from repro.obs import current
+
+    tel = current()
+    if not tel.enabled:
+        return
+    counter = tel.metrics.counter(
+        "port_regions_total", "regions converted by analyzer verdict",
+        labelnames=("target", "safety"),
+    )
+    for safety, n in result.converted.items():
+        counter.labels(target=result.target.value, safety=safety.value).inc(n)
+    if result.refused:
+        tel.metrics.counter(
+            "port_refusals_total", "regions refused as unsafe",
+            labelnames=("target",),
+        ).labels(target=result.target.value).inc(len(result.refused))
+
+
+def port_codebase(
+    target: PortTarget,
+    *,
+    code1: Codebase | None = None,
+    budget: GeneratorBudget = MAS_BUDGET,
+) -> PortResult:
+    """Port the Code 1 OpenACC tree to ``target``, analyzer-driven."""
+    base = code1 or generate_mas_codebase(budget)
+    cb = base.copy(f"port_{target.value}")
+    result = PortResult(target=target, codebase=cb)
+
+    _convert_stage(
+        cb, safeties=frozenset({PortSafety.SAFE_F2018}), result=result
+    )
+    result.stages.append("dc-f2018")
+    if target is PortTarget.ACC_OPT:
+        _record(result)
+        return result
+    if result.refused:
+        raise PortRefusedError(target, result.refused)
+
+    UnifiedMemPass().apply(cb)
+    result.stages.append("unified-mem")
+
+    _convert_stage(
+        cb,
+        safeties=frozenset({PortSafety.NEEDS_REDUCE, PortSafety.NEEDS_ATOMIC}),
+        result=result,
+    )
+    result.stages.append("dc-202x")
+    if result.refused:
+        raise PortRefusedError(target, result.refused)
+
+    result.dropped_atomics = _scan_dropped_atomics(cb)
+    PureDcPass(keep_cpu_duplicates=(target is PortTarget.DC)).apply(cb)
+    result.stages.append("pure-dc")
+    if target is PortTarget.DC:
+        ReaddDataPass().apply(cb)
+        result.stages.append("readd-data")
+
+    _record(result)
+    return result
+
+
+# -- differential verification -----------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Check:
+    """One differential check: name, verdict, human detail."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def render(self) -> str:
+        return f"[{'ok' if self.ok else 'FAIL'}] {self.name}: {self.detail}"
+
+
+@dataclass(slots=True)
+class VerifyReport:
+    """The three-way differential comparison vs the hand-built version."""
+
+    target: PortTarget
+    version: CodeVersion
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def render(self) -> str:
+        head = (
+            f"port --to {self.target.value} vs hand-built "
+            f"{version_info(self.version).tag}"
+        )
+        return "\n".join([head, *(f"  {c.render()}" for c in self.checks)])
+
+
+def _finding_keys(cb: Codebase) -> list[tuple]:
+    from repro.analysis.fortran_lint import analyze_codebase
+
+    return [
+        (f.rule_id, f.file, f.line, f.message) for f in analyze_codebase(cb)
+    ]
+
+
+def _region_kinds(cb: Codebase) -> Counter:
+    kinds: Counter = Counter()
+    for f in cb.files:
+        for region in find_parallel_regions(f):
+            kinds[region.kind.name] += 1
+    return kinds
+
+
+def _dc_loop_count(cb: Codebase) -> int:
+    return sum(
+        1
+        for _f, _i, ln in cb.iter_lines()
+        if classify_line(ln) is LineKind.DO_CONCURRENT
+    )
+
+
+def verify_port(
+    result: PortResult,
+    *,
+    code1: Codebase | None = None,
+    budget: GeneratorBudget = MAS_BUDGET,
+) -> VerifyReport:
+    """Differential verification of a port against the hand-built version.
+
+    (a) identical lint finding set, (b) exact Table I/II line counts and
+    directive census (including the paper's numbers where Table I states
+    them), (c) identical RegionKind multiset and DC loop count.
+    """
+    from repro.fortran.pipeline import build_version
+
+    version = TARGET_VERSION[result.target]
+    hand = build_version(version, code1=code1, budget=budget)
+    ported = result.codebase
+    report = VerifyReport(target=result.target, version=version)
+
+    # (a) the analyzer sees the two trees identically
+    mine, theirs = _finding_keys(ported), _finding_keys(hand)
+    if mine == theirs:
+        detail = f"identical finding set ({len(mine)} findings)"
+    else:
+        delta = set(mine).symmetric_difference(theirs)
+        detail = f"finding sets differ ({len(delta)} disagreements)"
+    report.checks.append(Check("lint", mine == theirs, detail))
+
+    # (b) Table I line counts + Table II directive census
+    pm, hm = measure(ported), measure(hand)
+    lines_ok = (pm.total_lines, pm.acc_lines) == (hm.total_lines, hm.acc_lines)
+    info = version_info(version)
+    paper_bits = []
+    # Table I's published numbers only apply to the full MAS-sized budget
+    if budget is MAS_BUDGET:
+        if lines_ok and info.paper_total_lines:
+            lines_ok = pm.total_lines == info.paper_total_lines
+            paper_bits.append(f"paper total {info.paper_total_lines}")
+        if lines_ok and info.paper_acc_lines is not None:
+            lines_ok = pm.acc_lines == info.paper_acc_lines
+            paper_bits.append(f"paper acc {info.paper_acc_lines}")
+    census_ok = directive_census(ported) == directive_census(hand)
+    detail = (
+        f"{pm.total_lines} lines / {pm.acc_lines} acc vs "
+        f"{hm.total_lines} / {hm.acc_lines}"
+    )
+    if paper_bits:
+        detail += f" ({', '.join(paper_bits)})"
+    report.checks.append(Check("census", lines_ok and census_ok, detail))
+
+    # (c) same region taxonomy left behind, same DC loop count
+    pk, hk = _region_kinds(ported), _region_kinds(hand)
+    pdc, hdc = _dc_loop_count(ported), _dc_loop_count(hand)
+    kinds_ok = pk == hk and pdc == hdc
+    detail = (
+        f"regions {dict(sorted(pk.items())) or '{}'} / {pdc} DC loops vs "
+        f"{dict(sorted(hk.items())) or '{}'} / {hdc}"
+    )
+    report.checks.append(Check("regions", kinds_ok, detail))
+    return report

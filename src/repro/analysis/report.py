@@ -2,7 +2,18 @@
 
 The SARIF export is the CI-facing artifact: GitHub's code-scanning upload
 and most editors consume it directly, so ``repro lint --sarif out.sarif``
-is all a pipeline needs to annotate a PR with analyzer findings.
+is all a pipeline needs to annotate a PR with analyzer findings.  Findings
+carrying a :class:`~repro.analysis.fixes.Fix` export it under SARIF's
+``fixes`` property (``artifactChanges``/``replacements``), so the CI
+artifact ships the machine-applicable patches too;
+:func:`sarif_to_edits` is the matching minimal reader, used by the
+round-trip regression test and by anyone consuming the artifact outside
+this repo.
+
+Exports are byte-stable: findings are fully ordered
+(:func:`~repro.analysis.findings.sort_findings`), dictionaries are
+serialized with sorted keys, and nothing time- or environment-dependent
+is embedded.
 """
 
 from __future__ import annotations
@@ -61,6 +72,45 @@ def findings_to_json(findings: Iterable[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _sarif_replacement(edit) -> dict:
+    """One SARIF ``replacement`` for a line-based :class:`TextEdit`.
+
+    Deletions/replacements use a whole-line ``deletedRegion``; pure
+    insertions use the zero-width region convention (``startColumn ==
+    endColumn == 1`` on the line the text lands in front of).
+    """
+    if edit.is_insertion:
+        region = {
+            "startLine": edit.start + 1,
+            "startColumn": 1,
+            "endLine": edit.start + 1,
+            "endColumn": 1,
+        }
+    else:
+        region = {"startLine": edit.start + 1, "endLine": edit.end + 1}
+    rep: dict = {"deletedRegion": region}
+    if edit.replacement:
+        rep["insertedContent"] = {"text": "\n".join(edit.replacement) + "\n"}
+    return rep
+
+
+def _sarif_fix(fix) -> dict:
+    """SARIF ``fix`` object: description plus per-file artifact changes."""
+    by_file: dict[str, list] = {}
+    for e in fix.edits:
+        by_file.setdefault(e.file, []).append(e)
+    return {
+        "description": {"text": fix.description},
+        "artifactChanges": [
+            {
+                "artifactLocation": {"uri": fname},
+                "replacements": [_sarif_replacement(e) for e in edits],
+            }
+            for fname, edits in sorted(by_file.items())
+        ],
+    }
+
+
 def findings_to_sarif(
     findings: Iterable[Finding], *, tool_version: str = "1.0"
 ) -> str:
@@ -96,6 +146,8 @@ def findings_to_sarif(
                 }
             ],
         }
+        if f.fix is not None:
+            result["fixes"] = [_sarif_fix(f.fix)]
         results.append(result)
     log = {
         "$schema": (
@@ -118,3 +170,90 @@ def findings_to_sarif(
         ],
     }
     return json.dumps(log, indent=2, sort_keys=True)
+
+
+def sarif_to_edits(sarif_text: str) -> list:
+    """Minimal SARIF ``fixes`` reader: parse back the edits we export.
+
+    Returns the :class:`~repro.analysis.fixes.TextEdit` list encoded in a
+    log produced by :func:`findings_to_sarif` (anchors are not encoded in
+    SARIF, so the returned edits carry empty anchors and apply
+    unconditionally).  Used by the round-trip regression test: export,
+    re-read, apply, and the re-lint must come back clean.
+    """
+    from repro.analysis.fixes import TextEdit
+
+    log = json.loads(sarif_text)
+    edits: list[TextEdit] = []
+    seen: set[tuple] = set()
+    for run in log.get("runs", []):
+        for result in run.get("results", []):
+            for fix in result.get("fixes", []):
+                for change in fix.get("artifactChanges", []):
+                    uri = change["artifactLocation"]["uri"]
+                    for rep in change.get("replacements", []):
+                        region = rep["deletedRegion"]
+                        start = region["startLine"] - 1
+                        inserted = rep.get("insertedContent", {}).get(
+                            "text", ""
+                        )
+                        repl = (
+                            tuple(inserted.split("\n")[:-1])
+                            if inserted
+                            else ()
+                        )
+                        zero_width = (
+                            region.get("startColumn") == 1
+                            and region.get("endColumn") == 1
+                            and region.get("endLine") == region["startLine"]
+                        )
+                        end = start - 1 if zero_width else region["endLine"] - 1
+                        key = (uri, start, end, repl)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        edits.append(
+                            TextEdit(
+                                file=uri, start=start, end=end,
+                                replacement=repl,
+                            )
+                        )
+    return edits
+
+
+def explain_rule(rule_id: str) -> str:
+    """Human-readable catalog entry for ``repro lint --explain RULE``."""
+    from repro.analysis.fixes import FIXABLE_RULES
+
+    rule = RULES.get(rule_id.upper())
+    if rule is None:
+        known = ", ".join(sorted(RULES))
+        return f"unknown rule {rule_id!r}; known rules: {known}"
+    lines = [
+        f"{rule.id}: {rule.title}",
+        f"  severity:  {rule.severity.name.lower()}",
+        f"  auto-fix:  {'yes (repro lint --fix)' if rule.id in FIXABLE_RULES else 'no (report-only)'}",
+        f"  suppress:  !repro: disable={rule.id} on the flagged line",
+        "",
+        f"  {rule.summary}",
+    ]
+    catalog = _catalog_entry(rule.id)
+    if catalog:
+        lines += ["", "  from docs/ANALYSIS.md:", f"    {catalog}"]
+    return "\n".join(lines)
+
+
+def _catalog_entry(rule_id: str) -> str:
+    """The rule's row in the docs/ANALYSIS.md catalog table, if present."""
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parents[3] / "docs" / "ANALYSIS.md"
+    try:
+        text = doc.read_text()
+    except OSError:
+        return ""
+    for line in text.splitlines():
+        if line.lstrip().startswith(f"| {rule_id}"):
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            return " -- ".join(c.replace("`", "") for c in cells if c)
+    return ""

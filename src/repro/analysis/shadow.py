@@ -27,7 +27,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.analysis.dependence import Hazard, hazards_between
+from repro.analysis.dependence import hazards_between
 from repro.analysis.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

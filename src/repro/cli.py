@@ -33,6 +33,14 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
         help="collect metrics/spans/logs and write a telemetry directory "
         "(manifest, JSONL log, Prometheus metrics, merged Chrome trace)",
     )
+    parser.add_argument(
+        "--telemetry-stream",
+        metavar="N",
+        type=int,
+        default=0,
+        help="stream log records and completed spans to their JSONL files "
+        "every N events (killed runs still leave parseable telemetry)",
+    )
 
 
 def _telemetry_session(args: argparse.Namespace):
@@ -46,7 +54,10 @@ def _telemetry_session(args: argparse.Namespace):
         if k not in ("fn", "telemetry") and not callable(v)
     }
     return session(
-        getattr(args, "telemetry", None), command=args.command, cli=cli
+        getattr(args, "telemetry", None),
+        flush_every_n=getattr(args, "telemetry_stream", 0),
+        command=args.command,
+        cli=cli,
     )
 
 
@@ -194,6 +205,8 @@ def cmd_port(args: argparse.Namespace) -> int:
     from repro.fortran.metrics import measure
     from repro.fortran.pipeline import build_version
 
+    if args.to:
+        return _port_to(args)
     code1 = generate_mas_codebase()
     print("porting pipeline (Code 1 -> all versions):")
     for v in CodeVersion:
@@ -203,6 +216,36 @@ def cmd_port(args: argparse.Namespace) -> int:
             f"{met.acc_lines:5d} !$acc"
         )
     return 0
+
+
+def _port_to(args: argparse.Namespace) -> int:
+    """Analyzer-driven port to one target, optionally verified."""
+    from repro.analysis.port import (
+        PortRefusedError,
+        PortTarget,
+        port_codebase,
+        verify_port,
+    )
+    from repro.fortran.codebase import generate_mas_codebase
+
+    target = PortTarget(args.to)
+    with _telemetry_session(args):
+        code1 = generate_mas_codebase()
+        try:
+            result = port_codebase(target, code1=code1)
+        except PortRefusedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(result.summary())
+        for r in result.refused:
+            print(f"  refused: {r.render()}")
+        for fname, line in result.dropped_atomics:
+            print(f"  dropped atomic (code modification): {fname}:{line}")
+        if not args.verify:
+            return 0
+        report = verify_port(result, code1=code1)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -302,47 +345,67 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lint_static(version: str) -> list:
-    """Findings for the ported codebase(s): 'all' or one CodeVersion."""
-    from repro.analysis.fortran_lint import analyze_codebase
+def _lint_codebases(args: argparse.Namespace) -> list:
+    """The codebases one ``repro lint`` invocation covers."""
+    if args.fixtures:
+        from repro.analysis.fixtures import clean_codebase, seeded_bug_codebase
+
+        return [
+            seeded_bug_codebase() if args.fixtures == "seeded"
+            else clean_codebase()
+        ]
     from repro.fortran.codebase import generate_mas_codebase
     from repro.fortran.pipeline import build_version
 
     code1 = generate_mas_codebase()
-    versions = list(CodeVersion) if version == "all" else [CodeVersion[version]]
-    findings = []
-    for v in versions:
-        findings.extend(analyze_codebase(build_version(v, code1=code1)))
-    return findings
-
-
-def _lint_fixtures(which: str) -> list:
-    from repro.analysis.fixtures import clean_codebase, seeded_bug_codebase
-    from repro.analysis.fortran_lint import analyze_codebase
-
-    cb = seeded_bug_codebase() if which == "seeded" else clean_codebase()
-    return analyze_codebase(cb)
+    versions = (
+        list(CodeVersion) if args.version == "all"
+        else [CodeVersion[args.version]]
+    )
+    return [build_version(v, code1=code1) for v in versions]
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.findings import Severity, max_severity
     from repro.analysis.report import (
+        explain_rule,
         findings_to_json,
         findings_to_sarif,
         render_findings,
     )
 
+    if args.explain:
+        print(explain_rule(args.explain))
+        return 0
+
+    from repro.analysis.fixes import attach_fixes
+    from repro.analysis.fortran_lint import analyze_codebase
+
     with _telemetry_session(args):
-        if args.fixtures:
-            findings = _lint_fixtures(args.fixtures)
-        else:
-            findings = _lint_static(args.version)
+        per_cb = []  # (codebase, findings) pairs, fixes attached
+        for cb in _lint_codebases(args):
+            per_cb.append((cb, attach_fixes(cb, analyze_codebase(cb))))
+        findings = [f for _cb, fs in per_cb for f in fs]
+        if args.fix:
+            from repro.analysis.rewriter import apply_finding_fixes
+
+            findings = []
+            for cb, fs in per_cb:
+                rep = apply_finding_fixes(cb, fs)
+                print(f"{cb.name}: {rep.summary()}")
+                after = attach_fixes(cb, analyze_codebase(cb))
+                findings.extend(after)
         if args.runtime:
             from repro.analysis.shadow import shadow_smoke
 
             rt_version = args.version if args.version != "all" else "A"
             findings.extend(shadow_smoke(rt_version))
-    print(render_findings(findings))
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif args.format == "sarif":
+        print(findings_to_sarif(findings))
+    else:
+        print(render_findings(findings))
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(findings_to_json(findings) + "\n")
@@ -406,6 +469,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("port", help="run the source-porting pipeline")
+    p.add_argument("--to", default=None,
+                   choices=["acc-opt", "dc", "pure-dc"],
+                   help="analyzer-driven port to one target: acc-opt (Code "
+                   "2), pure-dc (Code 5), dc (Code 6, the production "
+                   "endpoint); default: hand-built pipeline summary")
+    p.add_argument("--verify", action="store_true",
+                   help="differentially verify the port against the "
+                   "hand-built version (lint set, census, region kinds)")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_port)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -439,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lint a fixture corpus instead of the ported code")
     p.add_argument("--runtime", action="store_true",
                    help="also run the shadow-checked model smoke test")
+    p.add_argument("--fix", action="store_true",
+                   help="apply the machine-generated fixes in place and "
+                   "re-lint; prints the apply report per codebase")
+    p.add_argument("--explain", metavar="RULE", default=None,
+                   help="print the catalog entry for one rule id and exit")
+    p.add_argument("--format", default="table",
+                   choices=["table", "json", "sarif"],
+                   help="stdout format for the findings (default: table)")
     p.add_argument("--json", metavar="FILE", help="write findings as JSON")
     p.add_argument("--sarif", metavar="FILE",
                    help="write findings as SARIF 2.1.0 (CI code-scanning)")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fortran.directives import DirectiveKind, is_directive_line, parse_directive
 from repro.fortran.source import Codebase

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fortran.directives import is_directive_line
 from repro.fortran.source import Codebase

@@ -32,38 +32,79 @@ CONVERTIBLE = frozenset(
 )
 
 
+def reduce_clause_of(f: SourceFile, region) -> str:
+    """The ``reduce(op:var)`` clause matching the region's ``reduction``."""
+    for i in region.directive_lines:
+        m = _REDUCTION_RE.search(f.lines[i])
+        if m:
+            return f"reduce({m.group(1).strip()}:{m.group(2).strip()})"
+    return ""
+
+
+def convert_region_dc2x(f: SourceFile, region, *, clause: str = "") -> list[str]:
+    """Replacement text: one DC-202X loop for a remaining OpenACC region.
+
+    Atomics survive inside the DC body (Listing 4); ``loop seq`` (and any
+    other loop directive) is dropped -- the inner loop simply stays a
+    sequential ``do`` inside the DC body.
+    """
+    nest = region.loops[0]
+    first, last = nest.body_range
+    body: list[str] = []
+    for i in range(first, last + 1):
+        ln = f.lines[i]
+        if is_directive_line(ln):
+            d = parse_directive(ln)
+            if d.kind is DirectiveKind.ATOMIC:
+                body.append(ln)
+            continue
+        body.append(ln)
+    return [dc_header(nest, clause=clause), *body, "      enddo"]
+
+
+def async_and_dtype_data_edits(f: SourceFile) -> list[tuple[int, int, list[str]]]:
+    """Deletion edits for ``wait`` lines and derived-type enter/exit data.
+
+    Mechanical cleanup shared by the hand-built Code 4 pass and the
+    auto-porter: nothing is async once all loops are DC, and the
+    derived-type data lines go with the loops that touched the types.
+    """
+    edits: list[tuple[int, int, list[str]]] = []
+    for d in find_directive_lines(f, DirectiveKind.WAIT):
+        edits.append((d.index, max(d.all_lines), []))
+    for d in find_directive_lines(f, DirectiveKind.DATA):
+        if "%" in d.directive.payload:
+            edits.append((min(d.all_lines), max(d.all_lines), []))
+    return edits
+
+
+def drop_legacy_paths(f: SourceFile) -> None:
+    """Remove the dead ``if (.not. gpu_managed)`` transfer branches."""
+    out: list[str] = []
+    i = 0
+    while i < len(f.lines):
+        if f.lines[i].strip() == "if (.not. gpu_managed) then":
+            while f.lines[i].strip() != "endif":
+                i += 1
+            i += 1
+            continue
+        out.append(f.lines[i])
+        i += 1
+    f.lines = out
+
+
 class Dc2xPass(TransformPass):
     """Move the remaining OpenACC loops to DC-202X."""
 
     name = "dc2x"
 
-    def _reduce_clause(self, f: SourceFile, region) -> str:
-        for i in region.directive_lines:
-            m = _REDUCTION_RE.search(f.lines[i])
-            if m:
-                return f"reduce({m.group(1).strip()}:{m.group(2).strip()})"
-        return ""
-
     def _convert_region(self, f: SourceFile, region) -> list[str]:
-        nest = region.loops[0]
         clause = (
-            self._reduce_clause(f, region)
+            reduce_clause_of(f, region)
             if region.kind is RegionKind.SCALAR_REDUCTION
             else ""
         )
-        first, last = nest.body_range
-        body: list[str] = []
-        for i in range(first, last + 1):
-            ln = f.lines[i]
-            if is_directive_line(ln):
-                d = parse_directive(ln)
-                if d.kind is DirectiveKind.ATOMIC:
-                    body.append(ln)  # Listing 4: atomics survive inside DC
-                # loop seq (and any other loop directive) is dropped: the
-                # inner loop simply stays a sequential do inside the DC body
-                continue
-            body.append(ln)
-        return [dc_header(nest, clause=clause), *body, "      enddo"]
+        return convert_region_dc2x(f, region, clause=clause)
 
     def apply(self, cb: Codebase) -> None:
         for f in cb.files:
@@ -74,26 +115,6 @@ class Dc2xPass(TransformPass):
                 edits.append(
                     (region.start, region.end, self._convert_region(f, region))
                 )
-            # wait directives: nothing left to wait on
-            for d in find_directive_lines(f, DirectiveKind.WAIT):
-                edits.append((d.index, max(d.all_lines), []))
-            # derived-type enter/exit data (with continuations)
-            for d in find_directive_lines(f, DirectiveKind.DATA):
-                if "%" in d.directive.payload:
-                    edits.append((min(d.all_lines), max(d.all_lines), []))
+            edits.extend(async_and_dtype_data_edits(f))
             apply_edits(f, edits)
-            self._drop_legacy_paths(f)
-
-    @staticmethod
-    def _drop_legacy_paths(f: SourceFile) -> None:
-        out: list[str] = []
-        i = 0
-        while i < len(f.lines):
-            if f.lines[i].strip() == "if (.not. gpu_managed) then":
-                while f.lines[i].strip() != "endif":
-                    i += 1
-                i += 1
-                continue
-            out.append(f.lines[i])
-            i += 1
-        f.lines = out
+            drop_legacy_paths(f)

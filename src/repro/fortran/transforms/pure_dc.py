@@ -32,14 +32,14 @@ from repro.fortran.parser import (
 from repro.fortran.source import Codebase, SourceFile
 from repro.fortran.transforms.base import TransformPass
 
-_ACCUM_RE = re.compile(r"^(\s*)(\w+)\((\w+)\)\s*=\s*\2\(\3\)\s*\+\s*(.+)$")
+ACCUM_RE = re.compile(r"^(\s*)(\w+)\((\w+)\)\s*=\s*\2\(\3\)\s*\+\s*(.+)$")
 _MINVAL_RE = re.compile(r"^(\s*)(\w+)\s*=\s*minval\((\w+)\)\s*$", re.I)
 _DC_RE = re.compile(r"^\s*do\s+concurrent\s*\(([^)]*)\)", re.I)
 #: Routines nvfortran refuses to inline in the MAS port (SIV-E names one).
 MANUAL_INLINE_ROUTINES = ("interp1",)
 
 
-def _find_dc_loop_end(lines: list[str], start: int) -> int:
+def find_dc_loop_end(lines: list[str], start: int) -> int:
     """Index of the enddo closing the DC loop at ``start``."""
     level = 0
     for i in range(start, len(lines)):
@@ -73,7 +73,7 @@ class PureDcPass(TransformPass):
         # outer index = the one the accumulation target is indexed by
         pairs = []  # (target, rhs)
         for i in range(start + 1, end):
-            am = _ACCUM_RE.match(f.lines[i])
+            am = ACCUM_RE.match(f.lines[i])
             if am:
                 pairs.append((f"{am.group(2)}({am.group(3)})", am.group(4), am.group(3)))
         if not pairs:
@@ -103,7 +103,7 @@ class PureDcPass(TransformPass):
             if classify_line(f.lines[i]) is not LineKind.DO_CONCURRENT:
                 i += 1
                 continue
-            end = _find_dc_loop_end(f.lines, i)
+            end = find_dc_loop_end(f.lines, i)
             atomics = [
                 k
                 for k in range(i + 1, end)
@@ -112,7 +112,7 @@ class PureDcPass(TransformPass):
             ]
             if atomics:
                 is_accum = any(
-                    _ACCUM_RE.match(f.lines[k + 1]) for k in atomics
+                    ACCUM_RE.match(f.lines[k + 1]) for k in atomics
                 )
                 if is_accum:
                     edits.append((i, end, self._flip_array_reduction(f, i, end)))

@@ -38,16 +38,55 @@ def json_dumps(obj: Any) -> str:
 
 
 class RunLogger:
-    """Append-only structured log, serialized as JSONL."""
+    """Append-only structured log, serialized as JSONL.
+
+    By default records accumulate in memory and are written once at
+    session finalization. :meth:`attach_sink` turns on streaming: records
+    append to a JSONL file as they arrive (every ``flush_every_n``
+    records, or on explicit :meth:`flush`), so a run killed mid-flight
+    still leaves a parseable log -- every flushed line is a complete JSON
+    object. A record mutated *after* it was flushed keeps its old content
+    on disk until finalization rewrites the file.
+    """
 
     def __init__(self) -> None:
         self.records: list[dict[str, Any]] = []
+        self._sink: Path | None = None
+        self.flush_every_n = 0
+        self._flushed = 0
+
+    def attach_sink(self, path: str | Path, *, flush_every_n: int = 0) -> None:
+        """Stream records to ``path`` (truncated now), flushing every N."""
+        self._sink = Path(path)
+        self._sink.parent.mkdir(parents=True, exist_ok=True)
+        self._sink.write_text("")
+        self.flush_every_n = flush_every_n
+        self._flushed = 0
 
     def log(self, event: str, **fields: Any) -> dict[str, Any]:
         """Append one record; returns it (mutating it later is visible)."""
         rec: dict[str, Any] = {"event": event, **fields}
         self.records.append(rec)
+        if (
+            self._sink is not None
+            and self.flush_every_n > 0
+            and len(self.records) - self._flushed >= self.flush_every_n
+        ):
+            self.flush()
         return rec
+
+    def flush(self) -> int:
+        """Append every not-yet-flushed record to the sink; returns count."""
+        if self._sink is None:
+            return 0
+        pending = self.records[self._flushed :]
+        if not pending:
+            return 0
+        with self._sink.open("a") as fh:
+            for r in pending:
+                fh.write(json_dumps(r) + "\n")
+        self._flushed = len(self.records)
+        return len(pending)
 
     def by_event(self, event: str) -> list[dict[str, Any]]:
         """All records with the given event type."""
@@ -64,9 +103,16 @@ class NullRunLogger:
     __slots__ = ()
 
     records: tuple = ()
+    flush_every_n = 0
 
     def log(self, event: str, **fields: Any) -> None:
         return None
+
+    def attach_sink(self, path: Any, *, flush_every_n: int = 0) -> None:
+        return None
+
+    def flush(self) -> int:
+        return 0
 
     def by_event(self, event: str) -> tuple:
         return ()

@@ -51,7 +51,12 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, out_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        out_dir: str | Path | None = None,
+        *,
+        flush_every_n: int = 0,
+    ) -> None:
         # Deferred import: repro.perf pulls in the code-version registry,
         # which transitively imports the instrumented runtime modules --
         # importing it at module scope would close an import cycle.
@@ -65,6 +70,21 @@ class Telemetry:
         #: Extra manifest fields (command, cli args, bound models).
         self.manifest_extra: dict[str, Any] = {"models": []}
         self._models_bound = 0
+        #: Opt-in streaming: >0 appends log records / completed spans to
+        #: their JSONL files every N events, so a killed run still leaves
+        #: parseable telemetry (finalize rewrites both files in full).
+        self.flush_every_n = flush_every_n
+        if flush_every_n > 0 and self.out_dir is not None:
+            self.logger.attach_sink(
+                self.out_dir / LOG_FILE, flush_every_n=flush_every_n
+            )
+            self.tracer.attach_sink(
+                self.out_dir / SPANS_FILE, flush_every_n=flush_every_n
+            )
+
+    def flush(self) -> dict[str, int]:
+        """Force a streaming flush; returns records/spans written."""
+        return {"log": self.logger.flush(), "spans": self.tracer.flush()}
 
     # -- model binding -------------------------------------------------------
 
@@ -166,6 +186,9 @@ class NullTelemetry:
     def finalize(self, out_dir: Any = None) -> dict:
         return {}
 
+    def flush(self) -> dict:
+        return {}
+
 
 NULL = NullTelemetry()
 
@@ -195,7 +218,10 @@ def deactivate(telemetry: Telemetry) -> None:
 
 @contextmanager
 def session(
-    out_dir: str | Path | None, **manifest_extra: Any
+    out_dir: str | Path | None,
+    *,
+    flush_every_n: int = 0,
+    **manifest_extra: Any,
 ) -> Iterator[Telemetry | NullTelemetry]:
     """Activate a telemetry session; finalize to ``out_dir`` on exit.
 
@@ -206,11 +232,14 @@ def session(
 
         with session(args.telemetry, command="fig2"):
             run_fig2()
+
+    ``flush_every_n > 0`` turns on streaming JSONL (see
+    :attr:`Telemetry.flush_every_n`).
     """
     if out_dir is None or str(out_dir) == "":
         yield NULL
         return
-    tel = Telemetry(out_dir)
+    tel = Telemetry(out_dir, flush_every_n=flush_every_n)
     tel.manifest_extra.update(manifest_extra)
     activate(tel)
     try:

@@ -1,0 +1,197 @@
+"""Fix-it engine: generation, per-rule strategies, full repair loop."""
+
+from repro.analysis.fixes import (
+    FIXABLE_RULES,
+    Fix,
+    TextEdit,
+    attach_fixes,
+)
+from repro.analysis.fixtures import clean_codebase, seeded_bug_codebase
+from repro.analysis.fortran_lint import analyze_codebase
+from repro.analysis.rewriter import apply_finding_fixes
+from repro.fortran.source import Codebase, SourceFile
+
+import pytest
+
+
+def _fixed_findings(cb):
+    return attach_fixes(cb, analyze_codebase(cb))
+
+
+def _cb(name, *lines):
+    return Codebase(name, [SourceFile(f"{name}.f90", list(lines))])
+
+
+class TestTextEdit:
+    def test_insertion_is_end_before_start(self):
+        e = TextEdit("f.f90", 3, 2, ("x",))
+        assert e.is_insertion
+
+    def test_replacement_is_not_insertion(self):
+        assert not TextEdit("f.f90", 3, 3, ("x",)).is_insertion
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            TextEdit("f.f90", 3, 1, ())
+        with pytest.raises(ValueError):
+            TextEdit("f.f90", -1, 0, ())
+
+    def test_hashable_for_dedup(self):
+        a = TextEdit("f.f90", 1, 1, ("x",), ("y",))
+        b = TextEdit("f.f90", 1, 1, ("x",), ("y",))
+        assert len({a, b}) == 1
+
+
+class TestAttachFixes:
+    def test_every_seeded_finding_gets_a_fix(self):
+        cb = seeded_bug_codebase()
+        findings = _fixed_findings(cb)
+        assert findings, "seeded corpus must produce findings"
+        for f in findings:
+            assert f.rule_id in FIXABLE_RULES
+            assert f.fix is not None, f.render()
+            assert f.fix.rule_id == f.rule_id
+            assert f.fix.description
+            assert f.fix.edits
+
+    def test_order_preserved_and_unfixable_pass_through(self):
+        cb = seeded_bug_codebase()
+        plain = analyze_codebase(cb)
+        fixed = attach_fixes(cb, plain)
+        assert [(f.rule_id, f.file, f.line) for f in fixed] == [
+            (f.rule_id, f.file, f.line) for f in plain
+        ]
+
+    def test_finding_for_unknown_file_passes_through(self):
+        cb = seeded_bug_codebase()
+        from repro.analysis.findings import Finding
+
+        ghost = Finding("DC002", "no_such_file.f90", 1, "x", context="s")
+        out = attach_fixes(cb, [ghost])
+        assert out[0].fix is None
+
+
+class TestStrategies:
+    def test_dc002_acc_region_gets_reduction_clause(self):
+        cb = seeded_bug_codebase()
+        f = next(x for x in _fixed_findings(cb)
+                 if x.rule_id == "DC002" and "acc" not in x.file)
+        (edit,) = f.fix.edits
+        assert "reduction(+:s)" in edit.replacement[0]
+
+    def test_dc002_dc_loop_gets_reduce_clause(self):
+        cb = _cb(
+            "red",
+            "      do concurrent (i=1:n)",
+            "        s = s + a(i)",
+            "      enddo",
+        )
+        findings = _fixed_findings(cb)
+        f = next(x for x in findings if x.rule_id == "DC002")
+        (edit,) = f.fix.edits
+        assert "reduce(+:s)" in edit.replacement[0]
+        assert "do concurrent" in edit.replacement[0]
+
+    def test_dc002_detects_max_reduction_operator(self):
+        cb = _cb(
+            "mx",
+            "      do concurrent (i=1:n)",
+            "        s = max(s, a(i))",
+            "      enddo",
+        )
+        f = next(x for x in _fixed_findings(cb) if x.rule_id == "DC002")
+        assert "reduce(max:s)" in f.fix.edits[0].replacement[0]
+
+    def test_dc004_dc_loop_gets_local_clause(self):
+        cb = _cb(
+            "loc",
+            "      do concurrent (i=1:n)",
+            "        b(i) = tmp * 2.",
+            "        tmp = a(i)",
+            "      enddo",
+        )
+        f = next(x for x in _fixed_findings(cb) if x.rule_id == "DC004")
+        assert "local(tmp)" in f.fix.edits[0].replacement[0]
+
+    def test_two_scalars_share_one_merged_clause_edit(self):
+        cb = _cb(
+            "two",
+            "      do concurrent (i=1:n)",
+            "        b(i) = tmp * 2.",
+            "        c(i) = w + 1.",
+            "        tmp = a(i)",
+            "        w = a(i) * 2.",
+            "      enddo",
+        )
+        findings = [x for x in _fixed_findings(cb) if x.rule_id == "DC004"]
+        assert len(findings) == 2
+        edits = {f.fix.edits[0] for f in findings}
+        assert len(edits) == 1  # merged: both clauses on one shared edit
+        line = edits.pop().replacement[0]
+        assert "local(tmp)" in line and "local(w)" in line
+
+    def test_um201_inserts_enter_data_at_top(self):
+        cb = seeded_bug_codebase()
+        f = next(x for x in _fixed_findings(cb) if x.rule_id == "UM201")
+        (edit,) = f.fix.edits
+        assert edit.is_insertion and edit.start == 0
+        assert "enter data create(" in edit.replacement[0]
+
+    def test_acc103_wait_widened_not_deleted(self):
+        cb = seeded_bug_codebase()
+        f = next(x for x in _fixed_findings(cb) if x.rule_id == "ACC103")
+        (edit,) = f.fix.edits
+        line = edit.replacement[0]
+        assert "wait" in line and "(" not in line.split("wait")[1]
+
+    def test_dc001_region_demoted_to_sequential(self):
+        cb = seeded_bug_codebase()
+        f = next(x for x in _fixed_findings(cb)
+                 if x.rule_id == "DC001" and x.file == "bug_dc001_carried.f90")
+        assert all(e.replacement == () for e in f.fix.edits)
+
+    def test_dc001_dc_loop_rewritten_sequential(self):
+        cb = seeded_bug_codebase()
+        f = next(x for x in _fixed_findings(cb)
+                 if x.rule_id == "DC001" and x.file == "bug_dc001_dc_read.f90")
+        header_edit = f.fix.edits[0]
+        assert any("do i=" in ln or "do j=" in ln
+                   for ln in header_edit.replacement)
+
+    def test_edits_carry_anchors(self):
+        cb = seeded_bug_codebase()
+        for f in _fixed_findings(cb):
+            for e in f.fix.edits:
+                if not e.is_insertion:
+                    assert e.anchor  # replacements always snapshot
+
+
+class TestRepairLoop:
+    """The acceptance criterion: seeded corpus -> fix -> zero findings."""
+
+    def test_seeded_corpus_repairs_to_clean(self):
+        cb = seeded_bug_codebase()
+        findings = _fixed_findings(cb)
+        report = apply_finding_fixes(cb, findings)
+        assert report.clean, report.summary()
+        assert analyze_codebase(cb) == []
+
+    def test_repair_is_idempotent(self):
+        cb = seeded_bug_codebase()
+        findings = _fixed_findings(cb)
+        apply_finding_fixes(cb, findings)
+        snapshot = {f.name: list(f.lines) for f in cb.files}
+        second = apply_finding_fixes(cb, findings)
+        assert second.applied == []
+        assert {f.name: list(f.lines) for f in cb.files} == snapshot
+
+    def test_clean_corpus_needs_no_fixes(self):
+        cb = clean_codebase()
+        assert _fixed_findings(cb) == []
+
+
+class TestFixModel:
+    def test_fix_is_frozen_and_typed(self):
+        fx = Fix("DC002", "d", (TextEdit("f.f90", 0, 0, ("x",)),))
+        with pytest.raises(AttributeError):
+            fx.rule_id = "DC001"

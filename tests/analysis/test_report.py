@@ -85,6 +85,123 @@ class TestSarif:
         assert region["startLine"] == 1
 
 
+def _seeded_with_fixes():
+    from repro.analysis.fixes import attach_fixes
+    from repro.analysis.fixtures import seeded_bug_codebase
+    from repro.analysis.fortran_lint import analyze_codebase
+
+    cb = seeded_bug_codebase()
+    return cb, attach_fixes(cb, analyze_codebase(cb))
+
+
+class TestSarifFixes:
+    def test_fixes_property_has_sarif_2_1_0_shape(self):
+        _cb, findings = _seeded_with_fixes()
+        log = json.loads(findings_to_sarif(findings))
+        results = log["runs"][0]["results"]
+        with_fixes = [r for r in results if "fixes" in r]
+        assert with_fixes, "seeded findings must export fixes"
+        for r in with_fixes:
+            for fix in r["fixes"]:
+                assert fix["description"]["text"]
+                for change in fix["artifactChanges"]:
+                    assert change["artifactLocation"]["uri"].endswith(".f90")
+                    for rep in change["replacements"]:
+                        region = rep["deletedRegion"]
+                        assert region["startLine"] >= 1
+                        assert region["endLine"] >= 1
+                        if "insertedContent" in rep:
+                            assert rep["insertedContent"]["text"].endswith("\n")
+
+    def test_insertions_use_zero_width_region(self):
+        _cb, findings = _seeded_with_fixes()
+        um = next(f for f in findings if f.rule_id == "UM201")
+        log = json.loads(findings_to_sarif([um]))
+        rep = log["runs"][0]["results"][0]["fixes"][0][
+            "artifactChanges"][0]["replacements"][0]
+        region = rep["deletedRegion"]
+        assert region["startColumn"] == region["endColumn"] == 1
+        assert region["startLine"] == region["endLine"]
+
+    def test_roundtrip_reader_applies_to_clean_relint(self):
+        """Satellite: export -> sarif_to_edits -> apply -> zero findings."""
+        from repro.analysis.fixes import Fix
+        from repro.analysis.fixtures import seeded_bug_codebase
+        from repro.analysis.fortran_lint import analyze_codebase
+        from repro.analysis.report import sarif_to_edits
+        from repro.analysis.rewriter import apply_fixes
+
+        _cb, findings = _seeded_with_fixes()
+        edits = sarif_to_edits(findings_to_sarif(findings))
+        assert edits
+        target = seeded_bug_codebase()
+        report = apply_fixes(
+            target,
+            [Fix("sarif", "round-trip", (e,)) for e in edits],
+        )
+        assert report.clean, report.summary()
+        assert analyze_codebase(target) == []
+
+    def test_reader_returns_no_edits_for_fixless_log(self):
+        from repro.analysis.report import sarif_to_edits
+
+        assert sarif_to_edits(findings_to_sarif(F)) == []
+
+
+class TestDeterminism:
+    """Satellite: byte-identical exports across independent runs."""
+
+    def test_sarif_and_json_byte_stable(self):
+        _cb1, f1 = _seeded_with_fixes()
+        _cb2, f2 = _seeded_with_fixes()
+        assert findings_to_sarif(f1) == findings_to_sarif(f2)
+        assert findings_to_json(f1) == findings_to_json(f2)
+
+    def test_sort_tiebreak_is_file_line_rule_message(self):
+        scrambled = [
+            Finding("UM203", "b.f90", 2, "later"),
+            Finding("UM201", "b.f90", 2, "later"),
+            Finding("UM201", "a.f90", 9, "x"),
+            Finding("UM201", "b.f90", 1, "x"),
+            Finding("UM201", "b.f90", 2, "earlier"),
+        ]
+        ranked = sort_findings(scrambled)
+        assert [(f.file, f.line, f.rule_id, f.message) for f in ranked] == [
+            ("a.f90", 9, "UM201", "x"),
+            ("b.f90", 1, "UM201", "x"),
+            ("b.f90", 2, "UM201", "earlier"),
+            ("b.f90", 2, "UM201", "later"),
+            ("b.f90", 2, "UM203", "later"),
+        ]
+
+
+class TestExplain:
+    def test_known_rule_prints_catalog_entry(self):
+        from repro.analysis.report import explain_rule
+
+        text = explain_rule("DC002")
+        assert text.startswith("DC002: undeclared reduction")
+        assert "severity:  error" in text
+        assert "repro lint --fix" in text
+        assert "disable=DC002" in text
+
+    def test_lowercase_accepted(self):
+        from repro.analysis.report import explain_rule
+
+        assert explain_rule("dc005").startswith("DC005:")
+
+    def test_report_only_rule_says_so(self):
+        from repro.analysis.report import explain_rule
+
+        assert "report-only" in explain_rule("RT302")
+
+    def test_unknown_rule_lists_known_ids(self):
+        from repro.analysis.report import explain_rule
+
+        text = explain_rule("XX999")
+        assert "unknown rule" in text and "DC001" in text
+
+
 class TestSharedDependenceCore:
     """Satellite (a): fusion and the kernel graph ride the same core."""
 

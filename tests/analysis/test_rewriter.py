@@ -1,0 +1,130 @@
+"""Conflict-aware rewriter: dedup, conflicts, anchoring, idempotence."""
+
+from repro.analysis.fixes import Fix, TextEdit
+from repro.analysis.rewriter import apply_fixes
+from repro.fortran.source import Codebase, SourceFile
+
+
+def _cb(*lines):
+    return Codebase("t", [SourceFile("t.f90", list(lines))])
+
+
+def _fix(*edits, rule="DC002"):
+    return Fix(rule, "test", tuple(edits))
+
+
+def _edit(start, end, repl, anchor=()):
+    return TextEdit("t.f90", start, end, tuple(repl), tuple(anchor))
+
+
+class TestApply:
+    def test_simple_replacement(self):
+        cb = _cb("a", "b", "c")
+        rep = apply_fixes(cb, [_fix(_edit(1, 1, ["B"], ["b"]))])
+        assert rep.clean and cb.file("t.f90").lines == ["a", "B", "c"]
+
+    def test_deletion_and_insertion(self):
+        cb = _cb("a", "b", "c")
+        rep = apply_fixes(cb, [
+            _fix(_edit(1, 1, [], ["b"])),          # delete b
+            _fix(_edit(0, -1, ["top"])),            # insert before a
+        ])
+        assert rep.clean
+        assert cb.file("t.f90").lines == ["top", "a", "c"]
+
+    def test_bottom_up_keeps_offsets_stable(self):
+        cb = _cb("a", "b", "c", "d")
+        rep = apply_fixes(cb, [
+            _fix(_edit(0, 0, ["A"], ["a"])),
+            _fix(_edit(3, 3, ["D"], ["d"])),
+        ])
+        assert rep.clean
+        assert cb.file("t.f90").lines == ["A", "b", "c", "D"]
+
+
+class TestDedup:
+    def test_identical_edits_collapse(self):
+        cb = _cb("x")
+        e = _edit(0, -1, ["!$acc enter data create(a)"], ["x"])
+        rep = apply_fixes(cb, [_fix(e, rule="UM201"), _fix(e, rule="UM202")])
+        assert rep.deduped == 1
+        assert len(rep.applied) == 1
+        assert cb.file("t.f90").lines.count("!$acc enter data create(a)") == 1
+
+
+class TestConflicts:
+    def test_overlapping_replacements_refused(self):
+        cb = _cb("a", "b", "c")
+        rep = apply_fixes(cb, [
+            _fix(_edit(0, 1, ["X"], ["a", "b"])),
+            _fix(_edit(1, 2, ["Y"], ["b", "c"])),
+        ])
+        assert len(rep.conflicts) == 1
+        assert len(rep.applied) == 1  # deterministic first wins
+        assert cb.file("t.f90").lines == ["X", "c"]
+
+    def test_insertion_inside_deleted_range_refused(self):
+        cb = _cb("a", "b", "c")
+        rep = apply_fixes(cb, [
+            _fix(_edit(0, 2, ["X"], ["a", "b", "c"])),
+            _fix(_edit(1, 0, ["ins"], ["b"])),
+        ])
+        assert len(rep.conflicts) == 1
+
+    def test_two_insertions_at_same_point_coexist(self):
+        cb = _cb("a")
+        rep = apply_fixes(cb, [
+            _fix(_edit(0, -1, ["one"], ["a"])),
+            _fix(_edit(0, -1, ["two"], ["a"])),
+        ])
+        assert rep.clean and len(rep.applied) == 2
+        assert cb.file("t.f90").lines[-1] == "a"
+
+
+class TestAnchoring:
+    def test_stale_anchor_skipped(self):
+        cb = _cb("a", "CHANGED", "c")
+        rep = apply_fixes(cb, [_fix(_edit(1, 1, ["B"], ["b"]))])
+        assert rep.skipped_stale and not rep.applied
+        assert cb.file("t.f90").lines == ["a", "CHANGED", "c"]
+
+    def test_unknown_file_skipped(self):
+        cb = _cb("a")
+        rep = apply_fixes(
+            cb, [_fix(TextEdit("other.f90", 0, 0, ("x",), ("a",)))]
+        )
+        assert rep.skipped_stale
+
+    def test_out_of_range_skipped(self):
+        cb = _cb("a")
+        rep = apply_fixes(cb, [_fix(_edit(5, 5, ["x"], ["y"]))])
+        assert rep.skipped_stale
+
+    def test_anchorless_replacement_applies_bounds_only(self):
+        # edits read back from SARIF carry no anchor: bounds check only
+        cb = _cb("a", "b")
+        rep = apply_fixes(cb, [_fix(_edit(1, 1, ["B"]))])
+        assert rep.clean and cb.file("t.f90").lines == ["a", "B"]
+
+    def test_idempotence_second_pass_noop(self):
+        cb = _cb("a", "b", "c")
+        fixes = [_fix(_edit(1, 1, ["B"], ["b"]))]
+        apply_fixes(cb, fixes)
+        rep2 = apply_fixes(cb, fixes)
+        assert rep2.applied == [] and len(rep2.skipped_stale) == 1
+        assert cb.file("t.f90").lines == ["a", "B", "c"]
+
+
+class TestTelemetry:
+    def test_counters_recorded_in_session(self, tmp_path):
+        from repro.obs import session
+
+        cb = _cb("a", "b")
+        with session(tmp_path / "tel") as tel:
+            apply_fixes(cb, [
+                _fix(_edit(0, 0, ["A"], ["a"])),
+                _fix(_edit(1, 1, ["B"], ["wrong-anchor"])),
+            ])
+            prom = tel.metrics.to_prometheus_text()
+        assert 'fix_edits_applied_total{rule="DC002"} 1' in prom
+        assert "fix_stale_total 1" in prom

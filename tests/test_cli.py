@@ -209,3 +209,70 @@ class TestLint:
     def test_runtime_smoke_stays_below_warning(self, capsys):
         rc = main(["lint", "--version", "A", "--runtime"])
         assert rc == 0  # RT321 notes are below the warning threshold
+
+
+class TestLintFix:
+    def test_fix_repairs_seeded_corpus_to_clean(self, capsys):
+        rc = main(["lint", "--fixtures", "seeded", "--fix"])
+        assert rc == 0  # post-fix re-lint is the gate: zero findings
+        out = capsys.readouterr().out
+        assert "edits applied" in out
+        assert "no findings" in out
+
+    def test_fix_on_clean_corpus_is_noop(self, capsys):
+        rc = main(["lint", "--fixtures", "clean", "--fix"])
+        assert rc == 0
+        assert "0 edits applied" in capsys.readouterr().out
+
+    def test_explain_prints_catalog_entry(self, capsys):
+        assert main(["lint", "--explain", "DC002"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("DC002: undeclared reduction")
+        assert "auto-fix" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "XX123"]) == 0
+        assert "unknown rule" in capsys.readouterr().out
+
+
+class TestLintDeterminism:
+    def test_format_sarif_byte_identical_across_runs(self, capsys):
+        """Satellite: two independent CLI runs emit identical SARIF."""
+        main(["lint", "--fixtures", "seeded", "--format", "sarif",
+              "--fail-on", "never"])
+        first = capsys.readouterr().out
+        main(["lint", "--fixtures", "seeded", "--format", "sarif",
+              "--fail-on", "never"])
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        log = json.loads(first)
+        assert log["version"] == "2.1.0"
+        assert any("fixes" in r for r in log["runs"][0]["results"])
+
+    def test_format_json_stdout(self, capsys):
+        main(["lint", "--fixtures", "seeded", "--format", "json",
+              "--fail-on", "never"])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] >= 1
+
+
+class TestPortTo:
+    def test_parser_accepts_targets(self):
+        args = build_parser().parse_args(["port", "--to", "dc", "--verify"])
+        assert args.to == "dc" and args.verify
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["port", "--to", "openmp"])
+
+    def test_port_to_acc_opt_verifies(self, capsys):
+        assert main(["port", "--to", "acc-opt", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "target acc-opt" in out
+        assert "[ok] lint" in out
+        assert "[ok] census" in out
+        assert "[ok] regions" in out
