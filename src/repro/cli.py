@@ -25,6 +25,26 @@ def _add_csv(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", metavar="FILE", help="also write rows as CSV")
 
 
+def _add_pcg_options(parser: argparse.ArgumentParser) -> None:
+    from repro.mas.pcg import PCG_VARIANTS, PRECONDITIONERS
+
+    parser.add_argument(
+        "--pcg",
+        default="classic",
+        choices=list(PCG_VARIANTS),
+        help="PCG solver variant: classic (3 allreduces/iter, reference), "
+        "ca (Chronopoulos-Gear, 1 fused allreduce/iter), pipelined "
+        "(Ghysels-Vanroose, the fused allreduce overlaps the matvec)",
+    )
+    parser.add_argument(
+        "--precond",
+        default="jacobi",
+        choices=list(PRECONDITIONERS),
+        help="PCG preconditioner: jacobi (diagonal) or cheby (Chebyshev "
+        "polynomial, no extra halo exchanges)",
+    )
+
+
 def _add_telemetry(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -41,6 +61,15 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
         help="stream log records and completed spans to their JSONL files "
         "every N events (killed runs still leave parseable telemetry)",
     )
+    parser.add_argument(
+        "--telemetry-snapshots",
+        metavar="N",
+        type=int,
+        default=0,
+        help="rotate metrics.json snapshots every N model steps (long "
+        "streamed runs keep recent counter states on disk as "
+        "metrics.json.1..3)",
+    )
 
 
 def _telemetry_session(args: argparse.Namespace):
@@ -56,6 +85,7 @@ def _telemetry_session(args: argparse.Namespace):
     return session(
         getattr(args, "telemetry", None),
         flush_every_n=getattr(args, "telemetry_stream", 0),
+        snapshot_every_n=getattr(args, "telemetry_snapshots", 0),
         command=args.command,
         cli=cli,
     )
@@ -145,11 +175,19 @@ def cmd_fig2(args: argparse.Namespace) -> int:
 
 
 def cmd_fig3(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.experiments.fig3 import GPU_PANELS, render_fig3, run_fig3
     from repro.codes import GPU_VERSIONS
+    from repro.perf.calibration import PAPER_CALIBRATION
 
+    calibration = replace(
+        PAPER_CALIBRATION,
+        pcg_variant=args.pcg,
+        pcg_precond=args.precond,
+    )
     with _telemetry_session(args):
-        result = run_fig3()
+        result = run_fig3(calibration)
     print(render_fig3(result))
     _write_csv(
         args.csv,
@@ -182,6 +220,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                 shape=tuple(args.shape),
                 num_ranks=args.ranks,
                 pcg_iters=args.pcg_iters,
+                pcg_variant=args.pcg,
+                pcg_precond=args.precond,
+                pcg_tol=args.pcg_tol,
+                cheby_degree=args.cheby_degree,
                 sts_stages=args.sts_stages,
             ),
             runtime_config_for(version),
@@ -439,6 +481,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_csv(p)
         if name in ("fig2", "fig3"):
             _add_telemetry(p)
+        if name == "fig3":
+            _add_pcg_options(p)
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("fig4", help="Fig. 4: viscosity-solver timeline")
@@ -464,7 +508,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shape", type=int, nargs=3, default=[12, 10, 20],
                    metavar=("NR", "NT", "NP"))
     p.add_argument("--pcg-iters", type=int, default=5)
+    p.add_argument("--pcg-tol", type=float, default=0.0,
+                   help="PCG early-exit relative residual (0 = fixed "
+                   "iterations, the paper-scale reference semantics)")
+    p.add_argument("--cheby-degree", type=int, default=3,
+                   help="Chebyshev preconditioner degree (--precond cheby)")
     p.add_argument("--sts-stages", type=int, default=5)
+    _add_pcg_options(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_run)
 

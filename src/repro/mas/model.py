@@ -35,13 +35,28 @@ from repro.mas.conduction import conduction_rhs, max_diffusivity
 from repro.mas.constants import PhysicsParams
 from repro.mas.grid import LocalGrid, SphericalGrid
 from repro.mas.initial import initialize
-from repro.mas.pcg import jacobi_preconditioner, pcg_solve
+from repro.mas.pcg import (
+    PCG_VARIANTS,
+    PRECONDITIONERS,
+    chebyshev_preconditioner,
+    jacobi_spectral_bounds,
+    pcg_solve,
+    pcg_solve_ca,
+    pcg_solve_pipelined,
+)
 from repro.mas.radiation import energy_source_rate, heating_profile
 from repro.mas.state import MhdState
 from repro.mas.semi_implicit import max_wave_speed, si_coefficient
 from repro.mas.sts import explicit_parabolic_dt, rkl2_advance, stages_for_dt
 from repro.mas.viscosity import implicit_matvec, jacobi_diagonal
-from repro.mpi.collectives import allreduce_max, allreduce_min, allreduce_sum
+from repro.mpi.collectives import (
+    allreduce_many,
+    allreduce_many_begin,
+    allreduce_many_finish,
+    allreduce_max,
+    allreduce_min,
+    allreduce_sum,
+)
 from repro.mpi.decomp import Decomposition3D
 from repro.mpi.halo import HaloExchanger, HaloSpec
 from repro.obs.telemetry import current as _telemetry
@@ -81,6 +96,19 @@ class ModelConfig:
     #: Fixed PCG iterations per velocity component (paper-scale work; see
     #: repro.perf.calibration.PCG_ITERS_PAPER).
     pcg_iters: int = 10
+    #: PCG solver variant: "classic" (reference, 3 allreduces/iter), "ca"
+    #: (Chronopoulos-Gear, 1 fused allreduce/iter) or "pipelined"
+    #: (Ghysels-Vanroose, the fused allreduce overlaps the matvec when the
+    #: runtime has async queues).
+    pcg_variant: str = "classic"
+    #: Preconditioner: "jacobi" (diagonal) or "cheby" (Chebyshev polynomial
+    #: over the Jacobi-scaled operator, no extra halo exchanges).
+    pcg_precond: str = "jacobi"
+    #: Early-exit tolerance on the relative residual (0 = fixed-iteration
+    #: paper-scale semantics; variants may set > 0 to report own counts).
+    pcg_tol: float = 0.0
+    #: Chebyshev preconditioner polynomial degree (pcg_precond="cheby").
+    cheby_degree: int = 3
     #: Fixed RKL2 stage count (None = size stages from stability each step).
     sts_stages: int | None = 8
     #: Override the CFL timestep (tests / fixed-cost benchmarking).
@@ -107,6 +135,19 @@ class ModelConfig:
             raise ValueError("need at least one rank")
         if self.pcg_iters < 1:
             raise ValueError("pcg_iters must be >= 1")
+        if self.pcg_variant not in PCG_VARIANTS:
+            raise ValueError(
+                f"pcg_variant must be one of {PCG_VARIANTS}, got {self.pcg_variant!r}"
+            )
+        if self.pcg_precond not in PRECONDITIONERS:
+            raise ValueError(
+                f"pcg_precond must be one of {PRECONDITIONERS}, "
+                f"got {self.pcg_precond!r}"
+            )
+        if self.pcg_tol < 0:
+            raise ValueError("pcg_tol cannot be negative")
+        if self.cheby_degree < 1:
+            raise ValueError("cheby_degree must be >= 1")
         if self.sts_stages is not None and self.sts_stages < 2:
             raise ValueError("RKL2 needs at least 2 stages")
         if self.extra_model_arrays < 0:
@@ -494,6 +535,7 @@ class MasModel:
             sim_time=float(self.time),
             categories=categories,
         )
+        tel.maybe_snapshot_metrics()
 
     def run(self, n_steps: int) -> list[StepTiming]:
         """Advance ``n_steps`` steps, returning per-step timings."""
@@ -680,12 +722,12 @@ class MasModel:
             self._implicit_velocity_solve(coeff, dt, "si")
 
     def _implicit_velocity_solve(self, nu: float, dt: float, tag: str) -> None:
-        """(I - dt nu Lap) v = v* per component via PCG (Jacobi precond)."""
+        """(I - dt nu Lap) v = v* per component via the selected PCG variant."""
         tracer = _telemetry().tracer
         diags = [jacobi_diagonal(g, nu, dt) for g in self.local_grids]
-        precond = jacobi_preconditioner(diags)
-
         cost_tag = "viscosity" if tag == "visc" else "semi_implicit"
+        precondition = self._make_preconditioner(diags, nu, dt, tag, cost_tag)
+
         for comp in ("vr", "vt", "vp"):
             arrays = [s.get(comp) for s in self.states]
             rhs = [a.copy() for a in arrays]
@@ -739,20 +781,40 @@ class MasModel:
                     )
                 )
 
-            def precondition(rs):
-                out = []
+            def dot_many_local(pairs):
+                """Per-rank partial dots for one fused reduction."""
+                locals_ = []
                 for r, rt in enumerate(self.ranks):
-                    def body(x=rs[r], d=diags[r]):
-                        return x / d
+                    i = self.local_grids[r].interior()
 
-                    out.append(
-                        rt.loop(
-                            KernelSpec(f"{tag}_precond", reads=("pcg_r", "pcg_diag"),
-                                       writes=("pcg_z",), body=body,
-                                       tags=frozenset({cost_tag}))
+                    def body(pairs=pairs, r=r, i=i) -> np.ndarray:
+                        return np.array(
+                            [float(np.vdot(a[r][i], b[r][i]).real) for a, b in pairs]
+                        )
+
+                    locals_.append(
+                        rt.scalar_reduction(
+                            KernelSpec(f"{tag}_dot_many", reads=("pcg_r", "pcg_z"),
+                                       body=body, tags=frozenset({cost_tag}))
                         )
                     )
-                return out
+                return locals_
+
+            def dot_many(pairs):
+                return allreduce_many(
+                    self.ranks,
+                    dot_many_local(pairs),
+                    self.reduce_link,
+                    unified_memory=self.rt_config.unified_memory,
+                )
+
+            def dot_many_begin(pairs):
+                return allreduce_many_begin(
+                    self.ranks,
+                    dot_many_local(pairs),
+                    self.reduce_link,
+                    unified_memory=self.rt_config.unified_memory,
+                )
 
             def combine(ys, alpha, zs):
                 for r, rt in enumerate(self.ranks):
@@ -765,16 +827,134 @@ class MasModel:
                                    tags=frozenset({cost_tag}))
                     )
 
-            with tracer.span(f"step/{cost_tag}/pcg", component=comp):
-                pcg_solve(
-                    apply_a,
-                    rhs,
-                    arrays,
-                    dot=dot,
-                    precondition=precondition,
-                    combine=combine,
-                    iterations=self.config.pcg_iters,
+            variant = self.config.pcg_variant
+            with tracer.span(f"step/{cost_tag}/pcg", component=comp,
+                             variant=variant):
+                if variant == "classic":
+                    pcg_solve(
+                        apply_a,
+                        rhs,
+                        arrays,
+                        dot=dot,
+                        precondition=precondition,
+                        combine=combine,
+                        iterations=self.config.pcg_iters,
+                        tol=self.config.pcg_tol,
+                    )
+                elif variant == "ca":
+                    pcg_solve_ca(
+                        apply_a,
+                        rhs,
+                        arrays,
+                        dot_many=dot_many,
+                        precondition=precondition,
+                        combine=combine,
+                        iterations=self.config.pcg_iters,
+                        tol=self.config.pcg_tol,
+                    )
+                else:
+                    overlap = self.rt_config.supports_pipelined_reductions
+                    pcg_solve_pipelined(
+                        apply_a,
+                        rhs,
+                        arrays,
+                        dot_many=dot_many,
+                        precondition=precondition,
+                        combine=combine,
+                        iterations=self.config.pcg_iters,
+                        tol=self.config.pcg_tol,
+                        dot_many_begin=dot_many_begin if overlap else None,
+                        dot_many_finish=(
+                            allreduce_many_finish if overlap else None
+                        ),
+                    )
+
+    def _make_preconditioner(self, diags, nu: float, dt: float,
+                             tag: str, cost_tag: str):
+        """Build the selected preconditioner as a kernel-charged closure.
+
+        Jacobi issues one ``{tag}_precond`` kernel per rank per application.
+        Chebyshev additionally issues ``degree - 1`` rank-local
+        ``{tag}_precond_matvec`` stencil kernels -- no halo exchanges and no
+        reductions, so it adds zero MPI while damping the whole bounded
+        spectrum.  The ghost zones of the inverse diagonal are zeroed so the
+        polynomial acts on a purely rank-local linear operator (ghost cells
+        are annihilated instead of coupling in stale, asymmetric values),
+        and the upper spectral bound carries a safety margin: the Chebyshev
+        polynomial stays positive below the interval but can change sign
+        above it, so overestimating ``lam_max`` is safe while undershooting
+        it would make the preconditioner indefinite.
+        """
+        if self.config.pcg_precond == "cheby":
+            inv_diags = []
+            for r, d in enumerate(diags):
+                inv = np.zeros_like(d)
+                i = self.local_grids[r].interior()
+                inv[i] = 1.0 / d[i]
+                inv_diags.append(inv)
+            lam_min, lam_max = jacobi_spectral_bounds(diags)
+
+            def local_matvec(xs):
+                out = []
+                for r, rt in enumerate(self.ranks):
+                    grid = self.local_grids[r]
+
+                    def body(x=xs[r], grid=grid):
+                        return implicit_matvec(x, grid, nu, dt)
+
+                    out.append(
+                        rt.loop(
+                            KernelSpec(f"{tag}_precond_matvec",
+                                       reads=("pcg_z", "pcg_diag"),
+                                       writes=("pcg_ap",), body=body,
+                                       tags=frozenset({cost_tag}))
+                        )
+                    )
+                return out
+
+            cheby = chebyshev_preconditioner(
+                local_matvec,
+                inv_diags,
+                degree=self.config.cheby_degree,
+                lam_min=lam_min,
+                lam_max=1.05 * lam_max,
+            )
+
+            def precondition(rs):
+                zs = cheby(rs)  # charges the polynomial's matvec kernels
+                out = []
+                for r, rt in enumerate(self.ranks):
+                    def body(z=zs[r]):
+                        return z
+
+                    out.append(
+                        rt.loop(
+                            KernelSpec(f"{tag}_precond",
+                                       reads=("pcg_r", "pcg_diag"),
+                                       writes=("pcg_z",), body=body,
+                                       tags=frozenset({cost_tag}))
+                        )
+                    )
+                return out
+
+            return precondition
+
+        def precondition(rs):
+            out = []
+            for r, rt in enumerate(self.ranks):
+                def body(x=rs[r], d=diags[r]):
+                    return x / d
+
+                out.append(
+                    rt.loop(
+                        KernelSpec(f"{tag}_precond", reads=("pcg_r", "pcg_diag"),
+                                   writes=("pcg_z",), body=body,
+                                   tags=frozenset({cost_tag}))
+                    )
                 )
+            return out
+
+        return precondition
 
     # -- induction -------------------------------------------------------------------
 

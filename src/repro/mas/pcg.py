@@ -1,26 +1,87 @@
-"""Preconditioned conjugate gradient over distributed arrays.
+"""Preconditioned conjugate gradient family over distributed arrays.
 
 MAS solves its implicit (viscosity, semi-implicit) operators with PCG
 (paper refs [22], [25]); each iteration applies the operator (one halo
-exchange + stencil kernels) and takes two global dot products (MPI
-allreduces). Fig. 4 profiles exactly these iterations.
+exchange + stencil kernels) and takes global dot products (MPI
+allreduces). Fig. 4 profiles exactly these iterations, and the Fig. 3
+MPI breakdown pins a large share of the solve on those latency-dominated
+collectives. Three variants attack that cost:
 
-The solver is generic: it works on *lists of per-rank arrays* and receives
-callbacks for the operator, dot product, and preconditioner, so it can be
-unit-tested with plain numpy closures and driven by the model with
-kernel-wrapped closures.
+* :func:`pcg_solve` -- **classic** PCG (the reference): three blocking
+  allreduces per iteration (p.Ap, the residual norm, and r.z);
+* :func:`pcg_solve_ca` -- **communication-avoiding** PCG
+  (Chronopoulos--Gear recurrences): the per-iteration dot products are
+  fused into ONE batched allreduce (``allreduce_many``), so each
+  iteration pays one collective latency instead of three;
+* :func:`pcg_solve_pipelined` -- **pipelined** PCG (Ghysels--Vanroose):
+  the single fused allreduce is additionally posted *nonblocking* and
+  overlapped with the preconditioner + operator application, hiding the
+  collective entirely when the matvec is longer than the latency.
+
+All three produce identical iterates in exact arithmetic; the variant
+property tests pin them to the classic solution within tight tolerance.
+
+On the preconditioner axis, :func:`jacobi_preconditioner` (diagonal
+scaling) is joined by :func:`chebyshev_preconditioner`, a fixed
+polynomial in the Jacobi-scaled operator whose spectral bounds come from
+the diagonal alone (:func:`jacobi_spectral_bounds`) -- stronger
+smoothing per iteration with no extra halo exchanges.
+
+The solvers are generic: they work on *lists of per-rank arrays* and
+receive callbacks for the operator, dot product(s), and preconditioner,
+so they can be unit-tested with plain numpy closures and driven by the
+model with kernel-wrapped closures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.obs.telemetry import current as _telemetry
 
 RankArrays = list[np.ndarray]
+
+#: Pairs of rank-array vectors whose dot products are fused into one
+#: batched reduction.
+DotPairs = Sequence[tuple[RankArrays, RankArrays]]
+
+#: Solver variants selectable per run (``--pcg``).
+PCG_VARIANTS = ("classic", "ca", "pipelined")
+
+#: Preconditioners selectable per run (``--precond``).
+PRECONDITIONERS = ("jacobi", "cheby")
+
+#: Relative-magnitude breakdown floor for the rho = (r, z) inner product:
+#: rho this far below its initial value has lost all relative magnitude.
+PCG_BREAKDOWN_REL = float(np.finfo(float).eps) ** 2 * 1e-3
+
+#: Relative residual below which a vanished rho is *over-convergence*,
+#: not breakdown. Fixed-iteration paper-scale solves keep polishing an
+#: already-converged system, driving rho arbitrarily small while the
+#: residual sits at the machine-precision floor; that must keep iterating
+#: (the calibrated cost model counts those kernels). Only a rho collapse
+#: while the residual is still large is a true breakdown.
+PCG_STAGNATION_RESIDUAL = 1e-12
+
+
+def _rho_breakdown(rho: float, rho0: float, res_norm: float) -> bool:
+    """True when the rho recurrence denominator is unusable.
+
+    For an SPD operator and preconditioner rho is positive until the
+    residual is exactly zero, so a non-finite, negative, exactly-zero
+    (with residual remaining), or relative-magnitude-collapsed rho while
+    unconverged means the recurrence has broken down -- the caller
+    returns a non-converged result instead of silently zeroing the
+    search direction.
+    """
+    if not np.isfinite(rho) or rho < 0.0:
+        return True
+    if rho == 0.0:
+        return res_norm > 0.0
+    return abs(rho) <= PCG_BREAKDOWN_REL * rho0 and res_norm > PCG_STAGNATION_RESIDUAL
 
 
 @dataclass(slots=True)
@@ -30,6 +91,13 @@ class PcgResult:
     iterations: int
     residual_norm: float
     converged: bool
+    #: True when the solve stopped because a recurrence denominator lost
+    #: all relative magnitude (returned instead of silently restarting).
+    breakdown: bool = False
+    variant: str = "classic"
+    #: Global reductions (allreduce latencies) this solve issued; the CA
+    #: and pipelined variants fuse several dot products per call.
+    allreduce_calls: int = 0
 
 
 def _observe_solve(result: PcgResult) -> PcgResult:
@@ -40,6 +108,11 @@ def _observe_solve(result: PcgResult) -> PcgResult:
         tel.metrics.counter(
             "pcg_iterations_total", "PCG iterations across all solves"
         ).inc(result.iterations)
+        tel.metrics.counter(
+            "pcg_variant_solves_total",
+            "PCG solves completed, by solver variant",
+            labelnames=("variant",),
+        ).labels(variant=result.variant).inc()
         tel.metrics.histogram(
             "pcg_residual_norm", "relative residual at solve end",
             buckets=(1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0),
@@ -49,9 +122,34 @@ def _observe_solve(result: PcgResult) -> PcgResult:
             iterations=result.iterations,
             residual_norm=result.residual_norm,
             converged=result.converged,
+            breakdown=result.breakdown,
+            variant=result.variant,
+            allreduce_calls=result.allreduce_calls,
         )
     return result
 
+
+def _count_allreduce(variant: str) -> None:
+    """Count one global reduction issued by a PCG solve."""
+    tel = _telemetry()
+    if tel.enabled:
+        tel.metrics.counter(
+            "pcg_allreduce_calls_total",
+            "global reductions (allreduce latencies) issued by PCG solves",
+            labelnames=("variant",),
+        ).labels(variant=variant).inc()
+
+
+def _validate(rhs: RankArrays, x: RankArrays, iterations: int) -> None:
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if len(rhs) != len(x):
+        raise ValueError("rhs and x must have the same rank count")
+
+
+# --------------------------------------------------------------------------
+# classic PCG (the reference solver)
+# --------------------------------------------------------------------------
 
 def pcg_solve(
     apply_a: Callable[[RankArrays], RankArrays],
@@ -64,7 +162,7 @@ def pcg_solve(
     iterations: int,
     tol: float = 0.0,
 ) -> PcgResult:
-    """Run PCG for a fixed iteration budget (optionally early-exit on tol).
+    """Run classic PCG for a fixed iteration budget (optional tol exit).
 
     ``apply_a`` must be linear and SPD w.r.t. ``dot``. ``combine(y, a, z)``
     performs ``y += a * z`` in place per rank (the model wraps it in an
@@ -74,52 +172,340 @@ def pcg_solve(
     `repro.perf.calibration`): at test resolutions PCG would converge in
     fewer iterations than at 36M cells, and the cost model must reflect
     paper-scale work. Pass ``tol > 0`` for physics-only use.
+
+    A loss of all relative magnitude in the rho = (r, z) recurrence
+    denominator returns a non-converged result with ``breakdown=True``
+    (it previously zeroed the search direction silently).
     """
-    if iterations < 1:
-        raise ValueError("need at least one iteration")
-    if len(rhs) != len(x):
-        raise ValueError("rhs and x must have the same rank count")
+    _validate(rhs, x, iterations)
+    calls = 0
+
+    def gdot(a: RankArrays, b: RankArrays) -> float:
+        nonlocal calls
+        calls += 1
+        _count_allreduce("classic")
+        return dot(a, b)
 
     # r = rhs - A x
     ax = apply_a(x)
     r = [b - a for b, a in zip(rhs, ax)]
     z = precondition(r)
     p = [zi.copy() for zi in z]
-    rz = dot(r, z)
-    rhs_norm = np.sqrt(max(dot(rhs, rhs), 1e-300))
+    rz = gdot(r, z)
+    rz0 = abs(rz)
+    rhs_norm = np.sqrt(max(gdot(rhs, rhs), 1e-300))
 
+    res_norm = np.sqrt(max(gdot(r, r), 0.0)) / rhs_norm
+    if rz == 0.0:
+        # r = 0 under an SPD preconditioner: already solved (or rhs = 0).
+        return _observe_solve(
+            PcgResult(0, float(res_norm), res_norm == 0.0,
+                      breakdown=res_norm != 0.0, allreduce_calls=calls)
+        )
     it = 0
-    res_norm = np.sqrt(max(dot(r, r), 0.0)) / rhs_norm
     for it in range(1, iterations + 1):
         ap = apply_a(p)
-        pap = dot(p, ap)
+        pap = gdot(p, ap)
         if pap <= 0:
-            raise np.linalg.LinAlgError(
-                f"PCG operator not positive definite: p.Ap = {pap}"
-            )
-        alpha = rz / pap
+            if res_norm > PCG_STAGNATION_RESIDUAL:
+                raise np.linalg.LinAlgError(
+                    f"PCG operator not positive definite: p.Ap = {pap}"
+                )
+            # Exactly-converged fixed-iteration solve (p collapsed to 0):
+            # keep issuing the budgeted kernels with a zero step.
+            alpha = 0.0
+        else:
+            alpha = rz / pap
         for xi, pi in zip(x, p):
             xi += alpha * pi
         for ri, api in zip(r, ap):
             ri -= alpha * api
-        res_norm = np.sqrt(max(dot(r, r), 0.0)) / rhs_norm
+        res_norm = np.sqrt(max(gdot(r, r), 0.0)) / rhs_norm
         if tol > 0.0 and res_norm < tol:
-            return _observe_solve(PcgResult(it, float(res_norm), True))
+            return _observe_solve(
+                PcgResult(it, float(res_norm), True, allreduce_calls=calls)
+            )
         z = precondition(r)
-        rz_new = dot(r, z)
-        beta = rz_new / rz if rz != 0 else 0.0
+        rz_new = gdot(r, z)
+        if _rho_breakdown(rz_new, rz0, res_norm):
+            # The beta denominator is unusable: return a non-converged
+            # result instead of silently zeroing the search direction
+            # (the old `beta = 0 if rz == 0` restart).
+            return _observe_solve(
+                PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol,
+                          breakdown=True, allreduce_calls=calls)
+            )
+        # rz > 0 unless the solve converged *exactly* (res_norm == 0, the
+        # one non-broken way rho reaches 0); a zero beta is then exact.
+        beta = rz_new / rz if rz > 0.0 else 0.0
         rz = rz_new
         for pi in p:
             pi *= beta
         combine(p, 1.0, z)  # p = z + beta * p
     return _observe_solve(
-        PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol)
+        PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol,
+                  allreduce_calls=calls)
     )
 
+
+# --------------------------------------------------------------------------
+# communication-avoiding PCG (Chronopoulos--Gear)
+# --------------------------------------------------------------------------
+
+def pcg_solve_ca(
+    apply_a: Callable[[RankArrays], RankArrays],
+    rhs: RankArrays,
+    x: RankArrays,
+    *,
+    dot_many: Callable[[DotPairs], Sequence[float]],
+    precondition: Callable[[RankArrays], RankArrays],
+    combine: Callable[[RankArrays, float, RankArrays], None],
+    iterations: int,
+    tol: float = 0.0,
+    variant: str = "ca",
+) -> PcgResult:
+    """Chronopoulos--Gear PCG: one fused allreduce per iteration.
+
+    Mathematically identical to classic PCG (same Krylov iterates in
+    exact arithmetic), but the recurrences are rearranged so gamma =
+    (r, u), delta = (w, u) and the monitoring norm (r, r) are all
+    available at the same point and reduce in a single ``dot_many`` call.
+    Costs one extra operator application per *solve* (not per iteration)
+    and one extra kernel-charged axpy per iteration (the s = A p
+    recurrence).
+    """
+    _validate(rhs, x, iterations)
+    calls = 0
+
+    def gdots(pairs: DotPairs) -> tuple[float, ...]:
+        nonlocal calls
+        calls += 1
+        _count_allreduce(variant)
+        return tuple(float(v) for v in dot_many(pairs))
+
+    ax = apply_a(x)
+    r = [b - a for b, a in zip(rhs, ax)]
+    u = precondition(r)
+    w = apply_a(u)
+    gamma, delta, rr, bb = gdots(((r, u), (w, u), (r, r), (rhs, rhs)))
+    rhs_norm = np.sqrt(max(bb, 1e-300))
+    res_norm = np.sqrt(max(rr, 0.0)) / rhs_norm
+    if gamma == 0.0:
+        return _observe_solve(
+            PcgResult(0, float(res_norm), res_norm == 0.0,
+                      breakdown=res_norm != 0.0, variant=variant,
+                      allreduce_calls=calls)
+        )
+    if delta <= 0:
+        raise np.linalg.LinAlgError(
+            f"PCG operator not positive definite: u.Au = {delta}"
+        )
+    gamma0 = abs(gamma)
+    alpha = gamma / delta
+    beta = 0.0
+    p = [np.zeros_like(ui) for ui in u]
+    s = [np.zeros_like(wi) for wi in w]
+
+    it = 0
+    for it in range(1, iterations + 1):
+        for pi in p:
+            pi *= beta
+        combine(p, 1.0, u)  # p = u + beta * p
+        for si in s:
+            si *= beta
+        combine(s, 1.0, w)  # s = w + beta * s  (s = A p by linearity)
+        for xi, pi in zip(x, p):
+            xi += alpha * pi
+        for ri, si in zip(r, s):
+            ri -= alpha * si
+        u = precondition(r)
+        w = apply_a(u)
+        gamma_new, delta, rr = gdots(((r, u), (w, u), (r, r)))
+        res_norm = np.sqrt(max(rr, 0.0)) / rhs_norm
+        if tol > 0.0 and res_norm < tol:
+            return _observe_solve(
+                PcgResult(it, float(res_norm), True, variant=variant,
+                          allreduce_calls=calls)
+            )
+        if _rho_breakdown(gamma_new, gamma0, res_norm):
+            return _observe_solve(
+                PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol,
+                          breakdown=True, variant=variant,
+                          allreduce_calls=calls)
+            )
+        beta_new = gamma_new / gamma if gamma > 0.0 else 0.0
+        denom = delta - beta_new * gamma_new / alpha
+        if denom > 0:
+            beta = beta_new
+            alpha = gamma_new / denom
+        elif res_norm > PCG_STAGNATION_RESIDUAL:
+            raise np.linalg.LinAlgError(
+                f"PCG operator not positive definite: p.Ap = {denom}"
+            )
+        # else: over-converged -- the recurrences see pure rounding noise;
+        # keep the previous step sizes and burn the fixed budget (the cost
+        # model counts those kernels).
+        gamma = gamma_new
+    return _observe_solve(
+        PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol,
+                  variant=variant, allreduce_calls=calls)
+    )
+
+
+# --------------------------------------------------------------------------
+# pipelined PCG (Ghysels--Vanroose)
+# --------------------------------------------------------------------------
+
+def pcg_solve_pipelined(
+    apply_a: Callable[[RankArrays], RankArrays],
+    rhs: RankArrays,
+    x: RankArrays,
+    *,
+    dot_many: Callable[[DotPairs], Sequence[float]],
+    precondition: Callable[[RankArrays], RankArrays],
+    combine: Callable[[RankArrays, float, RankArrays], None],
+    iterations: int,
+    tol: float = 0.0,
+    dot_many_begin: Callable[[DotPairs], Any] | None = None,
+    dot_many_finish: Callable[[Any], Sequence[float]] | None = None,
+    variant: str = "pipelined",
+) -> PcgResult:
+    """Pipelined PCG: the fused allreduce overlaps the matvec.
+
+    Ghysels--Vanroose recurrences: each iteration posts its single fused
+    reduction *before* applying the preconditioner and operator, and
+    collects it afterwards, so the collective hides behind the compute.
+    ``dot_many_begin``/``dot_many_finish`` post and complete the
+    nonblocking reduction (the model wires them to
+    ``allreduce_many_begin``/``allreduce_many_finish`` when the runtime
+    has async launch queues); when absent, the solver degrades gracefully
+    to one *blocking* fused reduction per iteration -- CA-style
+    communication volume without the overlap.
+
+    Costs one extra preconditioner application and matvec per solve, and
+    three extra kernel-charged axpys per iteration (the q, z, s
+    recurrences), in exchange for hiding every per-iteration collective.
+    """
+    _validate(rhs, x, iterations)
+    if (dot_many_begin is None) != (dot_many_finish is None):
+        raise ValueError("dot_many_begin and dot_many_finish come as a pair")
+    calls = 0
+
+    def begin(pairs: DotPairs) -> Any:
+        nonlocal calls
+        calls += 1
+        _count_allreduce(variant)
+        if dot_many_begin is None:
+            return dot_many(pairs)
+        return dot_many_begin(pairs)
+
+    def finish(handle: Any) -> tuple[float, ...]:
+        if dot_many_finish is None:
+            return tuple(float(v) for v in handle)
+        return tuple(float(v) for v in dot_many_finish(handle))
+
+    ax = apply_a(x)
+    r = [b - a for b, a in zip(rhs, ax)]
+    u = precondition(r)
+    w = apply_a(u)
+    p = [np.zeros_like(ui) for ui in u]
+    s = [np.zeros_like(ui) for ui in u]
+    q = [np.zeros_like(ui) for ui in u]
+    z = [np.zeros_like(ui) for ui in u]
+
+    gamma = gamma0 = alpha = 0.0
+    rhs_norm = 1.0
+    res_norm = np.inf
+    it = 0
+    for it in range(1, iterations + 1):
+        pairs: list[tuple[RankArrays, RankArrays]] = [(r, u), (w, u), (r, r)]
+        if it == 1:
+            pairs.append((rhs, rhs))
+        handle = begin(pairs)
+        m = precondition(w)     # overlapped with the in-flight reduction
+        n = apply_a(m)
+        values = finish(handle)
+        gamma_new, delta, rr = values[0], values[1], values[2]
+        if it == 1:
+            rhs_norm = np.sqrt(max(values[3], 1e-300))
+            gamma0 = abs(gamma_new)
+        res_norm = np.sqrt(max(rr, 0.0)) / rhs_norm
+        if tol > 0.0 and res_norm < tol:
+            # (r, r) is the residual *entering* this iteration, achieved
+            # by the previous iteration's updates.
+            return _observe_solve(
+                PcgResult(it - 1, float(res_norm), True, variant=variant,
+                          allreduce_calls=calls)
+            )
+        if gamma_new == 0.0 and it == 1:
+            return _observe_solve(
+                PcgResult(0, float(res_norm), res_norm == 0.0,
+                          breakdown=res_norm != 0.0, variant=variant,
+                          allreduce_calls=calls)
+            )
+        if it == 1:
+            if delta <= 0:
+                raise np.linalg.LinAlgError(
+                    f"PCG operator not positive definite: u.Au = {delta}"
+                )
+            beta = 0.0
+            alpha = gamma_new / delta
+        else:
+            if _rho_breakdown(gamma_new, gamma0, res_norm):
+                return _observe_solve(
+                    PcgResult(it - 1, float(res_norm),
+                              tol > 0.0 and res_norm < tol, breakdown=True,
+                              variant=variant, allreduce_calls=calls)
+                )
+            beta_new = gamma_new / gamma if gamma > 0.0 else 0.0
+            denom = delta - beta_new * gamma_new / alpha
+            if denom > 0:
+                beta = beta_new
+                alpha = gamma_new / denom
+            elif res_norm > PCG_STAGNATION_RESIDUAL:
+                raise np.linalg.LinAlgError(
+                    f"PCG operator not positive definite: p.Ap = {denom}"
+                )
+            # else: over-converged noise -- keep the previous step sizes
+        gamma = gamma_new
+        for zi in z:
+            zi *= beta
+        combine(z, 1.0, n)  # z = n + beta * z  (z = A q)
+        for qi in q:
+            qi *= beta
+        combine(q, 1.0, m)  # q = m + beta * q  (q = M^-1 s)
+        for si in s:
+            si *= beta
+        combine(s, 1.0, w)  # s = w + beta * s  (s = A p)
+        for pi in p:
+            pi *= beta
+        combine(p, 1.0, u)  # p = u + beta * p
+        for xi, pi in zip(x, p):
+            xi += alpha * pi
+        for ri, si in zip(r, s):
+            ri -= alpha * si
+        for ui, qi in zip(u, q):
+            ui -= alpha * qi
+        for wi, zi in zip(w, z):
+            wi -= alpha * zi
+    return _observe_solve(
+        PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol,
+                  variant=variant, allreduce_calls=calls)
+    )
+
+
+# --------------------------------------------------------------------------
+# reference (single-process) callbacks
+# --------------------------------------------------------------------------
 
 def numpy_dot(a: RankArrays, b: RankArrays) -> float:
     """Reference dot product (single-process, no cost accounting)."""
     return float(sum(np.vdot(x, y).real for x, y in zip(a, b)))
+
+
+def numpy_dot_many(pairs: DotPairs) -> tuple[float, ...]:
+    """Reference batched dot product (what one fused allreduce returns)."""
+    return tuple(numpy_dot(a, b) for a, b in pairs)
 
 
 def numpy_combine(y: RankArrays, alpha: float, z: RankArrays) -> None:
@@ -127,6 +513,10 @@ def numpy_combine(y: RankArrays, alpha: float, z: RankArrays) -> None:
     for yi, zi in zip(y, z):
         yi += alpha * zi
 
+
+# --------------------------------------------------------------------------
+# preconditioners
+# --------------------------------------------------------------------------
 
 def jacobi_preconditioner(diag: RankArrays) -> Callable[[RankArrays], RankArrays]:
     """Jacobi (diagonal) preconditioner from per-rank diagonal estimates."""
@@ -137,5 +527,83 @@ def jacobi_preconditioner(diag: RankArrays) -> Callable[[RankArrays], RankArrays
 
     def apply(r: RankArrays) -> RankArrays:
         return [ri * ii for ri, ii in zip(r, inv)]
+
+    return apply
+
+
+def jacobi_spectral_bounds(diag: RankArrays) -> tuple[float, float]:
+    """Gershgorin bounds on the Jacobi-scaled operator, from the diagonal.
+
+    Valid for the model's backward-Euler operators ``I + dt*c*L`` (unit
+    row sums, non-positive off-diagonals): each row's off-diagonal mass
+    is ``d_i - 1``, so the spectrum of ``D^-1 A`` lies within
+    ``[1/max(d), 2 - 1/max(d)]`` -- computable with no operator
+    applications and no halo exchanges.
+    """
+    dmax = max(float(np.max(d)) for d in diag)
+    dmin = min(float(np.min(d)) for d in diag)
+    if dmin <= 0:
+        raise ValueError("spectral bounds need a positive diagonal")
+    lo = 1.0 / dmax
+    return lo, max(2.0 - lo, lo)
+
+
+def chebyshev_preconditioner(
+    apply_a: Callable[[RankArrays], RankArrays],
+    inv_diag: RankArrays,
+    *,
+    degree: int = 3,
+    lam_min: float,
+    lam_max: float,
+) -> Callable[[RankArrays], RankArrays]:
+    """Chebyshev polynomial preconditioner over the Jacobi-scaled operator.
+
+    Applies ``degree`` steps of the standard Chebyshev semi-iteration for
+    ``A z = r`` with eigenvalue bounds ``[lam_min, lam_max]`` of
+    ``D^-1 A`` (e.g. from :func:`jacobi_spectral_bounds`).  The result is
+    a *fixed* polynomial ``z = p(D^-1 A) D^-1 r`` that is symmetric
+    positive definite whenever the bounds cover the spectrum, so PCG
+    convergence theory still applies -- but each application damps the
+    whole bounded spectrum rather than only rescaling rows, cutting PCG
+    iterations at fixed residual.
+
+    ``apply_a`` applies the *unscaled* operator; the model passes a
+    rank-local matvec, so preconditioning adds ``degree - 1`` stencil
+    kernels and ZERO halo exchanges or reductions.  ``inv_diag`` entries
+    may be zero to mask degrees of freedom out of the polynomial (the
+    model zeroes ghost zones, which the rank-local matvec would otherwise
+    couple in asymmetrically).
+    """
+    if degree < 1:
+        raise ValueError("Chebyshev degree must be >= 1")
+    if not (0.0 < lam_min <= lam_max):
+        raise ValueError("need 0 < lam_min <= lam_max")
+    for ii in inv_diag:
+        if np.any(~np.isfinite(ii)) or np.any(ii < 0):
+            raise ValueError(
+                "Chebyshev preconditioner needs a nonnegative diagonal"
+            )
+    theta = 0.5 * (lam_max + lam_min)
+    delta = 0.5 * (lam_max - lam_min)
+
+    def apply(r: RankArrays) -> RankArrays:
+        g = [ri * ii for ri, ii in zip(r, inv_diag)]   # D^-1 r
+        d = [gi / theta for gi in g]
+        z = [di.copy() for di in d]
+        if degree == 1 or delta <= 1e-12 * theta:
+            return z
+        sigma = theta / delta
+        rho = 1.0 / sigma
+        for _ in range(degree - 1):
+            az = apply_a(z)
+            res = [gi - ii * azi for gi, ii, azi in zip(g, inv_diag, az)]
+            rho_new = 1.0 / (2.0 * sigma - rho)
+            d = [
+                rho_new * rho * di + (2.0 * rho_new / delta) * resi
+                for di, resi in zip(d, res)
+            ]
+            z = [zi + di for zi, di in zip(z, d)]
+            rho = rho_new
+        return z
 
     return apply

@@ -45,6 +45,9 @@ METRICS_PROM_FILE = "metrics.prom"
 METRICS_JSON_FILE = "metrics.json"
 TRACE_FILE = "trace.json"
 
+#: Rotated metrics snapshots kept on disk (metrics.json.1 .. .K).
+METRICS_SNAPSHOT_KEEP = 3
+
 
 class Telemetry:
     """An active telemetry session collecting metrics, spans and logs."""
@@ -56,6 +59,7 @@ class Telemetry:
         out_dir: str | Path | None = None,
         *,
         flush_every_n: int = 0,
+        snapshot_every_n: int = 0,
     ) -> None:
         # Deferred import: repro.perf pulls in the code-version registry,
         # which transitively imports the instrumented runtime modules --
@@ -74,6 +78,13 @@ class Telemetry:
         #: their JSONL files every N events, so a killed run still leaves
         #: parseable telemetry (finalize rewrites both files in full).
         self.flush_every_n = flush_every_n
+        #: Opt-in snapshot rotation: >0 rewrites ``metrics.json`` every N
+        #: model steps (rotating prior snapshots to ``metrics.json.1..K``),
+        #: the counterpart of JSONL streaming for the *cumulative* signal --
+        #: a killed long run keeps a recent counter state on disk.
+        self.snapshot_every_n = snapshot_every_n
+        self._steps_since_snapshot = 0
+        self.snapshots_taken = 0
         if flush_every_n > 0 and self.out_dir is not None:
             self.logger.attach_sink(
                 self.out_dir / LOG_FILE, flush_every_n=flush_every_n
@@ -85,6 +96,44 @@ class Telemetry:
     def flush(self) -> dict[str, int]:
         """Force a streaming flush; returns records/spans written."""
         return {"log": self.logger.flush(), "spans": self.tracer.flush()}
+
+    # -- metrics snapshot rotation -------------------------------------------
+
+    def snapshot_metrics(self) -> Path | None:
+        """Write ``metrics.json`` now, rotating prior snapshots.
+
+        The existing ``metrics.json`` shifts to ``metrics.json.1``,
+        ``.1`` to ``.2``, ... keeping :data:`METRICS_SNAPSHOT_KEEP` old
+        snapshots (the oldest falls off). Returns the written path, or
+        ``None`` when the session has no output directory.
+        """
+        if self.out_dir is None:
+            return None
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        live = self.out_dir / METRICS_JSON_FILE
+        if live.exists():
+            for k in range(METRICS_SNAPSHOT_KEEP - 1, 0, -1):
+                older = self.out_dir / f"{METRICS_JSON_FILE}.{k}"
+                if older.exists():
+                    older.replace(self.out_dir / f"{METRICS_JSON_FILE}.{k + 1}")
+            live.replace(self.out_dir / f"{METRICS_JSON_FILE}.1")
+        live.write_text(self.metrics.to_json_text())
+        self.snapshots_taken += 1
+        return live
+
+    def maybe_snapshot_metrics(self) -> Path | None:
+        """Per-step rotation hook: snapshot every ``snapshot_every_n`` steps.
+
+        Called by the model after each recorded step; a no-op until the
+        configured cadence is reached (or when rotation is disabled).
+        """
+        if self.snapshot_every_n <= 0:
+            return None
+        self._steps_since_snapshot += 1
+        if self._steps_since_snapshot < self.snapshot_every_n:
+            return None
+        self._steps_since_snapshot = 0
+        return self.snapshot_metrics()
 
     # -- model binding -------------------------------------------------------
 
@@ -112,6 +161,8 @@ class Telemetry:
             "nominal_shape": list(cfg.nominal_shape),
             "num_ranks": cfg.num_ranks,
             "pcg_iters": cfg.pcg_iters,
+            "pcg_variant": getattr(cfg, "pcg_variant", "classic"),
+            "pcg_precond": getattr(cfg, "pcg_precond", "jacobi"),
             "sts_stages": cfg.sts_stages,
         }
         self.manifest_extra["models"].append(entry)
@@ -189,6 +240,12 @@ class NullTelemetry:
     def flush(self) -> dict:
         return {}
 
+    def snapshot_metrics(self) -> None:
+        return None
+
+    def maybe_snapshot_metrics(self) -> None:
+        return None
+
 
 NULL = NullTelemetry()
 
@@ -221,6 +278,7 @@ def session(
     out_dir: str | Path | None,
     *,
     flush_every_n: int = 0,
+    snapshot_every_n: int = 0,
     **manifest_extra: Any,
 ) -> Iterator[Telemetry | NullTelemetry]:
     """Activate a telemetry session; finalize to ``out_dir`` on exit.
@@ -234,12 +292,15 @@ def session(
             run_fig2()
 
     ``flush_every_n > 0`` turns on streaming JSONL (see
-    :attr:`Telemetry.flush_every_n`).
+    :attr:`Telemetry.flush_every_n`); ``snapshot_every_n > 0`` turns on
+    metrics snapshot rotation (see :meth:`Telemetry.maybe_snapshot_metrics`).
     """
     if out_dir is None or str(out_dir) == "":
         yield NULL
         return
-    tel = Telemetry(out_dir, flush_every_n=flush_every_n)
+    tel = Telemetry(
+        out_dir, flush_every_n=flush_every_n, snapshot_every_n=snapshot_every_n
+    )
     tel.manifest_extra.update(manifest_extra)
     activate(tel)
     try:

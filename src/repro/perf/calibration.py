@@ -37,6 +37,18 @@ class Calibration:
     # -- solver work per step (paper-scale, fixed) ---------------------------
     pcg_iters: int = 10
     sts_stages: int = 8
+    #: PCG solver variant ("classic" keeps the paper's reference iteration
+    #: structure; "ca"/"pipelined" are the communication-avoiding and
+    #: pipelined rebuilds -- identical iterates, fewer/hidden allreduces).
+    pcg_variant: str = "classic"
+    #: Preconditioner ("jacobi" reference; "cheby" = Chebyshev polynomial).
+    pcg_precond: str = "jacobi"
+    #: Early-exit residual tolerance. 0 keeps the fixed-iteration
+    #: paper-scale semantics for the reference solver; variants may set it
+    #: > 0 to converge early and report their own iteration counts.
+    pcg_tol: float = 0.0
+    #: Chebyshev preconditioner degree (when pcg_precond="cheby").
+    cheby_degree: int = 3
 
     # -- kernel cost model ----------------------------------------------------
     atomic_penalty: float = 0.80
@@ -123,6 +135,10 @@ def build_model(
         nominal_shape=nominal_shape,
         num_ranks=num_ranks,
         pcg_iters=calibration.pcg_iters,
+        pcg_variant=calibration.pcg_variant,
+        pcg_precond=calibration.pcg_precond,
+        pcg_tol=calibration.pcg_tol,
+        cheby_degree=calibration.cheby_degree,
         sts_stages=calibration.sts_stages,
         extra_model_arrays=extra_model_arrays,
     )

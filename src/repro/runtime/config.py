@@ -87,6 +87,18 @@ class RuntimeConfig:
         """True if any loop category still needs the OpenACC runtime."""
         return any(b is Backend.ACC for b in self.loop_backend.values())
 
+    @property
+    def supports_pipelined_reductions(self) -> bool:
+        """True if nonblocking fused reductions can overlap with compute.
+
+        Pipelined PCG posts its allreduce and hides it behind the
+        preconditioner/matvec; that only buys anything when the runtime
+        has async launch queues (OpenACC ``async``, Code A/1). Without
+        them the pipelined solver degrades to blocking fused reductions
+        (communication-avoiding volume, no overlap).
+        """
+        return self.async_launch
+
     def with_unified_memory(self) -> "RuntimeConfig":
         """This config with UM instead of manual data (the paper's Code-1/2
         +UM control experiment in SV-C)."""

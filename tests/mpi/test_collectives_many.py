@@ -1,0 +1,119 @@
+"""Fused and nonblocking allreduce: values and one-latency cost model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.gpu import A100_40GB, GpuDevice
+from repro.machine.interconnect import PCIE4_X16, SLINGSHOT
+from repro.machine.memory import DeviceMemory
+from repro.mpi.collectives import (
+    allreduce_many,
+    allreduce_many_begin,
+    allreduce_many_finish,
+    allreduce_sum,
+)
+from repro.runtime.clock import TimeCategory
+from repro.runtime.config import Backend, RuntimeConfig, uniform_backend
+from repro.runtime.data_env import DataEnvironment, DataMode
+from repro.runtime.dispatcher import RankRuntime
+from repro.util.units import GB
+
+
+def make_ranks(n):
+    cfg = RuntimeConfig(
+        name="t",
+        loop_backend=uniform_backend(Backend.ACC),
+        fusion=True,
+        async_launch=True,
+    )
+    ranks = []
+    for r in range(n):
+        env = DataEnvironment(
+            DataMode.MANUAL, device_memory=DeviceMemory(40 * GB),
+            host_link=PCIE4_X16,
+        )
+        ranks.append(RankRuntime(cfg, env=env, gpu=GpuDevice(A100_40GB, r), num_ranks=n))
+    return ranks
+
+
+class TestAllreduceMany:
+    def test_elementwise_sum(self):
+        ranks = make_ranks(3)
+        out = allreduce_many(
+            ranks, [[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]], SLINGSHOT
+        )
+        assert np.allclose(out, [6.0, 60.0])
+
+    def test_vector_count_checked(self):
+        ranks = make_ranks(2)
+        with pytest.raises(ValueError, match="one vector per rank"):
+            allreduce_many(ranks, [[1.0]], SLINGSHOT)
+
+    def test_mismatched_lengths_rejected(self):
+        ranks = make_ranks(2)
+        with pytest.raises(ValueError, match="same value count"):
+            allreduce_many(ranks, [[1.0, 2.0], [1.0]], SLINGSHOT)
+
+    def test_charges_exactly_one_latency(self):
+        """k fused scalars cost one butterfly of 8k bytes, not k latencies."""
+        n, k = 8, 3
+        ranks = make_ranks(n)
+        allreduce_many(ranks, [[1.0] * k for _ in range(n)], SLINGSHOT)
+        rounds = math.ceil(math.log2(n))
+        expected = rounds * SLINGSHOT.transfer_time(8 * k)
+        for rt in ranks:
+            assert rt.clock.mpi_time == pytest.approx(expected)
+
+    def test_cheaper_than_separate_allreduces(self):
+        """The fused reduction beats k scalar allreduces (latency-bound)."""
+        n, k = 8, 3
+        fused, separate = make_ranks(n), make_ranks(n)
+        allreduce_many(fused, [[1.0] * k for _ in range(n)], SLINGSHOT)
+        for _ in range(k):
+            allreduce_sum(separate, [1.0] * n, SLINGSHOT)
+        assert fused[0].clock.mpi_time < separate[0].clock.mpi_time / 2
+
+
+class TestNonblockingAllreduce:
+    def test_begin_finish_value(self):
+        ranks = make_ranks(4)
+        pending = allreduce_many_begin(
+            ranks, [[float(r), 1.0] for r in range(4)], SLINGSHOT
+        )
+        out = allreduce_many_finish(pending)
+        assert np.allclose(out, [6.0, 4.0])
+
+    def test_begin_charges_nothing(self):
+        ranks = make_ranks(4)
+        allreduce_many_begin(ranks, [[1.0]] * 4, SLINGSHOT)
+        for rt in ranks:
+            assert rt.clock.mpi_time == 0.0
+
+    def test_blocking_and_finished_nonblocking_cost_match(self):
+        """With no intervening compute, finish pays the full blocking cost."""
+        blocking, nonblocking = make_ranks(4), make_ranks(4)
+        allreduce_many(blocking, [[1.0, 2.0]] * 4, SLINGSHOT)
+        allreduce_many_finish(
+            allreduce_many_begin(nonblocking, [[1.0, 2.0]] * 4, SLINGSHOT)
+        )
+        assert blocking[0].clock.now == pytest.approx(nonblocking[0].clock.now)
+
+    def test_overlapped_compute_hides_the_collective(self):
+        """A rank computing past the completion time pays zero MPI."""
+        ranks = make_ranks(2)
+        pending = allreduce_many_begin(ranks, [[1.0]] * 2, SLINGSHOT)
+        for rt in ranks:
+            rt.clock.advance(1.0, TimeCategory.COMPUTE, "overlap")
+        allreduce_many_finish(pending)
+        for rt in ranks:
+            assert rt.clock.mpi_time == 0.0
+            assert rt.clock.now == pytest.approx(1.0)
+
+    def test_double_finish_rejected(self):
+        ranks = make_ranks(2)
+        pending = allreduce_many_begin(ranks, [[1.0]] * 2, SLINGSHOT)
+        allreduce_many_finish(pending)
+        with pytest.raises(ValueError, match="already finished"):
+            allreduce_many_finish(pending)
