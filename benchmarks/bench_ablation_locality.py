@@ -29,7 +29,7 @@ def _wall(num_ranks: int, gain: float, pressure: float) -> float:
         ModelConfig(
             shape=MEASURE_SHAPE, num_ranks=num_ranks,
             pcg_iters=CAL.pcg_iters, sts_stages=CAL.sts_stages,
-            extra_model_arrays=70,
+            extra_model_arrays=67,
         ),
         runtime_config_for(CodeVersion.A),
         node=node,

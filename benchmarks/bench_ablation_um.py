@@ -22,7 +22,7 @@ def _wall(rt_cfg, cal=FAST, **model_kw):
         ModelConfig(
             shape=MEASURE_SHAPE, num_ranks=8,
             pcg_iters=cal.pcg_iters, sts_stages=cal.sts_stages,
-            extra_model_arrays=70,
+            extra_model_arrays=67,
         ),
         rt_cfg,
         cost=cal.cost_model(),

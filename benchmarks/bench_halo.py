@@ -1,0 +1,162 @@
+"""Overlapped-halo + cross-region-fusion bench.
+
+Runs the same small multi-rank Code-1 model in three modes -- the paper's
+bulk-synchronous exchange, overlapped exchange with interior/boundary
+stencil splitting, and overlap plus the cross-region launch-fusion
+window -- and compares the paid halo seconds (vs hidden), the per-step
+MPI share, and the plain-category kernel launches per step.  States must
+stay bit-identical: both features move cost only.  Results land in
+``BENCH_halo.json`` at the repo root so PRs can track the overlap model
+like the other BENCH artifacts.
+
+Run with ``pytest benchmarks/bench_halo.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+from conftest import print_block
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.model import MasModel, ModelConfig
+from repro.obs.telemetry import session
+from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_halo.json"
+
+STEPS = 2
+SHAPE = (8, 6, 12)
+RANKS = 2
+PCG_ITERS = 4
+
+MODES = {
+    "sync": dict(halo_overlap=False, fuse=False),
+    "overlap": dict(halo_overlap=True, fuse=False),
+    "fusion": dict(halo_overlap=False, fuse=True),
+    "overlap+fusion": dict(halo_overlap=True, fuse=True),
+}
+
+STATE_FIELDS = ("rho", "temp", "vr", "vt", "vp", "br", "bt", "bp")
+
+
+def _metric_sum(metrics: dict, name: str, **label_filter) -> float:
+    fam = metrics.get(name, {})
+    return sum(
+        s["value"]
+        for s in fam.get("samples", [])
+        if "value" in s
+        and all(s["labels"].get(k) == v for k, v in label_filter.items())
+    )
+
+
+def _run_mode(halo_overlap: bool, fuse: bool, out_dir: Path) -> dict:
+    rt_cfg = runtime_config_for(CodeVersion.A)
+    if fuse:
+        rt_cfg = replace(rt_cfg, cross_region_fusion=True)
+    with session(out_dir) as tel:
+        model = MasModel(
+            ModelConfig(shape=SHAPE, num_ranks=RANKS, pcg_iters=PCG_ITERS,
+                        sts_stages=3, halo_overlap=halo_overlap),
+            rt_cfg,
+        )
+        timings = model.run(STEPS)
+        metrics = json.loads(tel.metrics.to_json_text())
+    wall = sum(t.wall for t in timings)
+    mpi = sum(t.mpi for t in timings)
+    return {
+        "paid_halo_seconds": _metric_sum(metrics, "halo_exchange_seconds"),
+        "hidden_halo_seconds": _metric_sum(metrics, "halo_overlap_seconds"),
+        "plain_launches": int(
+            _metric_sum(metrics, "kernel_launches_total", category="plain")
+        ),
+        "sim_wall_seconds": wall,
+        "sim_mpi_seconds": mpi,
+        "mpi_share": mpi / wall,
+        "launches_per_step": sum(t.launches for t in timings) / len(timings),
+        "states": [
+            {f: s.get(f).copy() for f in STATE_FIELDS} for s in model.states
+        ],
+    }
+
+
+def _bit_identical(ref: dict, got: dict) -> bool:
+    return all(
+        np.array_equal(s_ref[f], s_got[f])
+        for s_ref, s_got in zip(ref["states"], got["states"])
+        for f in s_ref
+    )
+
+
+def test_halo_overlap_and_fusion(tmp_path, benchmark):
+    runs = benchmark.pedantic(
+        lambda: {
+            mode: _run_mode(cfg["halo_overlap"], cfg["fuse"], tmp_path / mode)
+            for mode, cfg in MODES.items()
+        },
+        rounds=1, iterations=1,
+    )
+    sync = runs["sync"]
+
+    result = {
+        "schema": "repro-bench-halo/1",
+        "config": {"steps": STEPS, "shape": list(SHAPE), "ranks": RANKS,
+                   "pcg_iters": PCG_ITERS, "version": "A"},
+        "modes": {},
+    }
+    for mode, r in runs.items():
+        result["modes"][mode] = {
+            "paid_halo_seconds": r["paid_halo_seconds"],
+            "hidden_halo_seconds": r["hidden_halo_seconds"],
+            "hidden_fraction": (
+                r["hidden_halo_seconds"]
+                / (r["paid_halo_seconds"] + r["hidden_halo_seconds"])
+                if r["hidden_halo_seconds"] else 0.0
+            ),
+            "plain_launches": r["plain_launches"],
+            "launches_per_step": r["launches_per_step"],
+            "sim_wall_seconds": r["sim_wall_seconds"],
+            "sim_mpi_seconds": r["sim_mpi_seconds"],
+            "mpi_share": round(r["mpi_share"], 5),
+            "bit_identical_to_sync": _bit_identical(sync, r),
+        }
+    result["paid_halo_reduction"] = (
+        sync["paid_halo_seconds"] / runs["overlap"]["paid_halo_seconds"]
+    )
+    result["plain_launch_reduction"] = (
+        sync["plain_launches"] / runs["fusion"]["plain_launches"]
+    )
+    ARTIFACT.write_text(json.dumps(result, indent=2) + "\n")
+
+    t = Table(
+        ["mode", "paid halo (ms)", "hidden (ms)", "plain launches",
+         "mpi share", "sim wall (ms)"],
+        title=f"Halo overlap/fusion, {STEPS} steps of {SHAPE} on {RANKS} ranks",
+    )
+    for mode, s in result["modes"].items():
+        t.add_row([mode, s["paid_halo_seconds"] * 1e3,
+                   s["hidden_halo_seconds"] * 1e3, s["plain_launches"],
+                   f"{s['mpi_share'] * 100:.2f}%",
+                   s["sim_wall_seconds"] * 1e3])
+    print_block(
+        "HALO OVERLAP + CROSS-REGION FUSION",
+        t.render() + "\n"
+        + f"paid halo seconds reduction (sync/overlap): "
+        f"{result['paid_halo_reduction']:.1f}x\n"
+        f"plain launch reduction (sync/fusion): "
+        f"{result['plain_launch_reduction']:.2f}x\n"
+        f"wrote {ARTIFACT}",
+    )
+
+    # acceptance: overlap halves the paid exchange cost, fusion halves the
+    # plain launch stream, and neither changes a single bit of state
+    for mode in ("overlap", "fusion", "overlap+fusion"):
+        assert result["modes"][mode]["bit_identical_to_sync"], mode
+        assert runs[mode]["sim_wall_seconds"] < sync["sim_wall_seconds"], mode
+    assert result["paid_halo_reduction"] >= 2.0
+    assert result["plain_launch_reduction"] >= 2.0
+    assert runs["overlap"]["hidden_halo_seconds"] > 0

@@ -33,6 +33,47 @@ class Hazard(enum.Enum):
     WAW = "waw"  # write-after-write (output dependence)
 
 
+#: Separator for qualified access tokens: ``"rho@g2m"`` names a disjoint
+#: sub-region (here: the axis-2 minus ghost shell) of logical array ``rho``.
+ACCESS_QUALIFIER_SEP = "@"
+
+
+def split_access(token: str) -> tuple[str, str]:
+    """Split an access token into (base array name, region qualifier).
+
+    An unqualified token (no ``@``) covers the whole array; its qualifier
+    is the empty string.
+    """
+    base, _, qual = token.partition(ACCESS_QUALIFIER_SEP)
+    return base, qual
+
+
+def base_name(token: str) -> str:
+    """The logical array a (possibly qualified) access token refers to."""
+    return token.partition(ACCESS_QUALIFIER_SEP)[0]
+
+
+def accesses_alias(a: str, b: str) -> bool:
+    """May the two access tokens touch overlapping storage?
+
+    Different base arrays never alias. Same base array: an unqualified
+    access covers everything (aliases with any qualifier); two qualified
+    accesses alias only when they name the same sub-region. Distinct
+    qualifiers of the same array are disjoint *by convention* -- emitters
+    (e.g. the halo engine's per-direction ghost-shell unpacks) must only
+    use qualifiers for regions that genuinely do not overlap.
+    """
+    ab, aq = split_access(a)
+    bb, bq = split_access(b)
+    if ab != bb:
+        return False
+    return not aq or not bq or aq == bq
+
+
+def _any_alias(first: Iterable[str], second: set[str]) -> bool:
+    return any(accesses_alias(a, b) for a in first for b in second)
+
+
 def hazards_between(
     first_reads: Iterable[str],
     first_writes: Iterable[str],
@@ -44,12 +85,24 @@ def hazards_between(
     Operates on named access sets (logical arrays); the runtime fusion
     planner, the async-queue race detector, and the region-level Fortran
     lint all call this instead of keeping private copies of the set logic.
+    Tokens may carry a region qualifier (``"rho@g2m"``); qualified accesses
+    of the same array with different qualifiers are treated as disjoint
+    (see :func:`accesses_alias`).
     """
+    fr = set(first_reads)
     fw, sr, sw = set(first_writes), set(second_reads), set(second_writes)
     out = set()
+    if any(ACCESS_QUALIFIER_SEP in t for t in fr | fw | sr | sw):
+        if _any_alias(sr, fw):
+            out.add(Hazard.RAW)
+        if _any_alias(sw, fr):
+            out.add(Hazard.WAR)
+        if _any_alias(sw, fw):
+            out.add(Hazard.WAW)
+        return frozenset(out)
     if sr & fw:
         out.add(Hazard.RAW)
-    if sw & set(first_reads):
+    if sw & fr:
         out.add(Hazard.WAR)
     if sw & fw:
         out.add(Hazard.WAW)

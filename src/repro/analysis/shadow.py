@@ -27,7 +27,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.analysis.dependence import hazards_between
+from repro.analysis.dependence import base_name, hazards_between
 from repro.analysis.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -143,7 +143,9 @@ class ShadowChecker:
             if data is not None:
                 tracked[name] = _fingerprint(data)
         result = spec.run_body()
-        declared_writes = set(spec.writes)
+        # Footprints are per logical array; region-qualified write tokens
+        # ("rho@g2m") declare a write to their base array.
+        declared_writes = {base_name(w) for w in spec.writes}
         changed: set[str] = set()
         for name, before in tracked.items():
             data = env.array(name).data

@@ -30,10 +30,11 @@ def _add_pcg_options(parser: argparse.ArgumentParser) -> None:
 
     parser.add_argument(
         "--pcg",
-        default="classic",
+        default="ca",
         choices=list(PCG_VARIANTS),
-        help="PCG solver variant: classic (3 allreduces/iter, reference), "
-        "ca (Chronopoulos-Gear, 1 fused allreduce/iter), pipelined "
+        help="PCG solver variant: ca (Chronopoulos-Gear, 1 fused "
+        "allreduce/iter, the calibrated default), classic (3 blocking "
+        "allreduces/iter, the paper's reference), pipelined "
         "(Ghysels-Vanroose, the fused allreduce overlaps the matvec)",
     )
     parser.add_argument(
@@ -42,6 +43,23 @@ def _add_pcg_options(parser: argparse.ArgumentParser) -> None:
         choices=list(PRECONDITIONERS),
         help="PCG preconditioner: jacobi (diagonal) or cheby (Chebyshev "
         "polynomial, no extra halo exchanges)",
+    )
+
+
+def _add_overlap_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--halo-overlap",
+        action="store_true",
+        help="overlap halo exchanges with interior compute (split stencils "
+        "into interior + boundary-shell passes; needs a code version with "
+        "async queues, others degrade to synchronous exchanges)",
+    )
+    parser.add_argument(
+        "--fuse-regions",
+        action="store_true",
+        help="cross-region launch fusion: collapse adjacent independent "
+        "plain-category kernels between synchronization points into single "
+        "launches (plan validated against the dependence core)",
     )
 
 
@@ -185,6 +203,8 @@ def cmd_fig3(args: argparse.Namespace) -> int:
         PAPER_CALIBRATION,
         pcg_variant=args.pcg,
         pcg_precond=args.precond,
+        halo_overlap=args.halo_overlap,
+        cross_region_fusion=args.fuse_regions,
     )
     with _telemetry_session(args):
         result = run_fig3(calibration)
@@ -211,9 +231,14 @@ def cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.mas.model import MasModel, ModelConfig
 
     version = CodeVersion[args.version]
+    rt_cfg = runtime_config_for(version)
+    if args.fuse_regions:
+        rt_cfg = replace(rt_cfg, cross_region_fusion=True)
     with _telemetry_session(args):
         model = MasModel(
             ModelConfig(
@@ -225,8 +250,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 pcg_tol=args.pcg_tol,
                 cheby_degree=args.cheby_degree,
                 sts_stages=args.sts_stages,
+                halo_overlap=args.halo_overlap,
             ),
-            runtime_config_for(version),
+            rt_cfg,
         )
         print(f"running {version_info(version).tag}: {version_info(version).description}")
         for i, t in enumerate(model.run(args.steps)):
@@ -483,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
             _add_telemetry(p)
         if name == "fig3":
             _add_pcg_options(p)
+            _add_overlap_options(p)
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("fig4", help="Fig. 4: viscosity-solver timeline")
@@ -515,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Chebyshev preconditioner degree (--precond cheby)")
     p.add_argument("--sts-stages", type=int, default=5)
     _add_pcg_options(p)
+    _add_overlap_options(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_run)
 

@@ -66,6 +66,37 @@ def run_fig3(calibration: Calibration = PAPER_CALIBRATION) -> Fig3Result:
     return Fig3Result(bars)
 
 
+#: Ablation modes for the overlapped-exchange study (Code 1 only: the
+#: original OpenACC version is the one with async queues to overlap on).
+OVERLAP_MODES: tuple[tuple[str, dict], ...] = (
+    ("sync", {}),
+    ("overlap", {"halo_overlap": True}),
+    ("overlap+fusion", {"halo_overlap": True, "cross_region_fusion": True}),
+)
+
+
+def run_fig3_overlap_ablation(
+    ranks: tuple[int, ...] = (1, 2, 4, 8),
+    calibration: Calibration = PAPER_CALIBRATION,
+) -> dict[tuple[str, int], RunBreakdown]:
+    """Fig. 3's Code-1 bars under the overlap/fusion ablation.
+
+    ``sync`` is the paper's bulk-synchronous exchange; ``overlap`` splits
+    every halo-consuming stencil into interior + boundary shell and hides
+    the exchange under the interior pass; ``overlap+fusion`` additionally
+    collapses independent plain kernels across region boundaries. All
+    three produce bit-identical states -- only the cost moves.
+    """
+    from dataclasses import replace
+
+    out = {}
+    for mode, overrides in OVERLAP_MODES:
+        cal = replace(calibration, **overrides)
+        for n in ranks:
+            out[(mode, n)] = measure_breakdown(CodeVersion.A, n, calibration=cal)
+    return out
+
+
 def render_fig3(result: Fig3Result) -> str:
     """Stacked bar charts plus paper-vs-measured table."""
     out = []

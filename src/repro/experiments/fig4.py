@@ -51,7 +51,7 @@ def _profiled_model(unified: bool, calibration: Calibration) -> tuple[MasModel, 
             num_ranks=NUM_GPUS,
             pcg_iters=calibration.pcg_iters,
             sts_stages=calibration.sts_stages,
-            extra_model_arrays=70,
+            extra_model_arrays=67,
         ),
         rt_cfg,
         cost=calibration.cost_model(),

@@ -65,7 +65,7 @@ def run_multinode(
                     num_ranks=n,
                     pcg_iters=calibration.pcg_iters,
                     sts_stages=calibration.sts_stages,
-                    extra_model_arrays=70,
+                    extra_model_arrays=67,
                 ),
                 runtime_config_for(v),
                 cluster=cluster,

@@ -60,7 +60,7 @@ def _cpu_model_for(version: CodeVersion, nodes: int, calibration: Calibration) -
         num_ranks=nodes,
         pcg_iters=calibration.pcg_iters,
         sts_stages=calibration.sts_stages,
-        extra_model_arrays=70,
+        extra_model_arrays=67,
     )
     return MasModel(
         model_cfg,

@@ -79,10 +79,22 @@ WORK_ARRAYS = (
     "wrk_adv_r", "wrk_adv_t", "wrk_adv_p",
     "wrk_lor_r", "wrk_lor_t", "wrk_lor_p",
     "pcg_r", "pcg_z", "pcg_p", "pcg_ap", "pcg_diag",
+    "pcg_s", "pcg_q", "pcg_az",
     "sts_y", "sts_l",
     "emf_r", "emf_t", "emf_p",
     "heat", "diag_flux",
 )
+
+#: PCG recurrence roles -> (written array, read array) of the axpy kernel.
+#: Naming each recurrence's own arrays (instead of charging every axpy to
+#: pcg_p/pcg_z) makes back-to-back axpys of different recurrences
+#: data-independent, so the cross-region fusion window can collapse them.
+_AXPY_ROLES = {
+    ("p", "u"): ("pcg_p", "pcg_z"),
+    ("s", "w"): ("pcg_s", "pcg_ap"),
+    ("q", "m"): ("pcg_q", "pcg_z"),
+    ("z", "n"): ("pcg_az", "pcg_ap"),
+}
 
 
 @dataclass(frozen=True)
@@ -116,8 +128,17 @@ class ModelConfig:
     b0: float = 1.0
     #: Additional registered model arrays standing in for the full CORHEL
     #: physics complement's memory footprint (MAS holds ~100 3-D arrays;
-    #: the paper sized 36M cells to nearly fill a 40GB A100).
-    extra_model_arrays: int = 70
+    #: the paper sized 36M cells to nearly fill a 40GB A100). The default
+    #: keeps 8 state + len(WORK_ARRAYS) + extra at the calibrated 98.
+    extra_model_arrays: int = 67
+    #: Overlap halo exchanges with interior compute: exchanges post on a
+    #: detached communication timeline at ``exchange_begin`` while stencil
+    #: kernels split into an interior pass (issued immediately) and a thin
+    #: boundary-shell pass (issued at ``exchange_finish``). Takes effect
+    #: only when the runtime has async queues
+    #: (``RuntimeConfig.supports_halo_overlap``); physics is bit-identical
+    #: either way.
+    halo_overlap: bool = False
     #: Enable the semi-implicit wave stabilization (repro.mas.semi_implicit);
     #: off by default so the paper-calibrated kernel stream is unchanged.
     semi_implicit: bool = False
@@ -199,6 +220,12 @@ class MasModel:
         self.time = 0.0
         self.steps_taken = 0
         self._last_dt: float | None = None
+        #: Overlapped halo exchanges: requested by the model config AND
+        #: supported by the runtime (codes without async queues degrade
+        #: gracefully to bulk-synchronous exchanges).
+        self.halo_overlap = config.halo_overlap and runtime_config.supports_halo_overlap
+        #: Boundary-shell passes deferred until their exchange finishes.
+        self._deferred_shell: list[tuple] = []
         n = config.num_ranks
 
         self.grid = SphericalGrid.build(config.shape)
@@ -307,6 +334,12 @@ class MasModel:
         # configuration in the run manifest.
         _telemetry().bind_model(self)
         with _telemetry().tracer.span("setup/initial_exchange"):
+            # Pre-register halo staging buffers for every field the step
+            # loop exchanges (state + solver iterates): registration costs
+            # land in setup, so step walls stay state-independent.
+            self.halo.ensure_buffers(
+                (*self._CENTERED, *(f for f, _ in self._FACES), "pcg_p", "sts_y")
+            )
             self._exchange_state()
             self._apply_boundaries()
 
@@ -358,19 +391,82 @@ class MasModel:
     _CENTERED = ("rho", "temp", "vr", "vt", "vp")
     _FACES = (("br", 0), ("bt", 1), ("bp", 2))
 
-    def _exchange_state(self, names: tuple[str, ...] | None = None) -> None:
-        centered = names or self._CENTERED
-        for name in centered:
-            if name in self._CENTERED:
-                self.halo.exchange(name, [s.get(name) for s in self.states])
+    def _state_items(self, names: tuple[str, ...] | None = None) -> list:
+        """Batched-exchange items for the (selected) state fields."""
+        items: list = []
+        for name in self._CENTERED:
+            if names is None or name in names:
+                items.append((name, [s.get(name) for s in self.states], None))
         for name, axis in self._FACES:
             if names is None or name in names:
-                self.halo.exchange(
-                    name, [s.get(name) for s in self.states], stagger_axis=axis
-                )
+                items.append((name, [s.get(name) for s in self.states], axis))
+        return items
+
+    def _exchange_state(self, names: tuple[str, ...] | None = None) -> None:
+        self.halo.exchange_many(self._state_items(names))
+
+    def _exchange_state_begin(self, names: tuple[str, ...] | None = None):
+        """Start the state exchange; overlapped when the model supports it.
+
+        Returns the :class:`~repro.mpi.halo.PendingExchange` to pass to
+        :meth:`_finish_exchange` (already complete when overlap is off).
+        """
+        return self.halo.exchange_begin_many(
+            self._state_items(names), overlap=self.halo_overlap
+        )
 
     def _exchange_centered(self, name: str, arrays: list[np.ndarray]) -> None:
         self.halo.exchange(name, arrays)
+
+    # -- interior/boundary stencil splitting -----------------------------------
+
+    def _stencil_loop(self, r: int, rt: RankRuntime, spec: KernelSpec, *, entry=None):
+        """Issue one stencil kernel, split when overlapping an exchange.
+
+        Without overlap this is ``entry(spec)`` (default ``rt.loop``).
+        With overlap the kernel splits into an interior pass issued now
+        (carrying the full numpy body -- payloads already moved at
+        ``exchange_begin``, so numerics are unchanged) and a thin
+        boundary-shell pass deferred until :meth:`_finish_exchange`; the
+        two work fractions sum to the original, conserving traffic.
+        """
+        entry = entry or rt.loop
+        if not self.halo_overlap:
+            return entry(spec)
+        fi, fs = ops.overlap_split_fractions(self.nominal_decomp.local_shape(r))
+        if fs <= 0.0:  # pragma: no cover - degenerate nominal extents
+            return entry(spec)
+        result = entry(
+            replace(
+                spec,
+                name=f"{spec.name}_interior",
+                work_fraction=spec.work_fraction * fi,
+            )
+        )
+        self._deferred_shell.append(
+            (
+                entry,
+                replace(
+                    spec,
+                    name=f"{spec.name}_shell",
+                    work_fraction=spec.work_fraction * fs,
+                    body=None,
+                ),
+            )
+        )
+        return result
+
+    def _flush_shell(self) -> None:
+        """Issue all deferred boundary-shell passes (ghosts now costed)."""
+        shells, self._deferred_shell = self._deferred_shell, []
+        for entry, spec in shells:
+            entry(spec)
+
+    def _finish_exchange(self, pending) -> None:
+        """Wait for an overlapped exchange, then run the boundary shells."""
+        if pending is not None:
+            self.halo.exchange_finish(pending)
+        self._flush_shell()
 
     def _apply_boundaries(self) -> None:
         for r, rt in enumerate(self.ranks):
@@ -455,6 +551,8 @@ class MasModel:
     def step(self) -> StepTiming:
         """Advance the full system one step; returns timing deltas."""
         tel = _telemetry()
+        for rt in self.ranks:
+            rt.sync()
         t0 = [rt.clock.now for rt in self.ranks]
         mpi0 = [rt.clock.mpi_time for rt in self.ranks]
         comp0 = [rt.clock.by_category.get(TimeCategory.COMPUTE, 0.0) for rt in self.ranks]
@@ -465,7 +563,11 @@ class MasModel:
         with span("step", index=self.steps_taken):
             with span("step/exchange"):
                 self._wrapper_inits()
-                self._exchange_state()
+                # Overlapped mode: packs/messages post on a detached
+                # communication timeline here; the boundary fill, CFL
+                # reduction and interior hydro/momentum passes below hide
+                # it, and _momentum_predictor collects the remainder.
+                pending = self._exchange_state_begin()
                 self._apply_boundaries()
             with span("step/cfl"):
                 dt = self.compute_dt()
@@ -473,15 +575,15 @@ class MasModel:
                 self._hydro_advance(dt)
                 self._shell_diagnostics()
             with span("step/momentum"):
-                self._momentum_predictor(dt)
+                self._momentum_predictor(dt, pending)
             self._semi_implicit_solve(dt)
             with span("step/viscosity"):
                 self._viscosity_solve(dt)
             with span("step/exchange"):
-                self._exchange_state(names=("vr", "vt", "vp"))
+                pending_v = self._exchange_state_begin(names=("vr", "vt", "vp"))
                 self._apply_boundaries()
             with span("step/induction"):
-                self._induction(dt)
+                self._induction(dt, pending_v)
             with span("step/conduction"):
                 self._conduction(dt)
             with span("step/sources"):
@@ -490,6 +592,8 @@ class MasModel:
 
         self.time += dt
         self.steps_taken += 1
+        for rt in self.ranks:
+            rt.sync()
         wall = max(rt.clock.now - t for rt, t in zip(self.ranks, t0))
         mpi = float(
             np.mean([rt.clock.mpi_time - m for rt, m in zip(self.ranks, mpi0)])
@@ -572,8 +676,9 @@ class MasModel:
             with rt.region():
                 rt.loop(KernelSpec("eos_pressure", reads=("rho", "temp"),
                                    writes=("wrk_pres",), body=pres_body))
-                rt.loop(KernelSpec("velocity_divergence", reads=("vr", "vt", "vp"),
-                                   writes=("wrk_divv",), body=divv_body))
+                self._stencil_loop(r, rt, KernelSpec(
+                    "velocity_divergence", reads=("vr", "vt", "vp"),
+                    writes=("wrk_divv",), body=divv_body))
 
             def continuity_body(state=state, grid=grid, dt=dt, p=p) -> None:
                 div_rho_v = ops.advect_upwind(
@@ -583,8 +688,9 @@ class MasModel:
                 state.rho[i] -= dt * div_rho_v[i]
                 np.maximum(state.rho[i], p.rho_floor, out=state.rho[i])
 
-            rt.loop(KernelSpec("continuity", reads=("rho", "vr", "vt", "vp"),
-                               writes=("rho",), body=continuity_body))
+            self._stencil_loop(r, rt, KernelSpec(
+                "continuity", reads=("rho", "vr", "vt", "vp"),
+                writes=("rho",), body=continuity_body))
 
             def temp_adv_body(state=state, grid=grid, work=work, dt=dt, p=p) -> None:
                 div_tv = ops.advect_upwind(
@@ -598,9 +704,10 @@ class MasModel:
                 )
                 np.maximum(state.temp[i], p.temp_floor, out=state.temp[i])
 
-            rt.loop(KernelSpec("temp_advection",
-                               reads=("temp", "vr", "vt", "vp", "wrk_divv"),
-                               writes=("temp",), body=temp_adv_body))
+            self._stencil_loop(r, rt, KernelSpec(
+                "temp_advection",
+                reads=("temp", "vr", "vt", "vp", "wrk_divv"),
+                writes=("temp",), body=temp_adv_body))
             # pressure/divv reused by the momentum predictor this step
             setattr(self, f"_work_{r}", work)
 
@@ -633,7 +740,7 @@ class MasModel:
                 )
             )
 
-    def _momentum_predictor(self, dt: float) -> None:
+    def _momentum_predictor(self, dt: float, pending=None) -> None:
         p = self.config.params
         for r, rt in enumerate(self.ranks):
             state, grid = self.states[r], self.local_grids[r]
@@ -642,9 +749,10 @@ class MasModel:
             def lorentz_body(state=state, grid=grid, work=work) -> None:
                 work["lor"] = ops.lorentz_force(state.br, state.bt, state.bp, grid)
 
-            rt.loop(KernelSpec("lorentz_force", reads=("br", "bt", "bp"),
-                               writes=("wrk_lor_r", "wrk_lor_t", "wrk_lor_p"),
-                               body=lorentz_body))
+            self._stencil_loop(r, rt, KernelSpec(
+                "lorentz_force", reads=("br", "bt", "bp"),
+                writes=("wrk_lor_r", "wrk_lor_t", "wrk_lor_p"),
+                body=lorentz_body))
 
             def adv_body(state=state, grid=grid, work=work) -> None:
                 work["adv"] = tuple(
@@ -653,9 +761,18 @@ class MasModel:
                     for v in (state.vr, state.vt, state.vp)
                 )
 
-            rt.loop(KernelSpec("momentum_advection", reads=("vr", "vt", "vp"),
-                               writes=("wrk_adv_r", "wrk_adv_t", "wrk_adv_p"),
-                               body=adv_body))
+            self._stencil_loop(r, rt, KernelSpec(
+                "momentum_advection", reads=("vr", "vt", "vp"),
+                writes=("wrk_adv_r", "wrk_adv_t", "wrk_adv_p"),
+                body=adv_body))
+
+        # The start-of-step state exchange must complete before the
+        # velocity updates below; every interior pass so far hid it.
+        self._finish_exchange(pending)
+
+        for r, rt in enumerate(self.ranks):
+            state, grid = self.states[r], self.local_grids[r]
+            work = getattr(self, f"_work_{r}")
 
             def update_bodies(state=state, grid=grid, work=work, dt=dt, p=p):
                 gp = ops.grad_center(work["pres"], grid)
@@ -734,7 +851,9 @@ class MasModel:
             anti = comp == "vt"
 
             def apply_a(xs, comp=comp, anti=anti):
-                self.halo.exchange("pcg_p", xs)
+                pend = self.halo.exchange_begin(
+                    "pcg_p", xs, overlap=self.halo_overlap
+                )
                 out = []
                 for r, rt in enumerate(self.ranks):
                     grid = self.local_grids[r]
@@ -746,16 +865,15 @@ class MasModel:
                         return implicit_matvec(x, grid, nu, dt)
 
                     out.append(
-                        rt.loop(
-                            KernelSpec(
-                                f"{tag}_matvec_{comp}",
-                                reads=("pcg_p", "rho"),
-                                writes=("pcg_ap",),
-                                body=body,
-                                tags=frozenset({cost_tag}),
-                            )
-                        )
+                        self._stencil_loop(r, rt, KernelSpec(
+                            f"{tag}_matvec_{comp}",
+                            reads=("pcg_p", "rho"),
+                            writes=("pcg_ap",),
+                            body=body,
+                            tags=frozenset({cost_tag}),
+                        ))
                     )
+                self._finish_exchange(pend)
                 return out
 
             def dot(a, b):
@@ -816,14 +934,16 @@ class MasModel:
                     unified_memory=self.rt_config.unified_memory,
                 )
 
-            def combine(ys, alpha, zs):
+            def combine(ys, alpha, zs, roles=("p", "u")):
+                wname, rname = _AXPY_ROLES[roles]
                 for r, rt in enumerate(self.ranks):
                     def body(y=ys[r], z=zs[r], alpha=alpha) -> None:
                         y += alpha * z
 
                     rt.loop(
-                        KernelSpec(f"{tag}_axpy", reads=("pcg_p", "pcg_z"),
-                                   writes=("pcg_p",), body=body,
+                        KernelSpec(f"{tag}_axpy_{roles[0]}",
+                                   reads=(wname, rname),
+                                   writes=(wname,), body=body,
                                    tags=frozenset({cost_tag}))
                     )
 
@@ -958,11 +1078,13 @@ class MasModel:
 
     # -- induction -------------------------------------------------------------------
 
-    def _induction(self, dt: float) -> None:
+    def _induction(self, dt: float, pending=None) -> None:
         eta = self.config.params.resistivity
+        all_emfs: list[dict[str, tuple]] = []
         for r, rt in enumerate(self.ranks):
             state, grid = self.states[r], self.local_grids[r]
             emfs: dict[str, tuple] = {}
+            all_emfs.append(emfs)
 
             def emf_body(state=state, grid=grid, emfs=emfs, eta=eta) -> None:
                 emfs["e"] = ops.emf_edges(
@@ -974,10 +1096,18 @@ class MasModel:
             # The EMF assembly calls pure interpolation/staggering routines
             # (MAS's s2c/interp family): an OpenACC `routine` loop that
             # Codes 5/6 handle by inlining (-Minline).
-            rt.routine_loop(KernelSpec("emf_edges",
-                                       reads=("vr", "vt", "vp", "br", "bt", "bp"),
-                                       writes=("emf_r", "emf_t", "emf_p"),
-                                       body=emf_body))
+            self._stencil_loop(r, rt, KernelSpec(
+                "emf_edges",
+                reads=("vr", "vt", "vp", "br", "bt", "bp"),
+                writes=("emf_r", "emf_t", "emf_p"),
+                body=emf_body), entry=rt.routine_loop)
+
+        # The mid-step velocity exchange completes before the CT updates.
+        self._finish_exchange(pending)
+
+        for r, rt in enumerate(self.ranks):
+            state, grid = self.states[r], self.local_grids[r]
+            emfs = all_emfs[r]
 
             def ct_bodies(state=state, grid=grid, emfs=emfs, dt=dt):
                 def make(which: int, arr: np.ndarray, axis: int):
@@ -1020,7 +1150,7 @@ class MasModel:
         temps = [st.temp for st in self.states]
 
         def apply_l(us):
-            self.halo.exchange("sts_y", us)
+            pend = self.halo.exchange_begin("sts_y", us, overlap=self.halo_overlap)
             out = []
             for r, rt in enumerate(self.ranks):
                 grid = self.local_grids[r]
@@ -1031,12 +1161,12 @@ class MasModel:
                     return conduction_rhs(u, state.rho, grid, p)
 
                 out.append(
-                    rt.loop(
-                        KernelSpec("conduction_rhs", reads=("sts_y", "rho"),
-                                   writes=("sts_l",), body=body,
-                                   tags=frozenset({"conduction"}))
-                    )
+                    self._stencil_loop(r, rt, KernelSpec(
+                        "conduction_rhs", reads=("sts_y", "rho"),
+                        writes=("sts_l",), body=body,
+                        tags=frozenset({"conduction"})))
                 )
+            self._finish_exchange(pend)
             return out
 
         def on_stage(j: int) -> None:
@@ -1082,10 +1212,14 @@ class MasModel:
 
     def wall_time(self) -> float:
         """Simulated wall-clock so far (max over ranks)."""
+        for rt in self.ranks:
+            rt.sync()
         return max(rt.clock.now for rt in self.ranks)
 
     def mpi_time(self) -> float:
         """Mean simulated MPI time across ranks (Fig. 3 accounting)."""
+        for rt in self.ranks:
+            rt.sync()
         return float(np.mean([rt.clock.mpi_time for rt in self.ranks]))
 
     def diagnostics(self) -> dict[str, float]:

@@ -31,6 +31,33 @@ def _diff(f: np.ndarray, axis: int) -> np.ndarray:
     return np.diff(f, axis=axis)
 
 
+def overlap_split_fractions(
+    local_shape: tuple[int, int, int],
+    *,
+    depth: int = 1,
+    axes: tuple[int, ...] = (0, 1, 2),
+) -> tuple[float, float]:
+    """Work fractions ``(interior, shell)`` of an interior/boundary split.
+
+    A stencil kernel overlapped with a halo exchange runs first on the
+    cells at least ``depth`` away from every exchanged face (no ghost
+    dependence), then on the remaining boundary shell once the exchange
+    finished. Fractions are of the *nominal* (paper-scale) local shape and
+    always sum to 1, so the split conserves total kernel traffic exactly.
+    Both fractions stay positive: even a degenerate extent keeps one
+    interior plane so neither sub-kernel violates ``work_fraction > 0``.
+    """
+    if depth < 1:
+        raise ValueError("split depth must be >= 1")
+    fi = 1.0
+    for axis, n in enumerate(local_shape):
+        if n < 1:
+            raise ValueError("local shape extents must be positive")
+        if axis in axes:
+            fi *= max(n - 2 * depth, 1) / n
+    return fi, 1.0 - fi
+
+
 # -- gradients of centered scalars ---------------------------------------------
 
 

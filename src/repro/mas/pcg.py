@@ -158,7 +158,7 @@ def pcg_solve(
     *,
     dot: Callable[[RankArrays, RankArrays], float],
     precondition: Callable[[RankArrays], RankArrays],
-    combine: Callable[[RankArrays, float, RankArrays], None],
+    combine: Callable[[RankArrays, float, RankArrays, tuple[str, str]], None],
     iterations: int,
     tol: float = 0.0,
 ) -> PcgResult:
@@ -241,7 +241,7 @@ def pcg_solve(
         rz = rz_new
         for pi in p:
             pi *= beta
-        combine(p, 1.0, z)  # p = z + beta * p
+        combine(p, 1.0, z, ("p", "u"))  # p = z + beta * p
     return _observe_solve(
         PcgResult(it, float(res_norm), tol > 0.0 and res_norm < tol,
                   allreduce_calls=calls)
@@ -259,7 +259,7 @@ def pcg_solve_ca(
     *,
     dot_many: Callable[[DotPairs], Sequence[float]],
     precondition: Callable[[RankArrays], RankArrays],
-    combine: Callable[[RankArrays, float, RankArrays], None],
+    combine: Callable[[RankArrays, float, RankArrays, tuple[str, str]], None],
     iterations: int,
     tol: float = 0.0,
     variant: str = "ca",
@@ -310,10 +310,10 @@ def pcg_solve_ca(
     for it in range(1, iterations + 1):
         for pi in p:
             pi *= beta
-        combine(p, 1.0, u)  # p = u + beta * p
+        combine(p, 1.0, u, ("p", "u"))  # p = u + beta * p
         for si in s:
             si *= beta
-        combine(s, 1.0, w)  # s = w + beta * s  (s = A p by linearity)
+        combine(s, 1.0, w, ("s", "w"))  # s = w + beta * s  (s = A p by linearity)
         for xi, pi in zip(x, p):
             xi += alpha * pi
         for ri, si in zip(r, s):
@@ -363,7 +363,7 @@ def pcg_solve_pipelined(
     *,
     dot_many: Callable[[DotPairs], Sequence[float]],
     precondition: Callable[[RankArrays], RankArrays],
-    combine: Callable[[RankArrays, float, RankArrays], None],
+    combine: Callable[[RankArrays, float, RankArrays, tuple[str, str]], None],
     iterations: int,
     tol: float = 0.0,
     dot_many_begin: Callable[[DotPairs], Any] | None = None,
@@ -470,16 +470,16 @@ def pcg_solve_pipelined(
         gamma = gamma_new
         for zi in z:
             zi *= beta
-        combine(z, 1.0, n)  # z = n + beta * z  (z = A q)
+        combine(z, 1.0, n, ("z", "n"))  # z = n + beta * z  (z = A q)
         for qi in q:
             qi *= beta
-        combine(q, 1.0, m)  # q = m + beta * q  (q = M^-1 s)
+        combine(q, 1.0, m, ("q", "m"))  # q = m + beta * q  (q = M^-1 s)
         for si in s:
             si *= beta
-        combine(s, 1.0, w)  # s = w + beta * s  (s = A p)
+        combine(s, 1.0, w, ("s", "w"))  # s = w + beta * s  (s = A p)
         for pi in p:
             pi *= beta
-        combine(p, 1.0, u)  # p = u + beta * p
+        combine(p, 1.0, u, ("p", "u"))  # p = u + beta * p
         for xi, pi in zip(x, p):
             xi += alpha * pi
         for ri, si in zip(r, s):
@@ -508,8 +508,12 @@ def numpy_dot_many(pairs: DotPairs) -> tuple[float, ...]:
     return tuple(numpy_dot(a, b) for a, b in pairs)
 
 
-def numpy_combine(y: RankArrays, alpha: float, z: RankArrays) -> None:
-    """Reference in-place axpy."""
+def numpy_combine(
+    y: RankArrays, alpha: float, z: RankArrays,
+    roles: tuple[str, str] | None = None,
+) -> None:
+    """Reference in-place axpy (``roles`` names the recurrence for cost
+    layers that issue per-role kernels; ignored here)."""
     for yi, zi in zip(y, z):
         yi += alpha * zi
 

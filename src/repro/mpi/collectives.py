@@ -60,6 +60,8 @@ def _collective_cost(
 
 def barrier(ranks: Sequence[RankRuntime], label: str = "barrier") -> float:
     """Synchronize all rank clocks; returns the synchronized time."""
+    for rt in ranks:
+        rt.sync()  # flush buffered launches before comparing clocks
     t_max = max(rt.clock.now for rt in ranks)
     for rt in ranks:
         rt.clock.wait_until(t_max, TimeCategory.MPI_WAIT, label)
@@ -193,6 +195,8 @@ def allreduce_many_begin(
         link,
         unified_memory=unified_memory,
     )
+    for rt in ranks:
+        rt.sync()  # posted contributions include buffered launches
     t_start = max(rt.clock.now for rt in ranks)
     return PendingReduction(
         ranks=list(ranks), total=total, cost=cost, t_start=t_start
@@ -211,6 +215,7 @@ def allreduce_many_finish(pending: PendingReduction) -> np.ndarray:
     pending.done = True
     t_done = pending.t_start + pending.cost
     for rt in pending.ranks:
+        rt.sync()
         rt.clock.wait_until(
             t_done, TimeCategory.MPI_TRANSFER, "allreduce_many_wait"
         )

@@ -7,21 +7,34 @@ layer (another ``mpi_pack`` kernel). Axes exchange sequentially so corner
 ghosts become consistent without diagonal messages (standard practice).
 
 Real numpy payloads move between the per-rank arrays, so multi-rank physics
-is bit-checkable against a single-rank run; simulated time is charged with
-bulk-synchronous semantics (ranks synchronize at the start of each
-exchange, and the laggard charges its peers MPI wait time).
+is bit-checkable against a single-rank run. Two cost modes exist:
+
+* **bulk-synchronous** (:meth:`HaloExchanger.exchange` /
+  :meth:`HaloExchanger.exchange_many`): ranks synchronize at the start of
+  each phase and the laggard charges its peers MPI wait time;
+* **overlapped** (:meth:`HaloExchanger.exchange_begin` /
+  :meth:`HaloExchanger.exchange_finish`): pack kernels and non-blocking
+  sends (:meth:`~repro.mpi.transport.Transport.post`) run on a detached
+  communication timeline while the main clock keeps advancing under
+  interior compute; ``finish`` charges only the part of the exchange that
+  compute failed to hide. Payloads still move eagerly at ``begin``, so
+  overlapped runs are bit-identical to synchronous ones by construction.
+
+Multiple fields can share one exchange (:meth:`exchange_many`): every phase
+loops over all fields, so per-field pack/unpack kernels become pairwise
+independent work the cross-region fusion window can collapse.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
 from repro.mpi.decomp import Decomposition3D
 from repro.mpi.transport import Transport
 from repro.obs.telemetry import current as _telemetry
-from repro.runtime.clock import TimeCategory
+from repro.runtime.clock import SimClock, TimeCategory
 from repro.runtime.dispatcher import RankRuntime
 from repro.runtime.kernel import KernelSpec
 
@@ -38,6 +51,32 @@ class HaloSpec:
             raise ValueError("halo depth must be >= 1")
         if not self.axes or any(a not in (0, 1, 2) for a in self.axes):
             raise ValueError("axes must be a nonempty subset of (0, 1, 2)")
+
+
+#: One field participating in an exchange: (name, per-rank arrays,
+#: stagger axis or None).
+FieldItem = tuple[str, list[np.ndarray], "int | None"]
+
+
+@dataclass(slots=True)
+class PendingExchange:
+    """An in-flight overlapped exchange returned by ``exchange_begin``.
+
+    ``comm_clocks`` is None when the exchange already completed
+    synchronously at begin (overlap unsupported or disabled); ``finish``
+    is then a no-op.
+    """
+
+    fields: tuple[str, ...]
+    messages: int = 0
+    comm_clocks: list[SimClock] | None = None
+    t_begin: list[float] = dc_field(default_factory=list)
+    done: bool = False
+
+    @property
+    def sync(self) -> bool:
+        """True if the exchange completed synchronously at begin."""
+        return self.comm_clocks is None
 
 
 def _interior_face(
@@ -124,31 +163,36 @@ class HaloExchanger:
         if rank_nodes is not None and len(rank_nodes) != decomp.nranks:
             raise ValueError("rank_nodes must list one node per rank")
         self.rank_nodes = rank_nodes
-        self._buffers_registered = False
+        self._registered_fields: set[str] = set()
         #: Message counters for tests/benches.
         self.messages = 0
         self.bytes_sent = 0
+        #: Messages posted by overlapped begins and not yet finished.
+        self.inflight = 0
 
     # -- buffer management -----------------------------------------------------
 
-    def _buf_name(self, axis: int, direction: int, kind: str) -> str:
-        return f"_halo_{kind}_{axis}_{'m' if direction < 0 else 'p'}"
+    def _buf_name(self, field_name: str, axis: int, direction: int, kind: str) -> str:
+        return f"_halo_{kind}_{field_name}_{axis}_{'m' if direction < 0 else 'p'}"
 
-    def ensure_buffers(self, depth: int = 1) -> None:
-        """Register send/recv staging buffers in every rank's environment."""
-        if self._buffers_registered:
+    def ensure_buffers(self, field_names: tuple[str, ...], depth: int = 1) -> None:
+        """Register per-field send/recv staging buffers in every rank's
+        environment (first exchange of each field)."""
+        missing = [f for f in field_names if f not in self._registered_fields]
+        if not missing:
             return
         for rank, rt in enumerate(self.ranks):
-            for axis in range(3):
-                nominal_face = (
-                    self.nominal.face_cells(rank, axis) * depth * self.element_bytes
-                )
-                for direction in (-1, 1):
-                    for kind in ("send", "recv"):
-                        name = self._buf_name(axis, direction, kind)
-                        if name not in rt.env:
-                            rt.register_array(name, nominal_face)
-        self._buffers_registered = True
+            for field_name in missing:
+                for axis in range(3):
+                    nominal_face = (
+                        self.nominal.face_cells(rank, axis) * depth * self.element_bytes
+                    )
+                    for direction in (-1, 1):
+                        for kind in ("send", "recv"):
+                            name = self._buf_name(field_name, axis, direction, kind)
+                            if name not in rt.env:
+                                rt.register_array(name, nominal_face)
+        self._registered_fields.update(missing)
 
     # -- exchange ---------------------------------------------------------------
 
@@ -166,92 +210,262 @@ class HaloExchanger:
         that axis); along it, the shared boundary face is skipped and ghost
         faces receive the neighbour's strictly-interior faces.
         """
-        if len(locals_) != self.decomp.nranks:
-            raise ValueError("one local array per rank required")
+        self.exchange_many([(field_name, locals_, stagger_axis)], spec)
+
+    def exchange_many(
+        self, items: list[FieldItem], spec: HaloSpec = HaloSpec()
+    ) -> None:
+        """Synchronously exchange several fields as one batched operation.
+
+        Every phase (pack, message, unpack) loops over all fields, so the
+        batch pays the per-axis barriers once instead of once per field.
+        Per-field payloads are identical to back-to-back single-field
+        exchanges (fields do not interact; axes stay sequential).
+        """
+        self._validate(items, spec)
         g = spec.depth
-        for a in locals_:
-            for axis in spec.axes:
-                if a.shape[axis] < 3 * g + (1 if axis == stagger_axis else 0):
-                    raise ValueError(
-                        f"array extent {a.shape[axis]} too small for halo depth {g}"
-                    )
-        self.ensure_buffers(g)
+        self.ensure_buffers(tuple(f for f, _, _ in items), g)
+        tel = self._observe_exchanges(items)
+        for rt in self.ranks:
+            rt.sync()
+        t0 = [rt.clock.now for rt in self.ranks]
+        with tel.tracer.span(
+            "halo_exchange", field=",".join(f for f, _, _ in items)
+        ):
+            self._exchange_spec(items, spec, g)
+        if tel.enabled:
+            elapsed = sum(
+                rt.clock.now - t for rt, t in zip(self.ranks, t0)
+            ) / len(self.ranks)
+            self._exchange_seconds_counter(tel).inc(elapsed)
+
+    # -- overlapped exchange ----------------------------------------------------
+
+    def exchange_begin(
+        self,
+        field_name: str,
+        locals_: list[np.ndarray],
+        spec: HaloSpec = HaloSpec(),
+        *,
+        stagger_axis: int | None = None,
+        overlap: bool = True,
+    ) -> PendingExchange:
+        """Start one overlapped exchange; see :meth:`exchange_begin_many`."""
+        return self.exchange_begin_many(
+            [(field_name, locals_, stagger_axis)], spec, overlap=overlap
+        )
+
+    def exchange_begin_many(
+        self,
+        items: list[FieldItem],
+        spec: HaloSpec = HaloSpec(),
+        *,
+        overlap: bool = True,
+    ) -> PendingExchange:
+        """Post an exchange without blocking the main timelines.
+
+        Ghost payloads move eagerly (numerics are complete when this
+        returns); all simulated cost -- pack kernels, wire time, unpack
+        kernels, intra-exchange barriers -- lands on detached per-rank
+        communication clocks. The main clocks are charged only the
+        host-side posting overhead (one async-queue submit per kernel the
+        exchange launched, the ``AsyncQueue`` tie-in). Call
+        :meth:`exchange_finish` before any kernel that reads the ghosts'
+        *cost* dependence region -- in MAS terms, before the boundary-shell
+        pass.
+
+        With ``overlap=False`` (how models degrade when
+        ``RuntimeConfig.supports_halo_overlap`` is off) this is exactly
+        :meth:`exchange_many` plus a completed :class:`PendingExchange`.
+        """
+        fields = tuple(f for f, _, _ in items)
+        if not overlap:
+            self.exchange_many(items, spec)
+            return PendingExchange(fields=fields, done=False)
+        self._validate(items, spec)
+        g = spec.depth
+        self.ensure_buffers(fields, g)
+        tel = self._observe_exchanges(items)
+        for rt in self.ranks:
+            rt.sync()
+        t_begin = [rt.clock.now for rt in self.ranks]
+        comm_clocks = [SimClock(now=t) for t in t_begin]
+        launches0 = [rt.stats.launches for rt in self.ranks]
+        messages0 = self.messages
+        saved = [rt.clock for rt in self.ranks]
+        try:
+            for rt, comm in zip(self.ranks, comm_clocks):
+                rt.set_clock(comm)
+            with tel.tracer.span(
+                "halo_exchange", field=",".join(fields), overlap=True
+            ):
+                self._exchange_spec(items, spec, g)
+        finally:
+            for rt, main in zip(self.ranks, saved):
+                rt.set_clock(main)
+        for rt, l0 in zip(self.ranks, launches0):
+            posts = rt.stats.launches - l0
+            if posts:
+                rt.clock.advance(
+                    posts * rt.queue.submit_overhead,
+                    TimeCategory.LAUNCH,
+                    "halo_post",
+                )
+        posted = self.messages - messages0
+        self.inflight += posted
+        if tel.enabled:
+            tel.metrics.gauge(
+                "halo_messages_inflight",
+                "halo messages posted by overlapped begins and not yet waited on",
+            ).set(self.inflight)
+        return PendingExchange(
+            fields=fields,
+            messages=posted,
+            comm_clocks=comm_clocks,
+            t_begin=t_begin,
+        )
+
+    def exchange_finish(self, pending: PendingExchange) -> None:
+        """Wait for an overlapped exchange; charge only the unhidden part.
+
+        Per rank: whatever of the communication timeline the main clock has
+        already advanced past was hidden under compute; the remainder is
+        charged to the main clock pro-rata over the communication clock's
+        category split (so pack time stays MPI_PACK, wire time stays
+        MPI_TRANSFER in Fig. 3's accounting), plus one queue completion
+        latency for the final synchronization.
+        """
+        if pending.done:
+            raise ValueError("exchange_finish() called twice on one exchange")
+        pending.done = True
+        if pending.comm_clocks is None:
+            return
+        hidden_mean = unhidden_mean = 0.0
+        for rt, comm, t0 in zip(self.ranks, pending.comm_clocks, pending.t_begin):
+            rt.sync()
+            elapsed = comm.now - t0
+            unhidden = max(0.0, comm.now - rt.clock.now)
+            hidden = max(0.0, elapsed - unhidden)
+            if unhidden > 0.0 and elapsed > 0.0:
+                for cat, t in comm.by_category.items():
+                    if t > 0.0:
+                        rt.clock.advance(
+                            unhidden * (t / elapsed), cat, f"halo_wait_{cat.value}"
+                        )
+                rt.clock.wait_until(
+                    comm.now, TimeCategory.MPI_WAIT, "halo_wait_residual"
+                )
+            rt.clock.advance(
+                rt.queue.completion_latency, TimeCategory.LAUNCH, "halo_finish"
+            )
+            hidden_mean += hidden / len(self.ranks)
+            unhidden_mean += unhidden / len(self.ranks)
+        self.inflight -= pending.messages
         tel = _telemetry()
         if tel.enabled:
+            self._exchange_seconds_counter(tel).inc(unhidden_mean)
             tel.metrics.counter(
+                "halo_overlap_seconds",
+                "mean per-rank halo exchange seconds hidden under interior compute",
+            ).inc(hidden_mean)
+            tel.metrics.gauge(
+                "halo_messages_inflight",
+                "halo messages posted by overlapped begins and not yet waited on",
+            ).set(self.inflight)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _validate(self, items: list[FieldItem], spec: HaloSpec) -> None:
+        if not items:
+            raise ValueError("exchange needs at least one field")
+        g = spec.depth
+        for _, locals_, stagger_axis in items:
+            if len(locals_) != self.decomp.nranks:
+                raise ValueError("one local array per rank required")
+            for a in locals_:
+                for axis in spec.axes:
+                    if a.shape[axis] < 3 * g + (1 if axis == stagger_axis else 0):
+                        raise ValueError(
+                            f"array extent {a.shape[axis]} too small for halo depth {g}"
+                        )
+
+    def _observe_exchanges(self, items: list[FieldItem]):
+        tel = _telemetry()
+        if tel.enabled:
+            counter = tel.metrics.counter(
                 "halo_exchanges_total", "ghost-layer exchanges, by field",
                 labelnames=("field",),
-            ).labels(field=field_name).inc()
-        with tel.tracer.span("halo_exchange", field=field_name):
-            self._exchange_spec(field_name, locals_, spec, g, stagger_axis)
+            )
+            for field_name, _, _ in items:
+                counter.labels(field=field_name).inc()
+        return tel
+
+    @staticmethod
+    def _exchange_seconds_counter(tel):
+        return tel.metrics.counter(
+            "halo_exchange_seconds",
+            "mean per-rank wall seconds charged to halo exchanges "
+            "(overlapped runs count only the unhidden remainder)",
+        )
 
     def _exchange_spec(
-        self,
-        field_name: str,
-        locals_: list[np.ndarray],
-        spec: HaloSpec,
-        g: int,
-        stagger_axis: int | None,
+        self, items: list[FieldItem], spec: HaloSpec, g: int
     ) -> None:
         if self.buffer_init_fraction > 0.0:
-            for rt in self.ranks:
-                nb = (
-                    rt.env.nominal_bytes(field_name)
-                    if field_name in rt.env
-                    else self.nominal.local_cells(0) * self.element_bytes
-                )
-                rt.loop(
-                    KernelSpec(
-                        name=f"halo_buffer_init_{field_name}",
-                        bytes_override=self.buffer_init_fraction * nb,
-                        tags=frozenset({"mpi_pack"}),
+            for field_name, _, _ in items:
+                for rt in self.ranks:
+                    nb = (
+                        rt.env.nominal_bytes(field_name)
+                        if field_name in rt.env
+                        else self.nominal.local_cells(0) * self.element_bytes
                     )
-                )
+                    rt.loop(
+                        KernelSpec(
+                            name=f"halo_buffer_init_{field_name}",
+                            bytes_override=self.buffer_init_fraction * nb,
+                            tags=frozenset({"mpi_pack"}),
+                        )
+                    )
         for axis in spec.axes:
-            self._exchange_axis(
-                field_name, locals_, axis, g, staggered=(axis == stagger_axis)
-            )
+            self._exchange_axis(items, axis, g)
 
-    def _exchange_axis(
-        self,
-        field_name: str,
-        locals_: list[np.ndarray],
-        axis: int,
-        g: int,
-        *,
-        staggered: bool = False,
-    ) -> None:
+    def _exchange_axis(self, items: list[FieldItem], axis: int, g: int) -> None:
         dec = self.decomp
-        # -- phase A: every rank packs its faces ------------------------------
-        packed: dict[tuple[int, int], np.ndarray] = {}
-        for rank, rt in enumerate(self.ranks):
-            for direction in (-1, 1):
-                if dec.neighbor(rank, axis, direction) is None:
-                    continue
-                a = locals_[rank]
-                face = a[_interior_face(a, axis, direction, g, staggered=staggered)]
-                buf_name = self._buf_name(axis, direction, "send")
-                nominal_bytes = rt.env.nominal_bytes(buf_name)
+        # -- phase A: every rank packs its faces, all fields ------------------
+        packed: dict[tuple[str, int, int], np.ndarray] = {}
+        for field_name, locals_, stagger_axis in items:
+            staggered = axis == stagger_axis
+            for rank, rt in enumerate(self.ranks):
+                for direction in (-1, 1):
+                    if dec.neighbor(rank, axis, direction) is None:
+                        continue
+                    a = locals_[rank]
+                    face = a[
+                        _interior_face(a, axis, direction, g, staggered=staggered)
+                    ]
+                    buf_name = self._buf_name(field_name, axis, direction, "send")
+                    nominal_bytes = rt.env.nominal_bytes(buf_name)
 
-                def pack(face=face) -> np.ndarray:
-                    return np.ascontiguousarray(face)
+                    def pack(face=face) -> np.ndarray:
+                        return np.ascontiguousarray(face)
 
-                result = rt.loop(
-                    KernelSpec(
-                        name=f"halo_pack_{field_name}_{axis}{'m' if direction < 0 else 'p'}",
-                        reads=(field_name,) if field_name in rt.env else (),
-                        writes=(buf_name,),
-                        bytes_override=2 * nominal_bytes * self.pack_inefficiency,
-                        body=pack,
-                        tags=frozenset({"mpi_pack"}),
+                    result = rt.loop(
+                        KernelSpec(
+                            name=f"halo_pack_{field_name}_{axis}"
+                            f"{'m' if direction < 0 else 'p'}",
+                            reads=(field_name,) if field_name in rt.env else (),
+                            writes=(buf_name,),
+                            bytes_override=2 * nominal_bytes * self.pack_inefficiency,
+                            body=pack,
+                            tags=frozenset({"mpi_pack"}),
+                        )
                     )
-                )
-                packed[(rank, direction)] = result
+                    packed[(field_name, rank, direction)] = result
 
-        # -- phase B: synchronize (imbalance shows up as MPI wait) --------------
+        # -- phase B: synchronize (imbalance shows up as MPI wait) ------------
         self._barrier()
 
-        # -- phase C: messages -----------------------------------------------------
+        # -- phase C: messages -------------------------------------------------
         tel = _telemetry()
         msg_counter = bytes_counter = None
         if tel.enabled:
@@ -263,58 +477,80 @@ class HaloExchanger:
                 "halo_bytes_total", "nominal halo payload bytes sent, by rank",
                 labelnames=("rank",),
             )
-        received: dict[tuple[int, int], np.ndarray] = {}
-        for rank, rt in enumerate(self.ranks):
-            for direction in (-1, 1):
-                nb = dec.neighbor(rank, axis, direction)
-                if nb is None:
-                    continue
-                buf = packed[(rank, direction)]
-                send_name = self._buf_name(axis, direction, "send")
-                recv_name = self._buf_name(axis, -direction, "recv")
-                nbytes = rt.env.nominal_bytes(send_name)
-                nb_rt = self.ranks[nb]
-                for c in self.transport.send_charges(rt.env, send_name, nbytes):
-                    rt.clock.advance(c.seconds, c.category, c.label)
-                same_node = (
-                    self.rank_nodes is None
-                    or self.rank_nodes[rank] == self.rank_nodes[nb]
-                )
-                wire = self.transport.wire_time(
-                    nbytes, same_device=(nb == rank), same_node=same_node
-                )
-                rt.clock.advance(wire, TimeCategory.MPI_TRANSFER, f"msg_{axis}")
-                if nb != rank:
-                    # self-messages (periodic wrap on an undivided axis) are
-                    # delivered by a local copy; only the send side stages.
-                    for c in self.transport.recv_charges(nb_rt.env, recv_name, nbytes):
-                        nb_rt.clock.advance(c.seconds, c.category, c.label)
-                # The message my low face sends arrives at the neighbour's
-                # high ghost (and vice versa): neighbour-relative direction
-                # is -direction.
-                received[(nb, -direction)] = buf
-                self.messages += 1
-                self.bytes_sent += nbytes
-                if msg_counter is not None:
-                    msg_counter.inc()
-                    bytes_counter.labels(rank=str(rank)).inc(nbytes)
+        received: dict[tuple[str, int, int], np.ndarray] = {}
+        for field_name, _, _ in items:
+            for rank, rt in enumerate(self.ranks):
+                for direction in (-1, 1):
+                    nb = dec.neighbor(rank, axis, direction)
+                    if nb is None:
+                        continue
+                    buf = packed[(field_name, rank, direction)]
+                    send_name = self._buf_name(field_name, axis, direction, "send")
+                    recv_name = self._buf_name(field_name, axis, -direction, "recv")
+                    nbytes = rt.env.nominal_bytes(send_name)
+                    nb_rt = self.ranks[nb]
+                    for c in self.transport.send_charges(rt.env, send_name, nbytes):
+                        rt.clock.advance(c.seconds, c.category, c.label)
+                    same_node = (
+                        self.rank_nodes is None
+                        or self.rank_nodes[rank] == self.rank_nodes[nb]
+                    )
+                    msg = self.transport.post(
+                        buf,
+                        nbytes,
+                        t_posted=rt.clock.now,
+                        same_device=(nb == rank),
+                        same_node=same_node,
+                    )
+                    # Blocking semantics inside the phase: the sender waits
+                    # for its own wire (identical cost to the old in-place
+                    # advance; overlapped begins run this on the detached
+                    # communication clock instead).
+                    rt.clock.wait_until(
+                        msg.t_ready, TimeCategory.MPI_TRANSFER, f"msg_{axis}"
+                    )
+                    if nb != rank:
+                        # self-messages (periodic wrap on an undivided axis)
+                        # are delivered by a local copy; only the send side
+                        # stages.
+                        for c in self.transport.recv_charges(
+                            nb_rt.env, recv_name, nbytes
+                        ):
+                            nb_rt.clock.advance(c.seconds, c.category, c.label)
+                    # The message my low face sends arrives at the
+                    # neighbour's high ghost (and vice versa):
+                    # neighbour-relative direction is -direction.
+                    received[(field_name, nb, -direction)] = msg.payload
+                    self.messages += 1
+                    self.bytes_sent += nbytes
+                    if msg_counter is not None:
+                        msg_counter.inc()
+                        bytes_counter.labels(rank=str(rank)).inc(nbytes)
 
-        # -- phase D: unpack into ghosts -----------------------------------------
-        for (rank, direction), buf in received.items():
+        # -- phase D: unpack into ghosts ---------------------------------------
+        locals_by_field = {f: locs for f, locs, _ in items}
+        for (field_name, rank, direction), buf in received.items():
             rt = self.ranks[rank]
-            a = locals_[rank]
+            a = locals_by_field[field_name][rank]
             ghost = _ghost_face(a, axis, direction, g)
-            recv_name = self._buf_name(axis, direction, "recv")
+            recv_name = self._buf_name(field_name, axis, direction, "recv")
             nominal_bytes = rt.env.nominal_bytes(recv_name)
 
             def unpack(a=a, ghost=ghost, buf=buf) -> None:
                 a[ghost] = buf
 
+            # The write is qualified to this direction's ghost shell
+            # ("rho@g2m"): the two directions' unpacks touch disjoint
+            # storage, so the fusion window may run them as one launch
+            # while readers of the bare field still order correctly.
+            side = "m" if direction < 0 else "p"
             rt.loop(
                 KernelSpec(
-                    name=f"halo_unpack_{field_name}_{axis}{'m' if direction < 0 else 'p'}",
+                    name=f"halo_unpack_{field_name}_{axis}{side}",
                     reads=(recv_name,),
-                    writes=(field_name,) if field_name in rt.env else (),
+                    writes=(f"{field_name}@g{axis}{side}",)
+                    if field_name in rt.env
+                    else (),
                     bytes_override=2 * nominal_bytes * self.pack_inefficiency,
                     body=unpack,
                     tags=frozenset({"mpi_pack"}),
@@ -324,6 +560,8 @@ class HaloExchanger:
 
     def _barrier(self) -> None:
         """Advance every rank clock to the maximum (BSP synchronization)."""
+        for rt in self.ranks:
+            rt.sync()
         t_max = max(rt.clock.now for rt in self.ranks)
         for rt in self.ranks:
             rt.clock.wait_until(t_max, TimeCategory.MPI_WAIT, "halo_barrier")

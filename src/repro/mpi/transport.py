@@ -37,11 +37,50 @@ class TransportKind(enum.Enum):
     CPU_FABRIC = "cpu_fabric"
 
 
+@dataclass(slots=True)
+class PendingMessage:
+    """One posted (non-blocking) message.
+
+    ``t_ready`` is the simulated time the payload is complete at the
+    receiver; nothing is charged to any clock until a rank waits on it.
+    The numpy ``payload`` moved eagerly at post time, so completion order
+    can never change numerics -- only who pays the wire time, and when.
+    """
+
+    payload: object
+    nbytes: int
+    t_posted: float
+    t_ready: float
+
+    def __post_init__(self) -> None:
+        if self.t_ready < self.t_posted:
+            raise ValueError("a message cannot complete before it is posted")
+
+
 @dataclass(frozen=True, slots=True)
 class Transport:
     """Base transport; concrete subclasses implement the cost methods."""
 
     kind: TransportKind
+
+    def post(
+        self,
+        payload: object,
+        nbytes: int,
+        *,
+        t_posted: float,
+        same_device: bool,
+        same_node: bool = True,
+    ) -> PendingMessage:
+        """Post a non-blocking send: compute when the wire finishes.
+
+        The blocking exchange waits on the result immediately
+        (``wait_until(msg.t_ready)`` equals the old in-place wire-time
+        advance exactly); the overlapped exchange waits only at
+        ``exchange_finish``.
+        """
+        wire = self.wire_time(nbytes, same_device=same_device, same_node=same_node)
+        return PendingMessage(payload, nbytes, t_posted, t_posted + wire)
 
     def send_charges(
         self, env: DataEnvironment, buffer_name: str, nbytes: int

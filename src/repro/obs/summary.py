@@ -86,6 +86,34 @@ def _steps_table(records: list[dict]) -> str | None:
     return t.render()
 
 
+def _mpi_share_block(records: list[dict]) -> str | None:
+    """MPI split of the mean step: pack / transfer / wait shares.
+
+    Overlapped-exchange runs show their gain here: hidden communication
+    leaves the wall (and the ``mpi_wait`` share collapses), while
+    ``halo_overlap_seconds`` in the metrics snapshot records how much was
+    hidden.
+    """
+    steps = [r for r in records if r.get("event") == "step" and r.get("categories")]
+    if not steps:
+        return None
+    n = len(steps)
+    wall = sum(float(r.get("wall", 0.0)) for r in steps) / n
+    if wall <= 0.0:
+        return None
+    t = Table(
+        ["category", "mean per step (ms)", "share of step"],
+        title="MPI time by category (mean over steps)",
+    )
+    total = 0.0
+    for cat in ("mpi_pack", "mpi_transfer", "mpi_wait"):
+        v = sum(float(r["categories"].get(cat, 0.0)) for r in steps) / n
+        total += v
+        t.add_row([cat, v * 1e3, f"{100.0 * v / wall:5.1f}%"])
+    t.add_row(["mpi_total", total * 1e3, f"{100.0 * total / wall:5.1f}%"])
+    return t.render()
+
+
 def _spans_table(spans: list[dict], top: int = 12) -> str | None:
     if not spans:
         return None
@@ -143,6 +171,7 @@ def summarize_dir(path: str | Path) -> str:
     blocks = [f"telemetry summary: {d}", _manifest_block(manifest)]
     for block in (
         _steps_table(records),
+        _mpi_share_block(records),
         _spans_table(spans),
         _metrics_table(metrics),
     ):

@@ -40,7 +40,9 @@ class Calibration:
     #: PCG solver variant ("classic" keeps the paper's reference iteration
     #: structure; "ca"/"pipelined" are the communication-avoiding and
     #: pipelined rebuilds -- identical iterates, fewer/hidden allreduces).
-    pcg_variant: str = "classic"
+    #: "ca" is the calibrated default: one fused allreduce per iteration
+    #: at unchanged iterate count (classic stays selectable via --pcg).
+    pcg_variant: str = "ca"
     #: Preconditioner ("jacobi" reference; "cheby" = Chebyshev polynomial).
     pcg_precond: str = "jacobi"
     #: Early-exit residual tolerance. 0 keeps the fixed-iteration
@@ -81,6 +83,14 @@ class Calibration:
     um_host_mpi_overhead: float = 40.0e-6
     #: Per-rank compute jitter driving load-imbalance MPI waits.
     rank_jitter: float = 0.010
+    #: Overlap halo exchanges with interior compute (interior/boundary
+    #: stencil splitting; needs async queues). Off by default so the
+    #: paper's bulk-synchronous Fig. 3 bars are reproduced unchanged.
+    halo_overlap: bool = False
+    #: Cross-region launch-fusion window: collapse adjacent independent
+    #: plain-category kernels between synchronization points into single
+    #: launches. Off by default (paper kernel stream unchanged).
+    cross_region_fusion: bool = False
 
     # -- run projection --------------------------------------------------------------
     #: Simulated steps standing for the paper's 24-minute-physical run.
@@ -126,10 +136,12 @@ def build_model(
     calibration: Calibration = PAPER_CALIBRATION,
     shape: tuple[int, int, int] = MEASURE_SHAPE,
     nominal_shape: tuple[int, int, int] = NOMINAL_SHAPE_PAPER,
-    extra_model_arrays: int = 70,
+    extra_model_arrays: int = 67,
 ) -> MasModel:
     """Construct a MasModel for one code version under the calibration."""
     rt_cfg = runtime_config_for(version)
+    if calibration.cross_region_fusion:
+        rt_cfg = replace(rt_cfg, cross_region_fusion=True)
     model_cfg = ModelConfig(
         shape=shape,
         nominal_shape=nominal_shape,
@@ -141,6 +153,7 @@ def build_model(
         cheby_degree=calibration.cheby_degree,
         sts_stages=calibration.sts_stages,
         extra_model_arrays=extra_model_arrays,
+        halo_overlap=calibration.halo_overlap,
     )
     return MasModel(
         model_cfg,

@@ -23,7 +23,7 @@ from repro.mpi.decomp import Decomposition3D
 STATE_ARRAYS = len(ALL_FIELDS)
 MODEL_WORK_ARRAYS = len(WORK_ARRAYS)
 #: The full CORHEL physics complement (DESIGN.md: MAS holds ~100 arrays).
-EXTRA_MODEL_ARRAYS = 70
+EXTRA_MODEL_ARRAYS = 67
 ELEMENT_BYTES = 8
 HALO_BUFFERS_PER_AXIS = 4  # send/recv x two directions
 

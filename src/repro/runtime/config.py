@@ -60,6 +60,11 @@ class RuntimeConfig:
     #: Routines called in kernels are inlined (-Minline) instead of using
     #: !$acc routine (Code 5/6).
     inline_routines: bool = False
+    #: Cross-region launch fusion: collapse adjacent plain-category kernels
+    #: *between* synchronization points into shared launches (beyond the
+    #: per-region fusion the ``fusion`` flag models). Off by default; a
+    #: perf-opt switch, not part of the Table I taxonomy.
+    cross_region_fusion: bool = False
 
     def __post_init__(self) -> None:
         if self.target not in ("gpu", "cpu"):
@@ -96,6 +101,17 @@ class RuntimeConfig:
         has async launch queues (OpenACC ``async``, Code A/1). Without
         them the pipelined solver degrades to blocking fused reductions
         (communication-avoiding volume, no overlap).
+        """
+        return self.async_launch
+
+    @property
+    def supports_halo_overlap(self) -> bool:
+        """True if halo exchanges can proceed under interior compute.
+
+        Overlapped halos post pack kernels and sends on a side stream and
+        only synchronize at ``exchange_finish``; like pipelined reductions
+        this needs async launch queues (OpenACC ``async``, Code A/1).
+        Runtimes without them fall back to the bulk-synchronous exchange.
         """
         return self.async_launch
 

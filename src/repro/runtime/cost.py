@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.dependence import base_name
 from repro.machine.gpu import GpuDevice
 from repro.runtime.config import ArrayReductionStrategy
 from repro.runtime.data_env import DataEnvironment
@@ -70,9 +71,9 @@ class KernelCostModel:
             return spec.bytes_override * spec.work_fraction
         total = 0.0
         for name in spec.reads:
-            total += env.nominal_bytes(name)
+            total += env.nominal_bytes(base_name(name))
         for name in spec.writes:
-            total += env.nominal_bytes(name)
+            total += env.nominal_bytes(base_name(name))
         return total * spec.work_fraction
 
     def strategy_efficiency(

@@ -27,7 +27,7 @@ from repro.runtime.config import ArrayReductionStrategy, Backend, RuntimeConfig
 from repro.runtime.cost import KernelCostModel
 from repro.runtime.data_env import DataEnvironment, DataMode
 from repro.runtime.doconcurrent import DoConcurrentEngine
-from repro.runtime.fusion import FusionPlanner
+from repro.runtime.fusion import FusionGroup, FusionPlanner, plan_fusion_window, validate_plan
 from repro.runtime.kernel import KernelSpec, LoopCategory
 from repro.runtime.openacc import LaunchStats, OpenAccEngine
 from repro.runtime.stream import AsyncQueue
@@ -118,9 +118,38 @@ class RankRuntime:
             )
         self._planner = FusionPlanner(enabled=config.fusion)
         self._cpu_stats = LaunchStats()
+        #: Cross-region window: plain/atomic kernels dispatched *outside*
+        #: explicit regions buffer here until the next synchronization
+        #: point, then launch as one hoisting-fused plan.
+        plain_backend = (
+            None if config.target == "cpu"
+            else config.loop_backend.get(LoopCategory.PLAIN)
+        )
+        self._cross_region = (
+            config.cross_region_fusion
+            and config.fusion
+            and plain_backend is Backend.ACC
+        )
+        self._window: list[KernelSpec] = []
+        self._window_pack = False
         #: Optional shadow checker (repro.analysis.shadow); None keeps the
         #: dispatch hot path at a single attribute test.
         self._shadow = None
+
+    # -- clocks --------------------------------------------------------------
+
+    def set_clock(self, clock: SimClock) -> None:
+        """Retarget all cost charging to ``clock``.
+
+        The overlapped halo engine uses this to run pack/send/unpack cost
+        on a detached communication timeline while the main clock keeps
+        advancing under interior compute.
+        """
+        self.clock = clock
+        if self._acc is not None:
+            self._acc.clock = clock
+        if self._dc is not None:
+            self._dc.clock = clock
 
     # -- shadow checker ------------------------------------------------------
 
@@ -171,6 +200,36 @@ class RankRuntime:
 
     # -- regions -------------------------------------------------------------
 
+    def _count_launches(self, groups: list[FusionGroup]) -> None:
+        tel = _telemetry()
+        if not tel.enabled:
+            return
+        counter = tel.metrics.counter(
+            "kernel_launches_total",
+            "kernel launches, by code version and loop category",
+            labelnames=("version", "category"),
+        )
+        for g in groups:
+            counter.labels(
+                version=self.config.name, category=g.kernels[0].category.value
+            ).inc()
+
+    def _count_launch(self, category: LoopCategory) -> None:
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "kernel_launches_total",
+                "kernel launches, by code version and loop category",
+                labelnames=("version", "category"),
+            ).labels(version=self.config.name, category=category.value).inc()
+
+    def _run_groups(self, groups: list[FusionGroup]) -> None:
+        if not groups:
+            return
+        assert self._acc is not None
+        self._count_launches(groups)
+        self._acc.execute_region(groups)
+
     @contextmanager
     def region(self) -> Iterator[None]:
         """A fusable sequence of loops (an OpenACC parallel region).
@@ -184,23 +243,42 @@ class RankRuntime:
         if plain_backend is not Backend.ACC:
             yield
             return
+        self._flush_window()
         self._planner.open_region()
         try:
             yield
         finally:
-            groups = self._planner.close_region()
-            if groups:
-                assert self._acc is not None
-                self._acc.execute_region(groups)
+            self._run_groups(self._planner.close_region())
 
     def _flush_region(self) -> None:
         """Execute buffered fusable loops before a non-bufferable op."""
         if self._planner.in_region:
-            groups = self._planner.close_region()
-            if groups:
-                assert self._acc is not None
-                self._acc.execute_region(groups)
+            self._run_groups(self._planner.close_region())
             self._planner.open_region()
+
+    def _flush_window(self) -> None:
+        """Launch the buffered cross-region window, if any."""
+        if not self._window:
+            return
+        window, self._window = self._window, []
+        groups = plan_fusion_window(window, enabled=True)
+        problems = validate_plan(window, groups)
+        if problems:  # pragma: no cover - planner bug guard
+            raise RuntimeError(
+                "cross-region fusion plan violates dependences: "
+                + "; ".join(problems)
+            )
+        self._run_groups(groups)
+
+    def sync(self) -> None:
+        """Synchronization point: launch all buffered work on this rank.
+
+        Called by the MPI layer (barriers, collectives, halo exchanges)
+        and at step boundaries before reading the clock; everything that
+        observes simulated time must drain the cross-region window first.
+        """
+        self._flush_region()
+        self._flush_window()
 
     # -- loop entry points -----------------------------------------------------
 
@@ -253,16 +331,10 @@ class RankRuntime:
             result = self._shadow.run_body(spec, self.env)
         else:
             result = spec.run_body()
-        tel = _telemetry()
-        if tel.enabled:
-            tel.metrics.counter(
-                "kernel_launches_total",
-                "kernels dispatched, by code version and loop category",
-                labelnames=("version", "category"),
-            ).labels(version=self.config.name, category=category.value).inc()
         cost_spec = _cost_only(spec)
         if self.config.target == "cpu":
             self._execute_cpu(cost_spec)
+            self._count_launch(category)
             return result
         backend = self.config.backend_for(category)
         if backend is Backend.ACC:
@@ -271,13 +343,26 @@ class RankRuntime:
                 LoopCategory.PLAIN,
                 LoopCategory.ATOMIC_OTHER,
             ):
-                self._planner.submit(cost_spec)
+                self._planner.submit(cost_spec)  # counted at region close
+            elif self._cross_region and category in (
+                LoopCategory.PLAIN,
+                LoopCategory.ATOMIC_OTHER,
+            ):
+                is_pack = "mpi_pack" in cost_spec.tags
+                if self._window and self._window_pack is not is_pack:
+                    self._flush_window()  # keep MPI_PACK groups homogeneous
+                self._window.append(cost_spec)
+                self._window_pack = is_pack
             else:
                 self._flush_region()
+                self._flush_window()
                 self._acc.execute_single(cost_spec)
+                self._count_launch(category)
         elif backend in (Backend.DC, Backend.DC2X):
             assert self._dc is not None
             self._flush_region()
+            self._flush_window()
+            self._count_launch(category)
             if category is LoopCategory.KERNELS_REGION:
                 # Code 5's rewrite: the intrinsic becomes an explicit DC
                 # (reduction) loop with the same data traffic.
@@ -315,6 +400,7 @@ class RankRuntime:
 
     def update_host(self, name: str, fraction: float = 1.0) -> None:
         """Charge an ``!$acc update host`` transfer."""
+        self._flush_window()
         if self._shadow is not None:
             self._shadow.sync()  # update synchronizes outstanding queues
         if self.env.mode is DataMode.MANUAL:
@@ -323,6 +409,7 @@ class RankRuntime:
 
     def update_device(self, name: str, fraction: float = 1.0) -> None:
         """Charge an ``!$acc update device`` transfer."""
+        self._flush_window()
         if self._shadow is not None:
             self._shadow.sync()
         if self.env.mode is DataMode.MANUAL:
@@ -332,6 +419,7 @@ class RankRuntime:
     def host_access(self, name: str, nbytes: float | None = None,
                     category: TimeCategory = TimeCategory.UM_FAULT) -> None:
         """Host-side touch (MPI library or setup code) with UM migration."""
+        self._flush_window()
         if self._shadow is not None:
             self._shadow.sync()
         for c in self.env.host_access(name, nbytes):

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.dependence import depends
+from repro.analysis.dependence import depends, hazards_between
 from repro.runtime.kernel import KernelSpec
 
 
@@ -64,6 +64,81 @@ def plan_fusion(kernels: Sequence[KernelSpec], *, enabled: bool) -> list[FusionG
     if current:
         groups.append(FusionGroup(tuple(current)))
     return groups
+
+
+def plan_fusion_window(
+    kernels: Sequence[KernelSpec], *, enabled: bool
+) -> list[FusionGroup]:
+    """Cross-region fusion plan for a window between synchronization points.
+
+    Unlike :func:`plan_fusion` (which only merges *consecutive* kernels,
+    matching what one ``!$acc parallel`` region can express), the window
+    planner may hoist a kernel backwards past groups it is independent of:
+    a kernel joins the earliest group such that it carries no hazard with
+    any kernel in that group *or any later group*. Because name-based
+    hazard sets are symmetric, that one-direction check is sufficient for
+    both fusion legality and order preservation. Bodies are unaffected --
+    they already ran eagerly at dispatch; only launch cost is re-planned.
+    """
+    if not enabled:
+        return [FusionGroup((k,)) for k in kernels]
+    groups: list[list[KernelSpec]] = []
+    for k in kernels:
+        placed: int | None = None
+        for i in range(len(groups) - 1, -1, -1):
+            if any(
+                depends(prev.reads, prev.writes, k.reads, k.writes)
+                for prev in groups[i]
+            ):
+                break
+            placed = i
+        if placed is None:
+            groups.append([k])
+        else:
+            groups[placed].append(k)
+    return [FusionGroup(tuple(g)) for g in groups]
+
+
+def validate_plan(
+    original: Sequence[KernelSpec], groups: Sequence[FusionGroup]
+) -> list[str]:
+    """Check a fusion plan against the shared dependence core.
+
+    Returns human-readable violations (empty list = valid plan):
+
+    * every original kernel appears in the plan exactly once;
+    * no group fuses two kernels with a RAW/WAR/WAW hazard between them;
+    * every hazard-ordered pair of the original sequence stays ordered
+      (the earlier kernel's group launches strictly before the later's).
+    """
+    violations: list[str] = []
+    group_of: dict[int, int] = {}
+    for gi, g in enumerate(groups):
+        for k in g.kernels:
+            if id(k) in group_of:
+                violations.append(f"kernel {k.name!r} appears twice in the plan")
+            group_of[id(k)] = gi
+    for k in original:
+        if id(k) not in group_of:
+            violations.append(f"kernel {k.name!r} missing from the plan")
+    if len(group_of) != len(original):
+        return violations  # membership broken; ordering checks meaningless
+    for i, a in enumerate(original):
+        for b in original[i + 1:]:
+            hz = hazards_between(a.reads, a.writes, b.reads, b.writes)
+            if not hz:
+                continue
+            kinds = "/".join(sorted(h.name for h in hz))
+            if group_of[id(a)] == group_of[id(b)]:
+                violations.append(
+                    f"{kinds} hazard between {a.name!r} and {b.name!r} "
+                    "fused into one group"
+                )
+            elif group_of[id(a)] > group_of[id(b)]:
+                violations.append(
+                    f"{kinds} hazard: {b.name!r} reordered before {a.name!r}"
+                )
+    return violations
 
 
 class FusionPlanner:

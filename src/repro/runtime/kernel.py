@@ -58,10 +58,17 @@ class KernelSpec:
 
     @property
     def arrays(self) -> tuple[str, ...]:
-        """All logical arrays touched (reads then writes, deduplicated)."""
+        """All logical arrays touched (reads then writes, deduplicated).
+
+        Region qualifiers (``"rho@g2m"``, see
+        :mod:`repro.analysis.dependence`) are stripped: data residency and
+        nominal sizing are per logical array, not per sub-region.
+        """
+        from repro.analysis.dependence import base_name
+
         seen: dict[str, None] = {}
         for a in self.reads + self.writes:
-            seen.setdefault(a)
+            seen.setdefault(base_name(a))
         return tuple(seen)
 
     def run_body(self) -> Any:

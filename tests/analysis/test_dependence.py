@@ -140,3 +140,54 @@ class TestLoopBody:
         )
         assert "hist" in _arrays(r.atomic_protected)
         assert not r.indirect_writes
+
+
+class TestQualifiedAccessTokens:
+    """Region-qualified tokens ("rho@g2m"): disjoint-by-convention halo
+    ghost shells that must not serialize against each other."""
+
+    def test_split_access(self):
+        from repro.analysis.dependence import split_access
+
+        assert split_access("rho@g2m") == ("rho", "g2m")
+        assert split_access("rho") == ("rho", "")
+
+    def test_base_name(self):
+        from repro.analysis.dependence import base_name
+
+        assert base_name("vr@g0p") == "vr"
+        assert base_name("vr") == "vr"
+
+    def test_accesses_alias(self):
+        from repro.analysis.dependence import accesses_alias
+
+        # different base arrays never alias
+        assert not accesses_alias("rho@g2m", "temp@g2m")
+        # bare covers everything
+        assert accesses_alias("rho", "rho@g2m")
+        assert accesses_alias("rho@g2m", "rho")
+        # same region aliases, distinct regions are disjoint
+        assert accesses_alias("rho@g2m", "rho@g2m")
+        assert not accesses_alias("rho@g2m", "rho@g2p")
+
+    def test_distinct_qualifiers_carry_no_hazard(self):
+        hz = hazards_between((), ("rho@g2m",), (), ("rho@g2p",))
+        assert hz == frozenset()
+
+    def test_bare_read_after_qualified_write_is_raw(self):
+        hz = hazards_between((), ("rho@g2m",), ("rho",), ())
+        assert hz == frozenset({Hazard.RAW})
+
+    def test_qualified_write_after_bare_read_is_war(self):
+        hz = hazards_between(("rho",), (), (), ("rho@g0m",))
+        assert hz == frozenset({Hazard.WAR})
+
+    def test_same_qualifier_is_waw(self):
+        hz = hazards_between((), ("rho@g1p",), (), ("rho@g1p",))
+        assert hz == frozenset({Hazard.WAW})
+
+    def test_unqualified_sets_use_fast_path_identically(self):
+        # mixing one qualified token must not change unqualified results
+        assert hazards_between(("a",), ("b",), ("b",), ("c@q",)) == frozenset(
+            {Hazard.RAW}
+        )

@@ -95,7 +95,7 @@ class TestPaperHeadlines:
     def _step_wall(self, version, n):
         from repro.perf.calibration import build_model
 
-        m = build_model(version, n, calibration=CAL, extra_model_arrays=70)
+        m = build_model(version, n, calibration=CAL, extra_model_arrays=67)
         m.run(1)
         return m.run(1)[0].wall
 
