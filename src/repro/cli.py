@@ -8,7 +8,10 @@ Commands mirror the paper's artifacts plus utility actions:
 * ``port`` -- run the source-porting pipeline and show per-version counts;
 * ``lint`` -- DC-safety analyzer over ported code, fixtures, or a
   shadow-checked runtime smoke test (``docs/ANALYSIS.md``);
-* ``telemetry`` -- summarize one telemetry directory or ``--compare`` two;
+* ``telemetry`` -- summarize one telemetry directory, ``--compare`` two,
+  or ``--compare --explain`` a wall-time regression;
+* ``critpath`` -- cross-rank critical-path attribution and roofline
+  speed-of-light for one telemetry directory;
 * ``report`` -- regenerate EXPERIMENTS.md.
 """
 
@@ -391,14 +394,23 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.obs.summary import summarize_dir
 
     try:
+        if args.explain and not args.compare:
+            print("error: --explain needs --compare A B", file=sys.stderr)
+            return 2
         if args.compare:
+            a_dir, b_dir = args.compare
+            if args.explain:
+                from repro.obs.explain import explain_dirs, render_explain
+
+                exp = explain_dirs(a_dir, b_dir)
+                print(render_explain(exp, a_name=a_dir, b_name=b_dir))
+                return 0
             from repro.obs.compare import (
                 compare_metrics,
                 load_metrics,
                 render_compare,
             )
 
-            a_dir, b_dir = args.compare
             deltas = compare_metrics(load_metrics(a_dir), load_metrics(b_dir))
             print(render_compare(deltas, a_name=a_dir, b_name=b_dir))
             return 0
@@ -410,6 +422,54 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import analyze_dir, render_result, results_to_json
+    from repro.perf.roofline import (
+        DEFAULT_SOL_THRESHOLD,
+        peaks_from_manifest,
+        render_roofline,
+        roofline_from_metrics,
+    )
+    from repro.obs.summary import _read_json
+    from repro.obs import telemetry as tmod
+    from pathlib import Path
+
+    try:
+        results = analyze_dir(args.dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not results:
+        print("error: trace has no per-rank profiler events to analyze",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        import json as _json
+
+        payload = results_to_json(results)
+        Path(args.json).write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    for result in results.values():
+        print(render_result(result, top=args.top))
+        print()
+    d = Path(args.dir)
+    manifest = _read_json(d / tmod.MANIFEST_FILE)
+    metrics = _read_json(d / tmod.METRICS_JSON_FILE)
+    peaks = peaks_from_manifest(manifest or {})
+    if peaks is not None and metrics:
+        rows = roofline_from_metrics(metrics, peaks)
+        if rows:
+            threshold = (
+                args.sol_threshold
+                if args.sol_threshold is not None
+                else DEFAULT_SOL_THRESHOLD
+            )
+            print(render_roofline(rows, peaks, threshold=threshold))
+    else:
+        print("(no machine peaks / kernel counters; roofline table skipped)")
     return 0
 
 
@@ -576,7 +636,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory written by a --telemetry run")
     p.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
                    help="diff the metrics.json of two telemetry directories")
+    p.add_argument("--explain", action="store_true",
+                   help="with --compare: decompose the wall-time delta "
+                   "hierarchically (category -> phase -> kernel -> rank) "
+                   "and rank the top contributors")
     p.set_defaults(fn=cmd_telemetry)
+
+    p = sub.add_parser(
+        "critpath",
+        help="cross-rank critical-path attribution for a telemetry directory",
+    )
+    p.add_argument("dir", help="directory written by a --telemetry run "
+                   "(needs the merged trace.json)")
+    p.add_argument("--top", type=int, default=10,
+                   help="top critical-path contributors to list (default 10)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the analysis as JSON")
+    p.add_argument("--sol-threshold", type=float, default=None,
+                   help="flag kernels below this speed-of-light fraction "
+                   "in the roofline table (default 0.5)")
+    p.set_defaults(fn=cmd_critpath)
 
     p = sub.add_parser(
         "lint",

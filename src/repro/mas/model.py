@@ -332,8 +332,10 @@ class MasModel:
         # attaches the session profiler to the rank clocks, rebinds the span
         # tracer's simulated-time source, and records the model
         # configuration in the run manifest.
-        _telemetry().bind_model(self)
-        with _telemetry().tracer.span("setup/initial_exchange"):
+        self._tel_prefix = _telemetry().bind_model(self)
+        with _telemetry().tracer.span(
+            "setup/initial_exchange", model=self._tel_prefix
+        ):
             # Pre-register halo staging buffers for every field the step
             # loop exchanges (state + solver iterates): registration costs
             # land in setup, so step walls stay state-independent.
@@ -560,7 +562,7 @@ class MasModel:
         cat0 = [dict(rt.clock.by_category) for rt in self.ranks] if tel.enabled else None
 
         span = tel.tracer.span
-        with span("step", index=self.steps_taken):
+        with span("step", index=self.steps_taken, model=self._tel_prefix):
             with span("step/exchange"):
                 self._wrapper_inits()
                 # Overlapped mode: packs/messages post on a detached
@@ -576,7 +578,8 @@ class MasModel:
                 self._shell_diagnostics()
             with span("step/momentum"):
                 self._momentum_predictor(dt, pending)
-            self._semi_implicit_solve(dt)
+            with span("step/semi_implicit"):
+                self._semi_implicit_solve(dt)
             with span("step/viscosity"):
                 self._viscosity_solve(dt)
             with span("step/exchange"):

@@ -43,6 +43,17 @@ def _observe_collective(op: str) -> None:
         ).labels(op=op).inc()
 
 
+def _observe_cost(op: str, seconds: float) -> None:
+    """Accumulate per-rank seconds charged to one collective's transfer."""
+    tel = _telemetry()
+    if tel.enabled and seconds > 0.0:
+        tel.metrics.counter(
+            "allreduce_seconds_total",
+            "per-rank seconds charged to allreduce transfers, by reduction op",
+            labelnames=("op",),
+        ).labels(op=op).inc(seconds)
+
+
 def _collective_cost(
     n_ranks: int, nbytes: int, link: LinkSpec, *, unified_memory: bool
 ) -> float:
@@ -85,6 +96,7 @@ def allreduce_sum(
     for v in values[1:]:
         total = total + v
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
+    _observe_cost("sum", cost)
     for rt in ranks:
         rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_sum")
     return total
@@ -105,6 +117,7 @@ def allreduce_min(
     barrier(ranks, "allreduce")
     result = min(values)
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
+    _observe_cost("min", cost)
     for rt in ranks:
         rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_min")
     return result
@@ -149,6 +162,7 @@ def allreduce_many(
         link,
         unified_memory=unified_memory,
     )
+    _observe_cost("sum_many", cost)
     for rt in ranks:
         rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_many")
     return total
@@ -214,11 +228,14 @@ def allreduce_many_finish(pending: PendingReduction) -> np.ndarray:
         raise ValueError("reduction already finished")
     pending.done = True
     t_done = pending.t_start + pending.cost
+    paid = 0.0
     for rt in pending.ranks:
         rt.sync()
+        paid += max(0.0, t_done - rt.clock.now) / len(pending.ranks)
         rt.clock.wait_until(
             t_done, TimeCategory.MPI_TRANSFER, "allreduce_many_wait"
         )
+    _observe_cost("sum_many", paid)
     return pending.total
 
 
@@ -237,6 +254,7 @@ def allreduce_max(
     barrier(ranks, "allreduce")
     result = max(values)
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
+    _observe_cost("max", cost)
     for rt in ranks:
         rt.clock.advance(cost, TimeCategory.MPI_TRANSFER, "allreduce_max")
     return result

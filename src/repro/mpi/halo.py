@@ -58,13 +58,25 @@ class HaloSpec:
 FieldItem = tuple[str, list[np.ndarray], "int | None"]
 
 
+#: Monotonic exchange id shared by an overlapped exchange's begin/finish
+#: spans and log records (the dependency edge trace analysis pairs up).
+_next_xid = 0
+
+
+def _new_xid() -> int:
+    global _next_xid
+    _next_xid += 1
+    return _next_xid
+
+
 @dataclass(slots=True)
 class PendingExchange:
     """An in-flight overlapped exchange returned by ``exchange_begin``.
 
     ``comm_clocks`` is None when the exchange already completed
     synchronously at begin (overlap unsupported or disabled); ``finish``
-    is then a no-op.
+    is then a no-op. ``xid`` links the begin and finish ends of one
+    overlapped exchange across spans and log records.
     """
 
     fields: tuple[str, ...]
@@ -72,6 +84,7 @@ class PendingExchange:
     comm_clocks: list[SimClock] | None = None
     t_begin: list[float] = dc_field(default_factory=list)
     done: bool = False
+    xid: int = 0
 
     @property
     def sync(self) -> bool:
@@ -288,21 +301,33 @@ class HaloExchanger:
         tel = self._observe_exchanges(items)
         for rt in self.ranks:
             rt.sync()
+        xid = _new_xid()
         t_begin = [rt.clock.now for rt in self.ranks]
         comm_clocks = [SimClock(now=t) for t in t_begin]
         launches0 = [rt.stats.launches for rt in self.ranks]
         messages0 = self.messages
         saved = [rt.clock for rt in self.ranks]
         try:
-            for rt, comm in zip(self.ranks, comm_clocks):
+            for rt, main, comm in zip(self.ranks, saved, comm_clocks):
+                # Comm clocks profile under "<lane>:comm": hidden traffic
+                # gets its own trace track and critical-path lane.
+                tel.attach_comm_clock(main, comm)
                 rt.set_clock(comm)
             with tel.tracer.span(
-                "halo_exchange", field=",".join(fields), overlap=True
+                "halo_exchange", field=",".join(fields), overlap=True, xid=xid
             ):
                 self._exchange_spec(items, spec, g)
         finally:
             for rt, main in zip(self.ranks, saved):
                 rt.set_clock(main)
+        if tel.enabled:
+            tel.logger.log(
+                "halo_begin",
+                xid=xid,
+                fields=list(fields),
+                t_begin=[float(t) for t in t_begin],
+                comm_end=[float(c.now) for c in comm_clocks],
+            )
         for rt, l0 in zip(self.ranks, launches0):
             posts = rt.stats.launches - l0
             if posts:
@@ -323,6 +348,7 @@ class HaloExchanger:
             messages=posted,
             comm_clocks=comm_clocks,
             t_begin=t_begin,
+            xid=xid,
         )
 
     def exchange_finish(self, pending: PendingExchange) -> None:
@@ -340,29 +366,51 @@ class HaloExchanger:
         pending.done = True
         if pending.comm_clocks is None:
             return
-        hidden_mean = unhidden_mean = 0.0
-        for rt, comm, t0 in zip(self.ranks, pending.comm_clocks, pending.t_begin):
-            rt.sync()
-            elapsed = comm.now - t0
-            unhidden = max(0.0, comm.now - rt.clock.now)
-            hidden = max(0.0, elapsed - unhidden)
-            if unhidden > 0.0 and elapsed > 0.0:
-                for cat, t in comm.by_category.items():
-                    if t > 0.0:
-                        rt.clock.advance(
-                            unhidden * (t / elapsed), cat, f"halo_wait_{cat.value}"
-                        )
-                rt.clock.wait_until(
-                    comm.now, TimeCategory.MPI_WAIT, "halo_wait_residual"
-                )
-            rt.clock.advance(
-                rt.queue.completion_latency, TimeCategory.LAUNCH, "halo_finish"
-            )
-            hidden_mean += hidden / len(self.ranks)
-            unhidden_mean += unhidden / len(self.ranks)
-        self.inflight -= pending.messages
         tel = _telemetry()
+        hidden_mean = unhidden_mean = 0.0
+        main_now: list[float] = []
+        hidden_by_rank: list[float] = []
+        unhidden_by_rank: list[float] = []
+        with tel.tracer.span(
+            "halo_finish", field=",".join(pending.fields), xid=pending.xid
+        ):
+            for rt, comm, t0 in zip(
+                self.ranks, pending.comm_clocks, pending.t_begin
+            ):
+                rt.sync()
+                main_now.append(rt.clock.now)
+                elapsed = comm.now - t0
+                unhidden = max(0.0, comm.now - rt.clock.now)
+                hidden = max(0.0, elapsed - unhidden)
+                if unhidden > 0.0 and elapsed > 0.0:
+                    for cat, t in comm.by_category.items():
+                        if t > 0.0:
+                            rt.clock.advance(
+                                unhidden * (t / elapsed), cat, f"halo_wait_{cat.value}"
+                            )
+                    rt.clock.wait_until(
+                        comm.now, TimeCategory.MPI_WAIT, "halo_wait_residual"
+                    )
+                rt.clock.advance(
+                    rt.queue.completion_latency, TimeCategory.LAUNCH, "halo_finish"
+                )
+                tel.detach_comm_clock(comm)
+                hidden_by_rank.append(hidden)
+                unhidden_by_rank.append(unhidden)
+                hidden_mean += hidden / len(self.ranks)
+                unhidden_mean += unhidden / len(self.ranks)
+        self.inflight -= pending.messages
         if tel.enabled:
+            tel.logger.log(
+                "halo_finish",
+                xid=pending.xid,
+                fields=list(pending.fields),
+                t_begin=[float(t) for t in pending.t_begin],
+                comm_end=[float(c.now) for c in pending.comm_clocks],
+                main_now=[float(t) for t in main_now],
+                hidden=[float(h) for h in hidden_by_rank],
+                unhidden=[float(u) for u in unhidden_by_rank],
+            )
             self._exchange_seconds_counter(tel).inc(unhidden_mean)
             tel.metrics.counter(
                 "halo_overlap_seconds",

@@ -12,7 +12,11 @@ The observability subsystem the solver/runtime/MPI stack reports into
   :func:`current` accessor instrumented code uses;
 * :mod:`repro.obs.summary` -- ``repro telemetry DIR`` table rendering;
 * :mod:`repro.obs.compare` -- ``repro telemetry --compare A B`` cross-run
-  metrics diff.
+  metrics diff;
+* :mod:`repro.obs.critpath` -- cross-rank critical-path extraction and
+  blame attribution (``repro critpath DIR``);
+* :mod:`repro.obs.explain` -- hierarchical regression explanation
+  (``repro telemetry --compare A B --explain``).
 
 Everything is a near-zero-cost no-op unless a session is active.
 """
@@ -23,6 +27,14 @@ from repro.obs.compare import (
     load_metrics,
     render_compare,
 )
+from repro.obs.critpath import (
+    CritPathResult,
+    analyze_dir,
+    analyze_session,
+    extract_critical_path,
+    render_result,
+)
+from repro.obs.explain import Explanation, explain, explain_dirs, render_explain
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -41,7 +53,9 @@ from repro.obs.telemetry import (
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "CritPathResult",
     "DEFAULT_BUCKETS",
+    "Explanation",
     "MetricDelta",
     "MetricsRegistry",
     "NULL",
@@ -51,13 +65,20 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "activate",
+    "analyze_dir",
+    "analyze_session",
     "build_manifest",
     "compare_metrics",
     "current",
     "deactivate",
+    "explain",
+    "explain_dirs",
+    "extract_critical_path",
     "git_sha",
     "load_metrics",
     "parse_prometheus_text",
     "render_compare",
+    "render_explain",
+    "render_result",
     "session",
 ]

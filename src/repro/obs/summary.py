@@ -134,12 +134,25 @@ def _spans_table(spans: list[dict], top: int = 12) -> str | None:
     return t.render()
 
 
+#: Per-kernel roofline families: one sample per kernel spec, dozens per
+#: run -- they would drown the snapshot table and have their own renderer
+#: (``repro critpath DIR``).
+_ROOFLINE_FAMILIES = frozenset({
+    "kernel_seconds_total", "kernel_bytes_total", "kernel_flops_total",
+    "kernel_calls_total", "kernel_sol_fraction",
+})
+
+
 def _metrics_table(metrics: dict | None, top: int = 30) -> str | None:
     if not metrics:
         return None
     t = Table(["metric", "labels", "value"], title="Metrics snapshot")
     rows = 0
+    skipped = 0
     for name in sorted(metrics):
+        if name in _ROOFLINE_FAMILIES:
+            skipped += 1
+            continue
         fam = metrics[name]
         for sample in fam.get("samples", []):
             labels = ",".join(f"{k}={v}" for k, v in sample.get("labels", {}).items())
@@ -155,11 +168,48 @@ def _metrics_table(metrics: dict | None, top: int = 30) -> str | None:
                 break
         if rows >= top:
             break
-    return t.render() if rows else None
+    if not rows:
+        return None
+    out = t.render()
+    if skipped:
+        out += (
+            f"\n({skipped} per-kernel roofline families omitted; "
+            "see: repro critpath DIR)"
+        )
+    return out
+
+
+def _critpath_block(d: Path) -> str | None:
+    """Compact per-model critical-path table, from the Chrome trace.
+
+    Needs ``trace.json`` (the merged event stream); quietly absent when
+    the trace was not written or cannot be analyzed -- the summary is a
+    best-effort view, never a gate.
+    """
+    trace = d / tmod.TRACE_FILE
+    if not trace.is_file():
+        return None
+    try:
+        from repro.obs.critpath import analyze_dir, render_compact
+
+        results = analyze_dir(d)
+    except Exception:
+        return None
+    if not results:
+        return None
+    return render_compact(results) + (
+        "\n(full attribution: repro critpath " + str(d) + ")"
+    )
 
 
 def summarize_dir(path: str | Path) -> str:
-    """Render the summary for one telemetry directory."""
+    """Render the summary for one telemetry directory.
+
+    Degrades gracefully: a directory that lost streams (e.g. rotated
+    metrics snapshots survive but ``spans.jsonl`` was pruned) still
+    summarizes whatever is present, with a note per missing stream
+    instead of a silent hole.
+    """
     d = Path(path)
     if not d.is_dir():
         raise FileNotFoundError(f"telemetry directory {d} does not exist")
@@ -168,13 +218,39 @@ def summarize_dir(path: str | Path) -> str:
     spans = _read_jsonl(d / tmod.SPANS_FILE)
     metrics = _read_json(d / tmod.METRICS_JSON_FILE)
 
+    notes: list[str] = []
+    if not (d / tmod.SPANS_FILE).is_file():
+        notes.append(f"note: missing stream {tmod.SPANS_FILE} (span tables skipped)")
+    if not (d / tmod.LOG_FILE).is_file():
+        notes.append(f"note: missing stream {tmod.LOG_FILE} (step tables skipped)")
+    if metrics is None:
+        # Fall back to the newest rotated snapshot a long run left behind.
+        for i in range(1, tmod.METRICS_SNAPSHOT_KEEP + 1):
+            rotated = d / f"{tmod.METRICS_JSON_FILE}.{i}"
+            metrics = _read_json(rotated)
+            if metrics is not None:
+                notes.append(
+                    f"note: {tmod.METRICS_JSON_FILE} missing; showing rotated "
+                    f"snapshot {rotated.name} (run may have ended mid-write)"
+                )
+                break
+        else:
+            notes.append(f"note: missing stream {tmod.METRICS_JSON_FILE}")
+
     blocks = [f"telemetry summary: {d}", _manifest_block(manifest)]
-    for block in (
-        _steps_table(records),
-        _mpi_share_block(records),
-        _spans_table(spans),
-        _metrics_table(metrics),
+    if notes:
+        blocks.append("\n".join(notes))
+    for builder, arg in (
+        (_steps_table, records),
+        (_mpi_share_block, records),
+        (_spans_table, spans),
+        (_metrics_table, metrics),
+        (_critpath_block, d),
     ):
+        try:
+            block = builder(arg)
+        except Exception as exc:  # torn stream; summarize the rest anyway
+            block = f"note: {builder.__name__} failed on partial data ({exc})"
         if block:
             blocks.append(block)
     trace = d / tmod.TRACE_FILE

@@ -74,6 +74,9 @@ class Telemetry:
         #: Extra manifest fields (command, cli args, bound models).
         self.manifest_extra: dict[str, Any] = {"models": []}
         self._models_bound = 0
+        #: Main-clock lane per clock id, so overlapped-exchange comm clocks
+        #: can attach under ``<lane>:comm``.
+        self._clock_lanes: dict[int, str] = {}
         #: Opt-in streaming: >0 appends log records / completed spans to
         #: their JSONL files every N events, so a killed run still leaves
         #: parseable telemetry (finalize rewrites both files in full).
@@ -149,7 +152,9 @@ class Telemetry:
         prefix = f"m{idx}"
         clocks = [rt.clock for rt in model.ranks]
         for r, clock in enumerate(clocks):
-            self.profiler.attach(clock, f"{prefix}.rank{r}")
+            lane = f"{prefix}.rank{r}"
+            self.profiler.attach(clock, lane)
+            self._clock_lanes[id(clock)] = lane
         self.tracer.time_fn = lambda: max(c.now for c in clocks)
         cfg = model.config
         entry = {
@@ -164,6 +169,7 @@ class Telemetry:
             "pcg_variant": getattr(cfg, "pcg_variant", "classic"),
             "pcg_precond": getattr(cfg, "pcg_precond", "jacobi"),
             "sts_stages": cfg.sts_stages,
+            "machine": _machine_entry(model),
         }
         self.manifest_extra["models"].append(entry)
         self.logger.log("model_created", **entry)
@@ -171,6 +177,27 @@ class Telemetry:
             "models_total", "models bound to this telemetry session"
         ).inc()
         return prefix
+
+    def attach_comm_clock(self, main_clock: Any, comm_clock: Any) -> str | None:
+        """Profile a detached communication clock under ``<lane>:comm``.
+
+        The overlapped halo exchange charges its pack/wire/unpack cost to
+        per-rank communication clocks while the main clocks advance under
+        interior compute; attaching them here makes the hidden work
+        visible (its own Chrome-trace track, critical-path lane). Returns
+        the comm lane, or None when ``main_clock`` is not a bound rank
+        clock.
+        """
+        lane = self._clock_lanes.get(id(main_clock))
+        if lane is None:
+            return None
+        comm_lane = f"{lane}:comm"
+        self.profiler.attach(comm_clock, comm_lane)
+        return comm_lane
+
+    def detach_comm_clock(self, comm_clock: Any) -> None:
+        """Stop profiling a communication clock (events are kept)."""
+        self.profiler.detach(comm_clock)
 
     # -- snapshots & finalization --------------------------------------------
 
@@ -204,6 +231,7 @@ class Telemetry:
             p.write_text(text)
             paths[name] = p
 
+        self._bake_sol_gauges()
         write(MANIFEST_FILE, json_dumps(self.build_manifest()))
         write(LOG_FILE, self.logger.to_jsonl() + "\n" if self.logger.records else "")
         write(SPANS_FILE, self.tracer.to_jsonl() + "\n" if self.tracer.spans else "")
@@ -211,6 +239,59 @@ class Telemetry:
         write(METRICS_JSON_FILE, self.metrics.to_json_text())
         write(TRACE_FILE, json.dumps(self.chrome_trace()))
         return paths
+
+    def _bake_sol_gauges(self) -> None:
+        """Bake ``kernel_sol_fraction{kernel}`` gauges into the registry.
+
+        Runs at finalize so the exported metrics carry the roofline
+        speed-of-light fraction per kernel (cross-run compares see
+        efficiency shifts directly). A no-op when no model recorded
+        machine peaks or no kernel counters were emitted.
+        """
+        import json
+
+        from repro.perf.roofline import peaks_from_manifest, sol_fraction_gauges
+
+        peaks = peaks_from_manifest({"models": self.manifest_extra.get("models")})
+        if peaks is None:
+            return
+        fractions = sol_fraction_gauges(
+            json.loads(self.metrics.to_json_text()), peaks
+        )
+        if not fractions:
+            return
+        gauge = self.metrics.gauge(
+            "kernel_sol_fraction",
+            "fraction of roofline speed-of-light each kernel reached",
+            labelnames=("kernel",),
+        )
+        for kernel, frac in fractions.items():
+            gauge.labels(kernel=kernel).set(frac)
+
+
+def _machine_entry(model: Any) -> dict[str, Any]:
+    """Device peaks of a bound model (roofline speed-of-light input)."""
+    rt = model.ranks[0]
+    gpu = getattr(rt, "gpu", None)
+    if gpu is not None:
+        spec = gpu.spec
+        return {
+            "kind": "gpu",
+            "name": spec.name,
+            "mem_bandwidth": float(spec.mem_bandwidth),
+            "flops": float(spec.flops_fp64),
+            "stream_efficiency": float(spec.stream_efficiency),
+        }
+    spec = getattr(getattr(rt, "cpu_model", None), "spec", None)
+    if spec is None:  # pragma: no cover - every runtime has one of the two
+        return {}
+    return {
+        "kind": "cpu",
+        "name": getattr(spec, "name", "cpu"),
+        "mem_bandwidth": float(getattr(spec, "mem_bandwidth", 0.0)),
+        "flops": float(getattr(spec, "flops", 0.0)),
+        "stream_efficiency": float(getattr(spec, "stream_efficiency", 1.0)),
+    }
 
 
 class NullTelemetry:
@@ -227,6 +308,12 @@ class NullTelemetry:
 
     def bind_model(self, model: Any) -> str:
         return ""
+
+    def attach_comm_clock(self, main_clock: Any, comm_clock: Any) -> None:
+        return None
+
+    def detach_comm_clock(self, comm_clock: Any) -> None:
+        return None
 
     def build_manifest(self) -> dict:
         return {}

@@ -8,7 +8,10 @@ inspection.
 Telemetry spans (:mod:`repro.obs.tracing`) merge into the same file as a
 separate process (pid 0, named ``spans``) so Perfetto draws the
 hierarchical step/solver spans *above* the per-rank profiler lanes
-(pid 1): both share the simulated-seconds timebase.
+(pid 1): both share the simulated-seconds timebase. Detached
+communication-clock lanes (``<lane>:comm``, overlapped halo exchanges)
+render as a third process (pid 2) so hidden traffic appears parallel to
+the main rank tracks instead of interleaved with them.
 
 Format reference: the Trace Event Format's "complete" events
 (``"ph": "X"``) with microsecond timestamps.
@@ -45,12 +48,19 @@ _MEM_CATEGORIES = frozenset(
     {TimeCategory.UM_FAULT, TimeCategory.H2D, TimeCategory.D2H, TimeCategory.MPI_TRANSFER}
 )
 
-#: Process ids: spans draw above the profiler lanes.
+#: Process ids: spans draw above the profiler lanes; detached
+#: communication clocks (overlapped halo exchanges) get their own
+#: process so hidden traffic renders parallel to -- not interleaved
+#: with -- the main rank tracks.
 SPAN_PID = 0
 PROFILER_PID = 1
+COMM_PID = 2
+
+#: Lane suffix the telemetry session uses for detached comm clocks.
+COMM_LANE_SUFFIX = ":comm"
 
 
-def _event_json(e: ProfileEvent, tids: dict[str, int]) -> dict:
+def _event_json(e: ProfileEvent, tids: dict[str, int], pid: int) -> dict:
     lane = e.lane + (":mem" if e.category in _MEM_CATEGORIES else "")
     tid = tids.setdefault(lane, len(tids))
     return {
@@ -59,7 +69,7 @@ def _event_json(e: ProfileEvent, tids: dict[str, int]) -> dict:
         "ph": "X",
         "ts": e.start * 1e6,
         "dur": e.duration * 1e6,
-        "pid": PROFILER_PID,
+        "pid": pid,
         "tid": tid,
         "args": {"category": e.category.value},
     }
@@ -110,9 +120,19 @@ def to_chrome_trace(profiler: Profiler, *, spans: Sequence["Span"] = ()) -> dict
     if not profiler.events and not spans:
         raise ValueError("no events to export")
     tids: dict[str, int] = {}
-    events = [_event_json(e, tids) for e in profiler.events]
+    comm_tids: dict[str, int] = {}
+    events = []
+    for e in profiler.events:
+        is_comm = COMM_LANE_SUFFIX in e.lane
+        events.append(
+            _event_json(
+                e,
+                comm_tids if is_comm else tids,
+                COMM_PID if is_comm else PROFILER_PID,
+            )
+        )
     metadata = _thread_meta(PROFILER_PID, tids)
-    if profiler.events:
+    if tids:
         metadata.append(
             {
                 "name": "process_name",
@@ -120,6 +140,17 @@ def to_chrome_trace(profiler: Profiler, *, spans: Sequence["Span"] = ()) -> dict
                 "pid": PROFILER_PID,
                 "tid": 0,
                 "args": {"name": "profiler"},
+            }
+        )
+    if comm_tids:
+        metadata += _thread_meta(COMM_PID, comm_tids)
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": COMM_PID,
+                "tid": 0,
+                "args": {"name": "comm (overlapped)"},
             }
         )
     if spans:

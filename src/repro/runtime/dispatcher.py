@@ -29,7 +29,7 @@ from repro.runtime.data_env import DataEnvironment, DataMode
 from repro.runtime.doconcurrent import DoConcurrentEngine
 from repro.runtime.fusion import FusionGroup, FusionPlanner, plan_fusion_window, validate_plan
 from repro.runtime.kernel import KernelSpec, LoopCategory
-from repro.runtime.openacc import LaunchStats, OpenAccEngine
+from repro.runtime.openacc import LaunchStats, OpenAccEngine, observe_kernel
 from repro.runtime.stream import AsyncQueue
 
 
@@ -393,6 +393,7 @@ class RankRuntime:
         body = self.cpu_model.kernel_time(nbytes) / boost * self.cost.body_scale
         category = TimeCategory.MPI_PACK if "mpi_pack" in spec.tags else TimeCategory.COMPUTE
         self.clock.advance(body, category, spec.name)
+        observe_kernel(spec, body, self.cost, self.env)
         self._cpu_stats.kernels += 1
         self._cpu_stats.launches += 1
 

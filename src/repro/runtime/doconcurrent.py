@@ -25,7 +25,7 @@ from repro.runtime.config import ArrayReductionStrategy
 from repro.runtime.cost import KernelCostModel
 from repro.runtime.data_env import DataEnvironment, DataMode
 from repro.runtime.kernel import KernelSpec, LoopCategory
-from repro.runtime.openacc import LaunchStats
+from repro.runtime.openacc import LaunchStats, observe_kernel
 from repro.runtime.stream import AsyncQueue
 
 
@@ -100,6 +100,7 @@ class DoConcurrentEngine:
             array_reduction=self.array_reduction,
             unified_memory=self.unified_memory,
         )
+        observe_kernel(spec, body, self.cost, self.env)
         q = self.queue.simulate([body], async_launch=False)
         gap = q.gap_time + (self.cost.um_launch_extra if self.unified_memory else 0.0)
         category = (

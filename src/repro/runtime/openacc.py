@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.machine.gpu import GpuDevice
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.clock import SimClock, TimeCategory
 from repro.runtime.config import ArrayReductionStrategy
 from repro.runtime.cost import KernelCostModel
@@ -21,6 +22,46 @@ from repro.runtime.data_env import DataEnvironment, DataMode
 from repro.runtime.fusion import FusionGroup
 from repro.runtime.kernel import KernelSpec
 from repro.runtime.stream import AsyncQueue
+
+
+def observe_kernel(
+    spec: KernelSpec,
+    seconds: float,
+    cost: KernelCostModel,
+    env: DataEnvironment,
+) -> None:
+    """Per-kernel roofline counters: seconds, bytes, flops, calls.
+
+    Every execution path (OpenACC groups, DC loops, the CPU dispatch)
+    reports here so :mod:`repro.perf.roofline` can compute each kernel's
+    speed-of-light fraction from one run's metrics snapshot. The nominal
+    bytes/flops are the cost model's inputs, *before* efficiency
+    penalties -- which is exactly what makes the measured-vs-attainable
+    ratio meaningful.
+    """
+    tel = _telemetry()
+    if not tel.enabled:
+        return
+    nbytes = cost.bytes_moved(spec, env)
+    category = "mpi_pack" if "mpi_pack" in spec.tags else "compute"
+    m = tel.metrics
+    m.counter(
+        "kernel_seconds_total",
+        "device-busy seconds charged per kernel spec",
+        labelnames=("category", "kernel"),
+    ).labels(kernel=spec.name, category=category).inc(seconds)
+    m.counter(
+        "kernel_bytes_total", "nominal HBM bytes moved per kernel spec",
+        labelnames=("kernel",),
+    ).labels(kernel=spec.name).inc(nbytes)
+    m.counter(
+        "kernel_flops_total", "nominal flops per kernel spec",
+        labelnames=("kernel",),
+    ).labels(kernel=spec.name).inc(nbytes * spec.flops_per_byte)
+    m.counter(
+        "kernel_calls_total", "kernel body executions per kernel spec",
+        labelnames=("kernel",),
+    ).labels(kernel=spec.name).inc()
 
 
 @dataclass(slots=True)
@@ -103,6 +144,8 @@ class OpenAccEngine:
                     unified_memory=self.unified_memory,
                 )
             )
+        for spec, bt in zip(group.kernels, body_times):
+            observe_kernel(spec, bt, self.cost, self.env)
         # A fused group is one device kernel: one submit/complete round trip
         # regardless of how many source loops it contains.
         q = self.queue.simulate([sum(body_times)], async_launch=self.async_launch)
@@ -138,7 +181,7 @@ class OpenAccEngine:
             total = 0.0
             for spec in group.kernels:
                 self._charge(self.env.prepare_kernel(spec), spec=spec)
-                total += self.cost.body_time(
+                bt = self.cost.body_time(
                     spec,
                     self.env,
                     self.gpu,
@@ -146,6 +189,8 @@ class OpenAccEngine:
                     array_reduction=self.array_reduction,
                     unified_memory=self.unified_memory,
                 )
+                observe_kernel(spec, bt, self.cost, self.env)
+                total += bt
             body_times.append(total)
             group_category.append(
                 TimeCategory.MPI_PACK

@@ -74,3 +74,56 @@ class TestSummarizeDir:
         text = summarize_dir(tel_dir)
         assert "Hottest spans" in text  # spans still render
         assert "Per-step" not in text
+
+
+class TestDegradedStreams:
+    def test_rotated_snapshot_fallback(self, tel_dir):
+        """Pruned metrics.json: the newest rotated snapshot still renders."""
+        (tel_dir / METRICS_JSON_FILE).rename(
+            tel_dir / f"{METRICS_JSON_FILE}.1"
+        )
+        text = summarize_dir(tel_dir)
+        assert f"showing rotated snapshot {METRICS_JSON_FILE}.1" in text
+        assert "steps_total" in text  # the rotated metrics table renders
+        assert "Hottest spans" in text
+
+    def test_missing_spans_stream_noted(self, tel_dir):
+        (tel_dir / SPANS_FILE).unlink()
+        text = summarize_dir(tel_dir)
+        assert f"missing stream {SPANS_FILE}" in text
+        assert "Hottest spans" not in text
+        assert "Per-step records" in text  # other streams still render
+
+    def test_missing_log_stream_noted(self, tel_dir):
+        (tel_dir / LOG_FILE).unlink()
+        text = summarize_dir(tel_dir)
+        assert f"missing stream {LOG_FILE}" in text
+        assert "Hottest spans" in text
+
+    def test_everything_missing_all_noted(self, tel_dir):
+        for name in (LOG_FILE, SPANS_FILE, METRICS_JSON_FILE, TRACE_FILE):
+            (tel_dir / name).unlink()
+        text = summarize_dir(tel_dir)
+        for name in (LOG_FILE, SPANS_FILE, METRICS_JSON_FILE):
+            assert f"missing stream {name}" in text
+        assert "run manifest" in text  # the manifest survived
+
+
+class TestCritpathBlock:
+    def test_embedded_when_trace_has_events(self, tel_dir):
+        (tel_dir / TRACE_FILE).write_text(json.dumps({
+            "traceEvents": [
+                {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+                 "args": {"name": "m0.rank0"}},
+                {"ph": "X", "pid": 1, "tid": 1, "name": "k",
+                 "ts": 0.0, "dur": 2_000_000.0,
+                 "args": {"category": "compute"}},
+            ]
+        }))
+        text = summarize_dir(tel_dir)
+        assert "m0" in text and "coverage" in text
+        assert "repro critpath" in text
+
+    def test_absent_on_empty_trace(self, tel_dir):
+        text = summarize_dir(tel_dir)  # fixture trace has no events
+        assert "repro critpath" not in text

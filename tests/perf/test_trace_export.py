@@ -95,6 +95,46 @@ class TestSpanMerge:
             to_chrome_trace(Profiler(), spans=())
 
 
+class TestCommLanes:
+    def test_comm_clock_events_get_own_process(self, profiler):
+        from repro.perf.trace_export import COMM_PID, PROFILER_PID
+
+        comm = SimClock()
+        profiler.attach(comm, "gpu0:comm")
+        comm.advance(1e-4, TimeCategory.MPI_PACK, "halo_pack")
+        comm.advance(2e-3, TimeCategory.MPI_TRANSFER, "msg_0")
+        trace = to_chrome_trace(profiler)
+
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        comm_names = {"halo_pack", "msg_0"}
+        for e in xs:
+            want = COMM_PID if e["name"] in comm_names else PROFILER_PID
+            assert e["pid"] == want, e["name"]
+
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        procs = {
+            e["pid"]: e["args"]["name"]
+            for e in meta if e["name"] == "process_name"
+        }
+        assert procs[COMM_PID] == "comm (overlapped)"
+        threads = {
+            (e["pid"], e["args"]["name"])
+            for e in meta if e["name"] == "thread_name"
+        }
+        # the comm process keeps the same lane/:mem split as rank lanes
+        assert (COMM_PID, "gpu0:comm") in threads
+        assert (COMM_PID, "gpu0:comm:mem") in threads
+        assert (PROFILER_PID, "gpu0") in threads
+
+    def test_no_comm_process_without_comm_lanes(self, profiler):
+        from repro.perf.trace_export import COMM_PID
+
+        trace = to_chrome_trace(profiler)
+        assert not any(
+            e.get("pid") == COMM_PID for e in trace["traceEvents"]
+        )
+
+
 class TestModelTrace:
     def test_full_step_exports(self, tmp_path):
         from repro.codes import CodeVersion, runtime_config_for
