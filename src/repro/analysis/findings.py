@@ -84,6 +84,11 @@ _RULES = [
     Rule("UM203", "update host without enter", Severity.WARNING,
          "update host reads back an array that was never entered or "
          "declared; on a non-UM build this is stale or fails."),
+    # -- real-Fortran front end ----------------------------------------------
+    Rule("FE001", "unsupported construct", Severity.NOTE,
+         "The real-Fortran front end could not lower this construct into "
+         "the analyzable IR; it was degraded to opaque lines (excluded "
+         "from loop analysis) rather than crashing the run."),
     # -- runtime shadow checker ----------------------------------------------
     Rule("RT301", "unknown array in kernel spec", Severity.ERROR,
          "KernelSpec reads/writes an array the DataEnvironment never "

@@ -27,7 +27,12 @@ Two layers:
   UM203   delete the stale ``update host`` line
   ======  =====================================================
 
-  RT3xx runtime findings carry no source anchor and stay report-only;
+  RT3xx runtime findings have no source line to anchor to; instead of a
+  code edit, :func:`attach_spec_fixes` gives them a **spec patch**: a
+  tiny edit DSL (``add-write rho`` / ``drop-write rho`` / ``drop rho`` /
+  ``drop-tag async:1``) against a virtual ``kernelspec:<name>`` artifact,
+  exported through SARIF like any other fix and applied to a live
+  :class:`~repro.runtime.kernel.KernelSpec` by :func:`apply_spec_patch`.
   DC005's atomic insertion is only valid while the build still compiles
   OpenACC directives -- the pure-DC targets (Codes 5/6) had to *drop*
   atomics, which is why ``repro port`` flags them instead (see
@@ -356,6 +361,105 @@ def _build_fix(
                 (_edit_for(ctx.file, li, li, ()),))
 
     return ("", None)
+
+
+# -- RT3xx spec patches --------------------------------------------------------
+
+
+#: Runtime rules that admit a KernelSpec patch (RT302 is a data-placement
+#: problem, not a spec problem: report-only).
+SPEC_PATCH_RULES = frozenset({"RT301", "RT310", "RT320", "RT321"})
+
+#: Virtual-artifact prefix for spec patches; the rewriter skips these
+#: (they are not codebase files), SARIF exports them verbatim.
+SPEC_ARTIFACT_PREFIX = "kernelspec:"
+
+
+def _spec_patch_for(finding: Finding) -> tuple[str, tuple[str, ...]] | None:
+    """(description, patch lines) for one runtime finding, if any."""
+    ctx = finding.context
+    if not ctx:
+        return None
+    if finding.rule_id == "RT301":
+        return (f"drop {ctx} from the spec footprint (array is not "
+                "registered in the data environment)", (f"drop {ctx}",))
+    if finding.rule_id == "RT310":
+        return (f"launch synchronously: remove the {ctx} tag so the "
+                "hazardous overlap cannot happen", (f"drop-tag {ctx}",))
+    if finding.rule_id == "RT320":
+        return (f"declare the observed write: add {ctx} to spec.writes",
+                (f"add-write {ctx}",))
+    if finding.rule_id == "RT321":
+        return (f"drop the never-performed write to {ctx} from spec.writes",
+                (f"drop-write {ctx}",))
+    return None
+
+
+def attach_spec_fixes(findings: list[Finding]) -> list[Finding]:
+    """Attach spec-patch fixes to RT3xx findings (order preserved).
+
+    The edit targets the virtual artifact ``kernelspec:<kernel name>``;
+    its replacement lines are the patch DSL. :func:`apply_spec_patch`
+    turns the patch back into a corrected KernelSpec.
+    """
+    out = []
+    for f in findings:
+        if f.rule_id not in SPEC_PATCH_RULES or f.fix is not None:
+            out.append(f)
+            continue
+        patch = _spec_patch_for(f)
+        if patch is None:
+            out.append(f)
+            continue
+        desc, lines = patch
+        edit = TextEdit(
+            file=f"{SPEC_ARTIFACT_PREFIX}{f.file}", start=0, end=-1,
+            replacement=lines, anchor=(),
+        )
+        out.append(replace(f, fix=Fix(f.rule_id, desc, (edit,))))
+    return out
+
+
+def parse_spec_patch(fix: Fix) -> list[tuple[str, str]]:
+    """Decode a spec-patch fix into ``(op, argument)`` pairs."""
+    ops = []
+    for edit in fix.edits:
+        if not edit.file.startswith(SPEC_ARTIFACT_PREFIX):
+            raise ValueError(f"not a spec patch: {edit.file!r}")
+        for line in edit.replacement:
+            op, _, arg = line.partition(" ")
+            if op not in ("add-write", "drop-write", "drop", "drop-tag") or not arg:
+                raise ValueError(f"bad spec-patch line: {line!r}")
+            ops.append((op, arg.strip()))
+    return ops
+
+
+def apply_spec_patch(spec, fix: Fix):
+    """A corrected copy of ``spec`` with the patch applied.
+
+    ``spec`` is a :class:`repro.runtime.kernel.KernelSpec`; matching is
+    by base array name so region-qualified tokens (``rho@g2m``) drop
+    with their base.
+    """
+    from repro.analysis.dependence import base_name
+
+    reads = list(spec.reads)
+    writes = list(spec.writes)
+    tags = list(spec.tags)
+    for op, arg in parse_spec_patch(fix):
+        if op == "add-write":
+            if not any(base_name(w) == arg for w in writes):
+                writes.append(arg)
+        elif op == "drop-write":
+            writes = [w for w in writes if base_name(w) != arg]
+        elif op == "drop":
+            reads = [r for r in reads if base_name(r) != arg]
+            writes = [w for w in writes if base_name(w) != arg]
+        elif op == "drop-tag":
+            tags = [t for t in tags if t != arg]
+    return replace(
+        spec, reads=tuple(reads), writes=tuple(writes), tags=tuple(tags)
+    )
 
 
 def attach_fixes(cb: Codebase, findings: list[Finding]) -> list[Finding]:

@@ -263,6 +263,7 @@ def _hygiene_findings(file: SourceFile) -> list[Finding]:
     """ACC101/102/103: structural directive problems in one file."""
     out = []
     region_depth = 0
+    combined_open = 0
     prev_was_directive = False
     wait_ids: list[tuple[str, int]] = []
     async_ids: set[str] = set()
@@ -282,13 +283,21 @@ def _hygiene_findings(file: SourceFile) -> list[Finding]:
             continue
         prev_was_directive = True
         if d.is_region_end:
-            if region_depth == 0:
+            if region_depth > 0:
+                region_depth -= 1
+            elif combined_open > 0:
+                # the optional `end` of a combined construct
+                combined_open -= 1
+            else:
                 out.append(
                     Finding("ACC101", file.name, i + 1,
                             f"'{d.payload}' closes no open region")
                 )
-            else:
-                region_depth -= 1
+        elif d.is_combined_construct:
+            # combined `parallel loop`: closed by the loop nest itself,
+            # with an *optional* end directive -- track it separately so
+            # neither form corrupts the region depth
+            combined_open += 1
         elif d.is_region_start:
             region_depth += 1
         m = _ASYNC_RE.search(d.payload)
@@ -327,6 +336,13 @@ class _DataCoverage:
         return self.entered | set(self.exited) | set(self.updated_host)
 
 
+def _scan_compute_clauses(payload: str, cov: _DataCoverage) -> None:
+    """Count entering data clauses on a compute construct toward coverage."""
+    for m in _DATA_CLAUSE_RE.finditer(payload):
+        if m.group(1).lower() in ("copyin", "copy", "create", "present"):
+            cov.entered.update(_clause_arrays(m.group(2)))
+
+
 def _scan_data_directives(cb: Codebase) -> _DataCoverage:
     cov = _DataCoverage()
     for file in cb.files:
@@ -339,11 +355,21 @@ def _scan_data_directives(cb: Codebase) -> _DataCoverage:
                 continue
             d = parse_directive(line)
             if d.kind is DirectiveKind.CONTINUATION:
+                if current_kind in (DirectiveKind.PARALLEL_LOOP, DirectiveKind.KERNELS):
+                    _scan_compute_clauses(d.payload, cov)
+                    continue
                 if current_kind is not DirectiveKind.DATA or in_host_data:
                     continue
                 payload = d.payload
             else:
                 current_kind = d.kind
+                if d.kind in (DirectiveKind.PARALLEL_LOOP, DirectiveKind.KERNELS):
+                    # data clauses spelled on the compute construct itself
+                    # (`parallel loop copyin(...) present(...)`) establish
+                    # residency for that construct; real trees use this form
+                    # heavily, and without it UM201 floods
+                    _scan_compute_clauses(d.payload, cov)
+                    continue
                 if d.kind is not DirectiveKind.DATA:
                     continue
                 p = d.payload.lower()
@@ -430,15 +456,33 @@ def analyze_file(file: SourceFile) -> list[Finding]:
 
 
 def analyze_codebase(
-    cb: Codebase, config: LintConfig | None = None
+    cb: Codebase, config: LintConfig | None = None, *, jobs: int = 1
 ) -> list[Finding]:
-    """Every finding in a codebase, suppressions applied, telemetry bumped."""
+    """Every finding in a codebase, suppressions applied, telemetry bumped.
+
+    ``jobs > 1`` analyzes files in parallel processes. The merged result
+    is byte-identical to a serial run: per-file analysis is independent,
+    results come back in file order, codebase-wide coverage stays serial,
+    and :func:`sort_findings` imposes the same total order either way.
+    """
     from repro.analysis.findings import record_findings, sort_findings
 
     config = config or LintConfig()
     out: list[Finding] = []
-    for file in cb.files:
-        out.extend(analyze_file(file))
+    if jobs > 1 and len(cb.files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(cb.files))) as pool:
+                for findings in pool.map(analyze_file, cb.files):
+                    out.extend(findings)
+        except (OSError, PermissionError):  # sandboxed/NP-fork environments
+            out = []
+            for file in cb.files:
+                out.extend(analyze_file(file))
+    else:
+        for file in cb.files:
+            out.extend(analyze_file(file))
     out.extend(_coverage_findings(cb))
     kept = sort_findings(f for f in out if config.allows(f))
     record_findings(kept, source=cb.name)
@@ -475,6 +519,23 @@ def region_port_safety(file: SourceFile, region: ParallelRegion) -> PortSafety:
     if declared:
         return PortSafety.NEEDS_REDUCE
     return PortSafety.SAFE_F2018
+
+
+def region_undeclared_reductions(
+    file: SourceFile, region: ParallelRegion
+) -> list[str]:
+    """Scalars accumulated in ``region`` with no reduction clause.
+
+    These make the verdict ``NEEDS_ATOMIC``, but unlike atomic-protected
+    bodies they cannot be ported mechanically (the original OpenACC is
+    already racy); the porter refuses such files and points at the DC002
+    fix-it, which adds the missing ``reduction`` clause.
+    """
+    out: set[str] = set()
+    for u in _region_units(file, region):
+        rep = u.analyze()
+        out.update(s.scalar for s in rep.undeclared_reductions)
+    return sorted(out)
 
 
 #: RegionKind -> the PortSafety the analyzer must independently reach for

@@ -35,7 +35,11 @@ import enum
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.analysis.fortran_lint import PortSafety, region_port_safety
+from repro.analysis.fortran_lint import (
+    PortSafety,
+    region_port_safety,
+    region_undeclared_reductions,
+)
 from repro.codes import CodeVersion
 from repro.codes.versions import version_info
 from repro.fortran.codebase import GeneratorBudget, MAS_BUDGET, generate_mas_codebase
@@ -270,6 +274,239 @@ def port_codebase(
 
     _record(result)
     return result
+
+
+# -- incremental per-file porting ---------------------------------------------
+
+
+#: Manifest schema tag and on-disk file name (written into ``--out``).
+MANIFEST_SCHEMA = "repro-port-manifest/1"
+MANIFEST_FILE = "port-manifest.json"
+
+
+@dataclass(slots=True)
+class FilePortStatus:
+    """One file's verdict in an incremental port run."""
+
+    name: str
+    status: str            # "ported" | "pending" | "refused"
+    converted: int = 0     # regions converted to do concurrent
+    kept_acc: int = 0      # regions left as OpenACC (acc-opt keeps UNSAFE)
+    reason: str = ""       # why refused / pending
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "status": self.status,
+            "converted": self.converted, "kept_acc": self.kept_acc,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FilePortStatus":
+        return cls(
+            name=d["name"], status=d["status"],
+            converted=int(d.get("converted", 0)),
+            kept_acc=int(d.get("kept_acc", 0)),
+            reason=d.get("reason", ""),
+        )
+
+
+@dataclass(slots=True)
+class IncrementalResult:
+    """A full output tree plus the per-file manifest."""
+
+    target: PortTarget
+    codebase: Codebase  # complete tree: ported files rewritten, rest verbatim
+    statuses: list[FilePortStatus] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        out = {"ported": 0, "pending": 0, "refused": 0}
+        for s in self.statuses:
+            out[s.status] = out.get(s.status, 0) + 1
+        return out
+
+    def manifest_dict(self) -> dict:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "target": self.target.value,
+            "counts": self.counts(),
+            "files": [
+                s.to_dict() for s in sorted(self.statuses, key=lambda s: s.name)
+            ],
+        }
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (
+            f"incremental port to {self.target.value}: {c['ported']} ported, "
+            f"{c['pending']} pending, {c['refused']} refused "
+            f"({sum(s.converted for s in self.statuses)} regions converted)"
+        )
+
+
+def _target_safeties(target: PortTarget) -> frozenset[PortSafety]:
+    if target is PortTarget.ACC_OPT:
+        return frozenset({PortSafety.SAFE_F2018})
+    return frozenset({
+        PortSafety.SAFE_F2018, PortSafety.NEEDS_REDUCE, PortSafety.NEEDS_ATOMIC,
+    })
+
+
+def port_file(file, target: PortTarget) -> FilePortStatus:
+    """Port one file in place (tolerantly); never raises.
+
+    The all-DC targets refuse the whole file when any region is UNSAFE or
+    a conversion fails -- the file is left byte-identical, so a refused
+    file is always safe to ship alongside ported ones. ``acc-opt`` keeps
+    UNSAFE regions as OpenACC instead (that target still compiles them).
+    """
+    snapshot = list(file.lines)
+    safeties = _target_safeties(target)
+    try:
+        regions = find_parallel_regions(file)
+        verdicts = [(r, region_port_safety(file, r)) for r in regions]
+    except (ValueError, IndexError) as exc:
+        return FilePortStatus(file.name, "refused", reason=f"parse: {exc}")
+    if target is not PortTarget.ACC_OPT:
+        unsafe = [r for r, s in verdicts if s is PortSafety.UNSAFE]
+        if unsafe:
+            return FilePortStatus(
+                file.name, "refused",
+                reason=f"{len(unsafe)} region(s) with a proven loop-carried "
+                       f"hazard (first at line {unsafe[0].start + 1})",
+            )
+        # NEEDS_ATOMIC covers two cases: atomic-protected bodies port fine
+        # (the atomics are kept), but an *undeclared* scalar reduction is a
+        # race in the original source -- converting it to plain DC would
+        # bake the race in. Refuse and point at the DC002 fix-it.
+        for region, safety in verdicts:
+            if safety is not PortSafety.NEEDS_ATOMIC:
+                continue
+            undeclared = region_undeclared_reductions(file, region)
+            if undeclared:
+                return FilePortStatus(
+                    file.name, "refused",
+                    reason=f"undeclared reduction of {', '.join(undeclared)} "
+                           f"at line {region.start + 1}: run `repro lint "
+                           "--fix` to add the reduction clause first",
+                )
+    converted = kept = 0
+    edits: list[tuple[int, int, list[str]]] = []
+    try:
+        for region, safety in verdicts:
+            if safety not in safeties or not region.loops:
+                kept += 1
+                continue
+            if safety is PortSafety.SAFE_F2018:
+                replacement: list[str] = []
+                for nest in region.loops:
+                    replacement.extend(convert_nest_to_dc(region, nest))
+            else:
+                clause = (
+                    reduce_clause_of(file, region)
+                    if safety is PortSafety.NEEDS_REDUCE
+                    else ""
+                )
+                replacement = convert_region_dc2x(file, region, clause=clause)
+            edits.append((region.start, region.end, replacement))
+            converted += 1
+        apply_edits(file, edits)
+    except (ValueError, IndexError, KeyError) as exc:
+        file.lines[:] = snapshot
+        return FilePortStatus(file.name, "refused", reason=f"convert: {exc}")
+    return FilePortStatus(file.name, "ported", converted=converted, kept_acc=kept)
+
+
+def port_tree_incremental(
+    cb: Codebase,
+    target: PortTarget,
+    *,
+    prior: dict[str, FilePortStatus] | None = None,
+    limit: int | None = None,
+) -> IncrementalResult:
+    """Port up to ``limit`` not-yet-ported files of ``cb`` (copied).
+
+    Files ``prior`` already marks as ported are re-ported without
+    counting against the limit (the conversion is deterministic, so the
+    output tree stays complete and self-consistent on every run); the
+    rest are ported oldest-first until the limit runs out, then left
+    ``pending`` verbatim.
+    """
+    out_cb = cb.copy(f"{cb.name}_{target.value}")
+    result = IncrementalResult(target=target, codebase=out_cb)
+    prior = prior or {}
+    budget = limit if limit is not None else len(out_cb.files)
+    for f in out_cb.files:
+        was_ported = prior.get(f.name) is not None and prior[f.name].status == "ported"
+        if not was_ported and budget <= 0:
+            result.statuses.append(
+                FilePortStatus(f.name, "pending", reason="--limit exhausted")
+            )
+            continue
+        status = port_file(f, target)
+        if not was_ported:
+            budget -= 1
+        result.statuses.append(status)
+    _record_incremental(result)
+    return result
+
+
+def _record_incremental(result: IncrementalResult) -> None:
+    from repro.obs import current
+
+    tel = current()
+    if not tel.enabled:
+        return
+    counter = tel.metrics.counter(
+        "port_files_total", "incremental port outcomes by file",
+        labelnames=("target", "status"),
+    )
+    for status, n in result.counts().items():
+        if n:
+            counter.labels(target=result.target.value, status=status).inc(n)
+
+
+def write_ported_tree(result: IncrementalResult, out_dir) -> None:
+    """Write the output tree plus ``port-manifest.json`` under ``out_dir``.
+
+    Opaque front-end degrades are inverted on the way out: the marker
+    comments carry the original text verbatim, so constructs the analyzer
+    only *skipped* (interface blocks, unparsed directives) round-trip
+    into the written tree as real code.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.fortran.frontend.lower import restore_opaque
+
+    base = Path(out_dir)
+    base.mkdir(parents=True, exist_ok=True)
+    for f in result.codebase.files:
+        target = base / f.name
+        if not target.resolve().is_relative_to(base.resolve()):
+            raise ValueError(f"file name {f.name!r} escapes the tree")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        text = "\n".join(restore_opaque(ln) for ln in f.lines) + "\n"
+        target.write_text(text)
+    manifest = json.dumps(result.manifest_dict(), indent=2, sort_keys=True)
+    (base / MANIFEST_FILE).write_text(manifest + "\n")
+
+
+def read_manifest(out_dir) -> dict[str, FilePortStatus]:
+    """Prior per-file statuses from an ``--out`` dir (empty if none)."""
+    import json
+    from pathlib import Path
+
+    path = Path(out_dir) / MANIFEST_FILE
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if doc.get("schema") != MANIFEST_SCHEMA:
+        return {}
+    return {
+        d["name"]: FilePortStatus.from_dict(d) for d in doc.get("files", [])
+    }
 
 
 # -- differential verification -----------------------------------------------

@@ -73,12 +73,14 @@ class ShadowChecker:
 
     # -- findings plumbing ---------------------------------------------------
 
-    def _emit(self, rule_id: str, message: str, *, site: str) -> None:
+    def _emit(
+        self, rule_id: str, message: str, *, site: str, context: str = ""
+    ) -> None:
         key = (rule_id, site, message)
         if key in self._seen:
             return  # same kernel/pattern every step: report once
         self._seen.add(key)
-        self.findings.append(Finding(rule_id, site, 0, message))
+        self.findings.append(Finding(rule_id, site, 0, message, context=context))
 
     # -- dispatcher hooks ----------------------------------------------------
 
@@ -101,6 +103,7 @@ class ShadowChecker:
                         f"kernel declares {name!r}, which is not registered "
                         "in the data environment",
                         site=spec.name,
+                        context=name,
                     )
                 elif env.mode is DataMode.MANUAL and not env.is_present(name):
                     self._emit(
@@ -108,6 +111,7 @@ class ShadowChecker:
                         f"kernel launched while {name!r} is not device-"
                         "resident (manual data mode)",
                         site=spec.name,
+                        context=name,
                     )
         if self.check_races:
             q = queue if queue is not None else _queue_of(spec)
@@ -126,6 +130,7 @@ class ShadowChecker:
                             f"queue {other.queue} (this kernel is on queue "
                             f"{q}) with no intervening wait",
                             site=spec.name,
+                            context=f"async:{q}",
                         )
                 self._in_flight.append(
                     _InFlight(spec.name, q, spec.reads, spec.writes)
@@ -168,6 +173,7 @@ class ShadowChecker:
                     f"body mutated {name!r}, which the spec does not declare "
                     "in writes",
                     site=spec.name,
+                    context=name,
                 )
         for name in declared_writes & set(tracked):
             key = (spec.name, name)
@@ -201,6 +207,7 @@ class ShadowChecker:
                     f"spec declares a write to {name!r} no launch ever "
                     "performed",
                     site=kernel,
+                    context=name,
                 )
         out = sort_findings(self.findings)
         record_findings(out, source=source)

@@ -276,6 +276,8 @@ def cmd_port(args: argparse.Namespace) -> int:
     from repro.fortran.metrics import measure
     from repro.fortran.pipeline import build_version
 
+    if args.path or args.incremental:
+        return _port_external(args)
     if args.to:
         return _port_to(args)
     code1 = generate_mas_codebase()
@@ -286,6 +288,42 @@ def cmd_port(args: argparse.Namespace) -> int:
             f"  {version_info(v).tag:10s} {met.total_lines:6d} lines  "
             f"{met.acc_lines:5d} !$acc"
         )
+    return 0
+
+
+def _port_external(args: argparse.Namespace) -> int:
+    """Incremental per-file port of an external tree (front-end lowered)."""
+    from repro.analysis.port import (
+        PortTarget,
+        port_tree_incremental,
+        read_manifest,
+        write_ported_tree,
+    )
+    from repro.fortran.frontend import load_external_tree
+
+    if not args.to:
+        print("error: porting an external tree needs --to", file=sys.stderr)
+        return 2
+    target = PortTarget(args.to)
+    with _telemetry_session(args):
+        if args.path:
+            res = load_external_tree(args.path)
+            for d in res.diagnostics:
+                print(f"  {d.render()}")
+            cb = res.codebase
+        else:
+            from repro.fortran.codebase import generate_mas_codebase
+
+            cb = generate_mas_codebase()
+        prior = read_manifest(args.out) if args.out else {}
+        result = port_tree_incremental(cb, target, prior=prior, limit=args.limit)
+    print(result.summary())
+    for s in sorted(result.statuses, key=lambda s: s.name):
+        if s.status != "ported":
+            print(f"  {s.status}: {s.name}" + (f" ({s.reason})" if s.reason else ""))
+    if args.out:
+        write_ported_tree(result, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -474,14 +512,24 @@ def cmd_critpath(args: argparse.Namespace) -> int:
 
 
 def _lint_codebases(args: argparse.Namespace) -> list:
-    """The codebases one ``repro lint`` invocation covers."""
+    """The ``(codebase, frontend findings, parse census)`` triples one
+    ``repro lint`` invocation covers."""
+    if getattr(args, "paths", None):
+        from repro.fortran.frontend import load_external_tree
+
+        out = []
+        for path in args.paths:
+            res = load_external_tree(path)
+            out.append((res.codebase, res.diagnostics, res.census))
+        return out
     if args.fixtures:
         from repro.analysis.fixtures import clean_codebase, seeded_bug_codebase
 
-        return [
+        cb = (
             seeded_bug_codebase() if args.fixtures == "seeded"
             else clean_codebase()
-        ]
+        )
+        return [(cb, [], None)]
     from repro.fortran.codebase import generate_mas_codebase
     from repro.fortran.pipeline import build_version
 
@@ -490,11 +538,28 @@ def _lint_codebases(args: argparse.Namespace) -> list:
         list(CodeVersion) if args.version == "all"
         else [CodeVersion[args.version]]
     )
-    return [build_version(v, code1=code1) for v in versions]
+    return [(build_version(v, code1=code1), [], None) for v in versions]
+
+
+def _write_fixed_tree(cb, out_dir: str) -> None:
+    """Write one lint-fixed codebase under ``out_dir``, inverting the
+    front end's opaque degrades so skipped constructs round-trip."""
+    from pathlib import Path
+
+    from repro.fortran.frontend.lower import restore_opaque
+
+    base = Path(out_dir)
+    base.mkdir(parents=True, exist_ok=True)
+    for f in cb.files:
+        target = base / f.name
+        if not target.resolve().is_relative_to(base.resolve()):
+            raise ValueError(f"file name {f.name!r} escapes the tree")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(restore_opaque(ln) for ln in f.lines) + "\n")
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis.findings import Severity, max_severity
+    from repro.analysis.findings import Severity, max_severity, sort_findings
     from repro.analysis.report import (
         explain_rule,
         findings_to_json,
@@ -510,24 +575,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.fortran_lint import analyze_codebase
 
     with _telemetry_session(args):
+        triples = _lint_codebases(args)
+        if args.cost:
+            from repro.analysis.cost import estimate_cost
+
+            for cb, _fe, census in triples:
+                print(estimate_cost(cb, census=census).render())
+            return 0
         per_cb = []  # (codebase, findings) pairs, fixes attached
-        for cb in _lint_codebases(args):
-            per_cb.append((cb, attach_fixes(cb, analyze_codebase(cb))))
+        for cb, fe_findings, _census in triples:
+            merged = sort_findings(
+                [*analyze_codebase(cb, jobs=args.jobs), *fe_findings]
+            )
+            per_cb.append(((cb, fe_findings), attach_fixes(cb, merged)))
         findings = [f for _cb, fs in per_cb for f in fs]
         if args.fix:
             from repro.analysis.rewriter import apply_finding_fixes
 
             findings = []
-            for cb, fs in per_cb:
+            for (cb, fe_findings), fs in per_cb:
                 rep = apply_finding_fixes(cb, fs)
                 print(f"{cb.name}: {rep.summary()}")
-                after = attach_fixes(cb, analyze_codebase(cb))
+                after = attach_fixes(cb, sort_findings(
+                    [*analyze_codebase(cb, jobs=args.jobs), *fe_findings]
+                ))
                 findings.extend(after)
+            if args.fix_out:
+                for (cb, _fe), _fs in per_cb:
+                    _write_fixed_tree(cb, args.fix_out)
+                print(f"wrote {args.fix_out}")
         if args.runtime:
+            from repro.analysis.fixes import attach_spec_fixes
             from repro.analysis.shadow import shadow_smoke
 
             rt_version = args.version if args.version != "all" else "A"
-            findings.extend(shadow_smoke(rt_version))
+            findings.extend(attach_spec_fixes(shadow_smoke(rt_version)))
     if args.format == "json":
         print(findings_to_json(findings))
     elif args.format == "sarif":
@@ -607,6 +689,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("port", help="run the source-porting pipeline")
+    p.add_argument("path", nargs="?", default=None,
+                   help="external Fortran tree to port incrementally "
+                   "(loaded through the tolerant front end); default: the "
+                   "vendored repro codebase")
     p.add_argument("--to", default=None,
                    choices=["acc-opt", "dc", "pure-dc"],
                    help="analyzer-driven port to one target: acc-opt (Code "
@@ -615,6 +701,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="differentially verify the port against the "
                    "hand-built version (lint set, census, region kinds)")
+    p.add_argument("--incremental", action="store_true",
+                   help="per-file porting with a ported/pending/refused "
+                   "manifest (external trees are always ported per file; "
+                   "combine with --out and --limit)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="write the ported tree plus port-manifest.json "
+                   "here; re-runs read the manifest back for incremental "
+                   "progress")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="port at most N not-yet-ported files this run "
+                   "(the rest are recorded as pending)")
     _add_telemetry(p)
     p.set_defaults(fn=cmd_port)
 
@@ -661,6 +758,22 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="DC-safety analyzer: dependence, directive, and data-region lint",
     )
+    p.add_argument("paths", nargs="*", default=[],
+                   help="external Fortran trees to lint (lowered through "
+                   "the tolerant real-Fortran front end); default: the "
+                   "vendored repro code versions")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="lint files in N parallel processes (merged "
+                   "finding order and SARIF stay byte-identical to a "
+                   "serial run)")
+    p.add_argument("--cost", action="store_true",
+                   help="print the porting-cost report (regions bucketed "
+                   "by safety class, projected post-port census) instead "
+                   "of findings")
+    p.add_argument("--fix-out", metavar="DIR", default=None,
+                   help="with --fix: write the fixed tree here (sources "
+                   "are never modified in place; whitespace and "
+                   "continuations come out normalized)")
     p.add_argument("--version", default="all",
                    choices=["all"] + [v.name for v in CodeVersion],
                    help="lint one ported code version (default: all six)")

@@ -32,6 +32,7 @@ _KIND_BY_HEAD: list[tuple[re.Pattern, DirectiveKind]] = [
     (re.compile(r"^(end\s+)?parallel\b"), DirectiveKind.PARALLEL_LOOP),
     (re.compile(r"^loop\b"), DirectiveKind.PARALLEL_LOOP),
     (re.compile(r"^(enter|exit)\s+data\b"), DirectiveKind.DATA),
+    (re.compile(r"^(end\s+)?data\b"), DirectiveKind.DATA),
     (re.compile(r"^update\b"), DirectiveKind.DATA),
     (re.compile(r"^(end\s+)?host_data\b"), DirectiveKind.DATA),
     (re.compile(r"^declare\b"), DirectiveKind.DATA),
@@ -53,14 +54,26 @@ class AccDirective:
 
     @property
     def is_region_start(self) -> bool:
-        """Opens a parallel/kernels/host_data region."""
+        """Opens a parallel/kernels/data/host_data region."""
         p = self.payload.lstrip()
-        return bool(re.match(r"^(parallel|kernels|host_data)\b", p))
+        return bool(re.match(r"^(parallel|kernels|data|host_data)\b", p, re.I))
 
     @property
     def is_region_end(self) -> bool:
         """Closes a region."""
-        return self.payload.lstrip().startswith("end ")
+        return self.payload.lstrip().lower().startswith("end ")
+
+    @property
+    def is_combined_construct(self) -> bool:
+        """A combined ``parallel loop`` / ``kernels loop`` construct.
+
+        Real OpenACC codes attach these directly to the following loop
+        nest with no ``end`` directive; the canonical subset always uses
+        the region form (``parallel`` + ``loop`` + ``end parallel``).
+        """
+        return bool(
+            re.match(r"^(parallel|kernels)\s+loop\b", self.payload.lstrip(), re.I)
+        )
 
     def has_clause(self, name: str) -> bool:
         """True if the directive carries a clause (word match)."""
@@ -79,11 +92,28 @@ def parse_directive(line: str) -> AccDirective:
     if not low.startswith(ACC_SENTINEL):
         raise ValueError(f"not an OpenACC directive: {line!r}")
     rest = stripped[len(ACC_SENTINEL):]
-    if rest.startswith("&"):
-        return AccDirective(DirectiveKind.CONTINUATION, stripped, rest[1:].strip())
+    # free-form continuation: `!$acc& ...` canonically, but real sources
+    # also write `!$acc & ...` with whitespace before the ampersand
+    if rest.lstrip().startswith("&"):
+        return AccDirective(
+            DirectiveKind.CONTINUATION, stripped,
+            rest.lstrip()[1:].strip(),
+        )
     payload = rest.strip()
     payload_low = payload.lower()
     for pattern, kind in _KIND_BY_HEAD:
         if pattern.match(payload_low):
             return AccDirective(kind, stripped, payload)
     raise ValueError(f"unrecognized OpenACC directive: {line!r}")
+
+
+def try_parse_directive(line: str) -> AccDirective | None:
+    """Tolerant :func:`parse_directive`: None instead of ValueError.
+
+    The real-Fortran front end uses this to decide whether a sentinel
+    line is in the supported subset or must degrade to an opaque line.
+    """
+    try:
+        return parse_directive(line)
+    except ValueError:
+        return None

@@ -1,0 +1,130 @@
+"""Line-count-preserving normalization of real free-form Fortran.
+
+Every transformation here replaces lines in place -- the physical line
+count of a file never changes, so line numbers in findings, fixes and
+the census all refer to the on-disk source. Joined continuations leave
+filler comment lines behind; nothing is deleted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fortran.directives import is_directive_line
+from repro.fortran.source import Codebase, SourceFile
+
+#: What a consumed continuation line is replaced with. Starts with ``!``
+#: so every layer treats it as a comment; carries the head line (1-based)
+#: for humans reading the normalized tree.
+FILLER_PREFIX = "! repro-fe: joined into line "
+
+_SENTINEL_RE = re.compile(r"^(\s*)!\$acc(&?)", re.I)
+_OMP_SENTINEL_RE = re.compile(r"^\s*!\$omp", re.I)
+
+
+def _code_part(line: str) -> str:
+    """The code before a trailing ``!`` comment (naive: ignores strings)."""
+    return line.split("!", 1)[0]
+
+
+def _is_code_line(line: str) -> bool:
+    stripped = line.lstrip()
+    return bool(stripped) and not stripped.startswith("!")
+
+
+def _normalize_endings(lines: list[str]) -> None:
+    """Strip CRLF remnants and trailing whitespace, expand tabs."""
+    for i, ln in enumerate(lines):
+        lines[i] = ln.replace("\r", "").expandtabs(4).rstrip()
+
+
+def _normalize_sentinels(lines: list[str]) -> None:
+    """Lowercase directive lines (``!$ACC PARALLEL`` -> ``!$acc parallel``).
+
+    Fortran and OpenACC are case-insensitive, and the clause scanners in
+    the analyzer are not uniformly so; lowering the whole directive line
+    is semantics-preserving and makes them all hit. OpenMP sentinels stay
+    untouched -- they are plain comments to this front end.
+    """
+    for i, ln in enumerate(lines):
+        if _SENTINEL_RE.match(ln) and not _OMP_SENTINEL_RE.match(ln):
+            lines[i] = ln.lower()
+
+
+def _join_directive_continuations(lines: list[str]) -> None:
+    """Canonicalize trailing-``&`` directive continuations.
+
+    ``!$acc parallel loop &`` followed by ``!$acc collapse(2)`` or
+    ``!$acc& collapse(2)`` becomes ``!$acc parallel loop`` +
+    ``!$acc& collapse(2)`` -- the two-line shape the canonical parser
+    already understands, without moving any text across lines.
+    """
+    for i, ln in enumerate(lines):
+        if not is_directive_line(ln):
+            continue
+        if not ln.rstrip().endswith("&"):
+            continue
+        nxt = i + 1
+        if nxt >= len(lines) or not is_directive_line(lines[nxt]):
+            continue  # dangling & -- leave it; lower() will degrade it
+        lines[i] = ln.rstrip()[:-1].rstrip()
+        m = _SENTINEL_RE.match(lines[nxt])
+        if m and not m.group(2):
+            # continuation spelled with a bare sentinel: add the &
+            rest = lines[nxt][m.end():].lstrip()
+            if rest.startswith("&"):
+                rest = rest[1:].lstrip()
+            lines[nxt] = f"{m.group(1)}!$acc& {rest}"
+
+
+def _join_statement_continuations(lines: list[str]) -> int:
+    """Join ``&`` statement continuations onto their first physical line.
+
+    Consumed physical lines become filler comments so the line count is
+    preserved. Returns the number of lines joined away.
+    """
+    joined = 0
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if not _is_code_line(line) or is_directive_line(line):
+            i += 1
+            continue
+        if not _code_part(line).rstrip().endswith("&"):
+            i += 1
+            continue
+        head = _code_part(line).rstrip()[:-1].rstrip()
+        j = i + 1
+        while j < len(lines):
+            nxt = lines[j]
+            if not _is_code_line(nxt):
+                j += 1
+                continue  # blank/comment between continuations: legal
+            part = _code_part(nxt).strip()
+            if part.startswith("&"):
+                part = part[1:].lstrip()
+            more = part.endswith("&")
+            if more:
+                part = part[:-1].rstrip()
+            head = f"{head} {part}".rstrip()
+            lines[j] = f"{FILLER_PREFIX}{i + 1}"
+            joined += 1
+            j += 1
+            if not more:
+                break
+        lines[i] = head
+        i = j
+    return joined
+
+
+def normalize_file(file: SourceFile) -> int:
+    """Normalize one file in place; returns the joined-line count."""
+    _normalize_endings(file.lines)
+    _normalize_sentinels(file.lines)
+    _join_directive_continuations(file.lines)
+    return _join_statement_continuations(file.lines)
+
+
+def normalize_tree(cb: Codebase) -> dict[str, int]:
+    """Normalize every file in place; map of file -> joined-line count."""
+    return {f.name: normalize_file(f) for f in cb.files}

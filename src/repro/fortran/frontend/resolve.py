@@ -1,0 +1,115 @@
+"""Interprocedural symbol resolution over a lowered tree.
+
+Builds the cross-file picture the per-line IR cannot see: which file
+defines each module, which files ``use`` it, and where every subroutine
+or function lives -- including whether it carries an ``!$acc routine``
+directive (callable from device regions). Interface blocks are skipped:
+the signatures inside them declare, they do not define.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.fortran.directives import DirectiveKind, try_parse_directive
+from repro.fortran.lexer import LineKind, classify_line, subroutine_name
+from repro.fortran.source import Codebase
+
+_USE_RE = re.compile(r"^\s*use\s+(\w+)", re.I)
+_FUNC_NAME_RE = re.compile(r"\bfunction\s+(\w+)", re.I)
+_INTERFACE_RE = re.compile(r"^\s*(abstract\s+)?interface\b", re.I)
+_END_INTERFACE_RE = re.compile(r"^\s*end\s*interface\b", re.I)
+
+
+@dataclass(frozen=True, slots=True)
+class RoutineSym:
+    """One subroutine/function definition site."""
+
+    name: str
+    kind: str          # "subroutine" | "function"
+    file: str
+    line: int          # 0-based definition line
+    module: str = ""   # enclosing module, if any
+    acc_routine: bool = False  # carries !$acc routine
+
+
+@dataclass(slots=True)
+class ModuleIndex:
+    """Modules, routines and ``use`` edges across a codebase."""
+
+    modules: dict[str, str] = field(default_factory=dict)   # module -> file
+    routines: dict[str, RoutineSym] = field(default_factory=dict)
+    uses: dict[str, list[str]] = field(default_factory=dict)  # file -> modules
+    unresolved_uses: list[tuple[str, int, str]] = field(default_factory=list)
+
+    def resolve_call(self, name: str) -> RoutineSym | None:
+        """Definition site of a called routine, if the tree defines it."""
+        return self.routines.get(name.lower())
+
+
+def _routine_block_has_acc(lines: list[str], start: int) -> bool:
+    """True if an ``!$acc routine`` sits in the routine's declaration part."""
+    for i in range(start + 1, len(lines)):
+        kind = classify_line(lines[i])
+        if kind is LineKind.DIRECTIVE:
+            d = try_parse_directive(lines[i])
+            if d is not None and d.kind is DirectiveKind.ROUTINE:
+                return True
+            continue
+        if kind in (LineKind.DO, LineKind.DO_CONCURRENT, LineKind.CALL,
+                    LineKind.SUBROUTINE_END, LineKind.FUNCTION_END,
+                    LineKind.CONTAINS):
+            return False
+    return False
+
+
+def build_index(cb: Codebase) -> ModuleIndex:
+    """Scan every file once and build the cross-file symbol index."""
+    index = ModuleIndex()
+    pending: list[tuple[str, int, str]] = []  # (file, line, used module)
+    for file in cb.files:
+        current_module = ""
+        in_interface = False
+        for i, line in enumerate(file.lines):
+            if _INTERFACE_RE.match(line):
+                in_interface = True
+                continue
+            if _END_INTERFACE_RE.match(line):
+                in_interface = False
+                continue
+            if in_interface:
+                continue
+            kind = classify_line(line)
+            if kind is LineKind.MODULE_START:
+                m = re.match(r"^\s*module\s+(\w+)", line, re.I)
+                if m and m.group(1).lower() != "procedure":
+                    current_module = m.group(1).lower()
+                    index.modules.setdefault(current_module, file.name)
+            elif kind is LineKind.MODULE_END:
+                current_module = ""
+            elif kind is LineKind.SUBROUTINE_START:
+                name = (subroutine_name(line) or "").lower()
+                if name and name not in index.routines:
+                    index.routines[name] = RoutineSym(
+                        name, "subroutine", file.name, i, current_module,
+                        _routine_block_has_acc(file.lines, i),
+                    )
+            elif kind is LineKind.FUNCTION_START:
+                m = _FUNC_NAME_RE.search(line)
+                name = m.group(1).lower() if m else ""
+                if name and name not in index.routines:
+                    index.routines[name] = RoutineSym(
+                        name, "function", file.name, i, current_module,
+                        _routine_block_has_acc(file.lines, i),
+                    )
+            else:
+                m = _USE_RE.match(line)
+                if m:
+                    used = m.group(1).lower()
+                    index.uses.setdefault(file.name, []).append(used)
+                    pending.append((file.name, i, used))
+    for fname, i, used in pending:
+        if used not in index.modules:
+            index.unresolved_uses.append((fname, i, used))
+    return index

@@ -30,6 +30,11 @@ class LineKind(enum.Enum):
 
 _DO_CONCURRENT = re.compile(r"^\s*do\s+concurrent\b", re.I)
 _DO = re.compile(r"^\s*do\s+\w+\s*=", re.I)
+#: ``do while (...)`` and the bare ``do`` infinite loop: not parallelizable
+#: nests, but they end in ``enddo`` so the level walkers must count them.
+#: (Labeled ``do 100 i=...`` loops terminate on their label, not ``enddo``,
+#: and stay invisible -- both the header and the terminator.)
+_DO_OTHER = re.compile(r"^\s*do\s*(while\b[^!]*)?(!.*)?$", re.I)
 _ENDDO = re.compile(r"^\s*end\s*do\b", re.I)
 _SUB_START = re.compile(r"^\s*(pure\s+)?subroutine\s+(\w+)", re.I)
 _SUB_END = re.compile(r"^\s*end\s+subroutine\b", re.I)
@@ -52,6 +57,8 @@ def classify_line(line: str) -> LineKind:
     if _DO_CONCURRENT.match(line):
         return LineKind.DO_CONCURRENT
     if _DO.match(line):
+        return LineKind.DO
+    if _DO_OTHER.match(line):
         return LineKind.DO
     if _ENDDO.match(line):
         return LineKind.ENDDO

@@ -16,6 +16,7 @@ from repro.fortran.directives import (
     DirectiveKind,
     is_directive_line,
     parse_directive,
+    try_parse_directive,
 )
 from repro.fortran.lexer import LineKind, classify_line, subroutine_name
 from repro.fortran.source import Codebase, SourceFile
@@ -102,7 +103,10 @@ def _continuations(lines: list[str], idx: int) -> list[int]:
     """Indices of ``!$acc&`` lines directly following ``idx``."""
     out = []
     j = idx + 1
-    while j < len(lines) and lines[j].lstrip().lower().startswith("!$acc&"):
+    while j < len(lines) and is_directive_line(lines[j]):
+        d = try_parse_directive(lines[j])
+        if d is None or d.kind is not DirectiveKind.CONTINUATION:
+            break
         out.append(j)
         j += 1
     return out
@@ -157,6 +161,51 @@ def _classify_region(
     return RegionKind.PLAIN
 
 
+def _combined_region(file: SourceFile, start: int) -> ParallelRegion:
+    """Region for a combined ``parallel loop`` construct at ``start``.
+
+    The region spans the directive (plus continuations) and the loop nest
+    it governs; an explicit ``end parallel [loop]`` directly after the
+    nest is absorbed when present (it is optional in real OpenACC).
+    Raises ValueError when no loop nest follows -- the front end degrades
+    such constructs to opaque lines.
+    """
+    lines = file.lines
+    j = start + 1
+    while j < len(lines):
+        kind = classify_line(lines[j])
+        if kind is LineKind.DIRECTIVE and (
+            parse_directive(lines[j]).kind is DirectiveKind.CONTINUATION
+        ):
+            j += 1
+            continue
+        if kind in (LineKind.BLANK, LineKind.COMMENT):
+            j += 1
+            continue
+        break
+    nest = parse_loop_nest(lines, j) if j < len(lines) else None
+    if nest is None:
+        raise ValueError(
+            f"combined construct without a loop nest in {file.name} at {start}"
+        )
+    end = nest.end
+    k = end + 1
+    if k < len(lines) and is_directive_line(lines[k]):
+        dk = parse_directive(lines[k])
+        if dk.kind is DirectiveKind.PARALLEL_LOOP and dk.is_region_end:
+            end = k
+    directive_lines = [m for m in range(start, end + 1) if is_directive_line(lines[m])]
+    atomic_lines = [
+        m for m in directive_lines
+        if parse_directive(lines[m]).kind is DirectiveKind.ATOMIC
+    ]
+    kind = _classify_region(lines, start, end, directive_lines, atomic_lines)
+    return ParallelRegion(
+        file=file, start=start, end=end, kind=kind, loops=[nest],
+        directive_lines=directive_lines, atomic_lines=atomic_lines,
+    )
+
+
 def find_parallel_regions(file: SourceFile) -> list[ParallelRegion]:
     """All parallel regions in a file, classified and with their loops."""
     lines = file.lines
@@ -167,6 +216,14 @@ def find_parallel_regions(file: SourceFile) -> list[ParallelRegion]:
             i += 1
             continue
         d = parse_directive(lines[i])
+        if (
+            d.kind is DirectiveKind.PARALLEL_LOOP
+            and d.is_combined_construct
+        ):
+            region = _combined_region(file, i)
+            regions.append(region)
+            i = region.end + 1
+            continue
         if d.kind is DirectiveKind.PARALLEL_LOOP and d.is_region_start:
             start = i
             j = i + 1
@@ -224,7 +281,28 @@ def find_kernels_regions(file: SourceFile) -> list[KernelsRegion]:
     while i < len(lines):
         if is_directive_line(lines[i]):
             d = parse_directive(lines[i])
-            if d.kind is DirectiveKind.KERNELS and not d.is_region_end:
+            if d.kind is DirectiveKind.KERNELS and d.is_combined_construct:
+                # combined ``kernels loop``: spans the following do nest,
+                # with an optional adjacent ``end kernels [loop]``
+                j = i + 1
+                while j < len(lines) and classify_line(lines[j]) in (
+                    LineKind.BLANK, LineKind.COMMENT,
+                ):
+                    j += 1
+                nest = parse_loop_nest(lines, j) if j < len(lines) else None
+                if nest is None:
+                    raise ValueError(
+                        f"combined kernels construct without a loop nest in {file.name} at {i}"
+                    )
+                end = nest.end
+                k = end + 1
+                if k < len(lines) and is_directive_line(lines[k]):
+                    dk = parse_directive(lines[k])
+                    if dk.kind is DirectiveKind.KERNELS and dk.is_region_end:
+                        end = k
+                out.append(KernelsRegion(file, i, end))
+                i = end
+            elif d.kind is DirectiveKind.KERNELS and not d.is_region_end:
                 j = i + 1
                 while j < len(lines):
                     if is_directive_line(lines[j]):
@@ -235,7 +313,9 @@ def find_kernels_regions(file: SourceFile) -> list[KernelsRegion]:
                             break
                     j += 1
                 else:
-                    raise ValueError(f"unterminated kernels region in {file.name}")
+                    raise ValueError(
+                        f"unterminated kernels region in {file.name} at {i}"
+                    )
         i += 1
     return out
 

@@ -11,41 +11,55 @@ from pathlib import Path
 
 from repro.fortran.source import Codebase, SourceFile
 
-#: File extensions accepted when loading a tree.
-FORTRAN_SUFFIXES = (".f90", ".f", ".F90")
+#: File extensions accepted when loading a tree (compared lowercased, so
+#: preprocessed ``.F90``/``.F`` spellings load too).
+FORTRAN_SUFFIXES = (".f90", ".f", ".f95", ".f03", ".f08", ".for")
 
 
 def save_tree(cb: Codebase, root: str | Path, *, overwrite: bool = False) -> Path:
-    """Write every file of ``cb`` under ``root/<codebase name>/``."""
+    """Write every file of ``cb`` under ``root/<codebase name>/``.
+
+    File names may be relative posix paths (``solve/pcg.f90``); the
+    needed subdirectories are created. Names must stay inside the tree.
+    """
     base = Path(root) / cb.name
     if base.exists() and not overwrite:
         raise FileExistsError(f"{base} exists; pass overwrite=True to replace")
     base.mkdir(parents=True, exist_ok=True)
     for f in cb.files:
         target = base / f.name
-        if target.resolve().parent != base.resolve():
+        if not target.resolve().is_relative_to(base.resolve()):
             raise ValueError(f"file name {f.name!r} escapes the tree")
+        target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(f.text())
     return base
 
 
-def load_tree(path: str | Path, *, name: str | None = None) -> Codebase:
+def load_tree(
+    path: str | Path, *, name: str | None = None, recursive: bool = False
+) -> Codebase:
     """Load a directory of Fortran files back into a Codebase.
 
     Files are ordered by name for determinism; a trailing newline (added
-    by :meth:`SourceFile.text`) is not counted as an extra line.
+    by :meth:`SourceFile.text`) is not counted as an extra line. With
+    ``recursive=True`` subdirectories are walked too and file names are
+    tree-relative posix paths.
     """
     base = Path(path)
     if not base.is_dir():
         raise NotADirectoryError(f"{base} is not a directory")
+    candidates = base.rglob("*") if recursive else base.iterdir()
+    found = [
+        p for p in candidates
+        if p.is_file() and p.suffix.lower() in FORTRAN_SUFFIXES
+    ]
     files = []
-    for p in sorted(base.iterdir()):
-        if p.suffix in FORTRAN_SUFFIXES and p.is_file():
-            text = p.read_text()
-            lines = text.split("\n")
-            if lines and lines[-1] == "":
-                lines.pop()
-            files.append(SourceFile(p.name, lines))
+    for p in sorted(found, key=lambda p: p.relative_to(base).as_posix()):
+        text = p.read_text()
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        files.append(SourceFile(p.relative_to(base).as_posix(), lines))
     if not files:
         raise ValueError(f"no Fortran sources ({'/'.join(FORTRAN_SUFFIXES)}) in {base}")
     return Codebase(name or base.name, files)

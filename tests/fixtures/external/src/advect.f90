@@ -1,0 +1,48 @@
+module advect
+!
+! ****** Upwind advection step inside an explicit data region.
+!
+  use number_types
+  use globals
+  implicit none
+contains
+!
+  subroutine advect_rho (v, dtime)
+!
+    real(r_typ), dimension(nr,nt,np) :: v
+    real(r_typ) :: dtime
+    real(r_typ), dimension(:,:,:), allocatable :: flux
+    integer :: i, j, k
+!
+    allocate (flux(nr,nt,np))
+!
+!$acc data copyin(v) copy(rho) &
+!$acc&     create(flux)
+!
+!$acc parallel loop default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 2, nr
+          flux(i,j,k) = v(i,j,k) * rho(i,j,k) &
+                      - v(i-1,j,k) *           &
+                        rho(i-1,j,k)
+        enddo
+      enddo
+    enddo
+!
+!$acc parallel loop default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 2, nr
+          rho(i,j,k) = rho(i,j,k) - dtime * flux(i,j,k)
+        enddo
+      enddo
+    enddo
+!
+!$acc end data
+!
+    deallocate (flux)
+!
+  end subroutine advect_rho
+!
+end module advect

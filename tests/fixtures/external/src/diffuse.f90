@@ -1,0 +1,50 @@
+module diffuse
+!
+! ****** Diffusion residual with a declared reduction and a
+! ****** histogram update guarded by an atomic.
+!
+  use number_types
+  use globals
+  implicit none
+contains
+!
+  function residual_norm (x) result (rnorm)
+!
+    real(r_typ), dimension(nr,nt,np) :: x
+    real(r_typ) :: rnorm
+    integer :: i, j, k
+!
+    rnorm = 0.0_r_typ
+!$acc parallel loop default(present) reduction(+:rnorm)
+    do k = 1, np
+      do j = 1, nt
+        do i = 1, nr
+          rnorm = rnorm + x(i,j,k) * x(i,j,k)
+        enddo
+      enddo
+    enddo
+!
+    rnorm = sqrt(rnorm)
+!
+  end function residual_norm
+!
+  subroutine bin_field (x, bins, hist)
+!
+    real(r_typ), dimension(nr,nt,np) :: x
+    integer, dimension(nr,nt,np) :: bins
+    real(r_typ), dimension(64) :: hist
+    integer :: i, j, k
+!
+!$acc parallel loop default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 1, nr
+!$acc atomic update
+          hist(bins(i,j,k)) = hist(bins(i,j,k)) + x(i,j,k)
+        enddo
+      enddo
+    enddo
+!
+  end subroutine bin_field
+!
+end module diffuse

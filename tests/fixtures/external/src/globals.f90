@@ -1,0 +1,20 @@
+module globals
+!
+! ****** Global mesh and field storage.
+!
+  use number_types
+  implicit none
+!
+  integer :: nr, nt, np
+  real(r_typ), dimension(:,:,:), allocatable :: rho, p, t
+  real(r_typ), dimension(:,:,:), allocatable :: br, bt, bp
+  real(r_typ), dimension(:), allocatable :: dr, dt, dp
+!
+  type :: solver_stats
+    integer :: iters
+    real(r_typ) :: residual
+    real(r_typ) :: wall_seconds
+  end type solver_stats
+!
+  type(solver_stats) :: stats
+end module globals

@@ -1,0 +1,36 @@
+module halo
+!
+! ****** Async halo packing on two queues with an explicit join.
+!
+  use number_types
+  use globals
+  implicit none
+contains
+!
+  subroutine pack_halos (sbuf_r, sbuf_t)
+!
+    real(r_typ), dimension(nt,np,2) :: sbuf_r
+    real(r_typ), dimension(nr,np,2) :: sbuf_t
+    integer :: j, k
+!
+!$acc parallel loop default(present) async(1)
+    do k = 1, np
+      do j = 1, nt
+        sbuf_r(j,k,1) = rho(2,j,k)
+        sbuf_r(j,k,2) = rho(nr-1,j,k)
+      enddo
+    enddo
+!
+!$acc parallel loop default(present) async(2)
+    do k = 1, np
+      do j = 1, nr
+        sbuf_t(j,k,1) = rho(j,2,k)
+        sbuf_t(j,k,2) = rho(j,nt-1,k)
+      enddo
+    enddo
+!
+!$acc wait
+!
+  end subroutine pack_halos
+!
+end module halo

@@ -1,0 +1,41 @@
+module interp
+!
+! ****** Mesh interpolation helpers: an acc routine called from a
+! ****** device loop, plus an external interface the analyzer must
+! ****** treat as opaque.
+!
+  use number_types
+  implicit none
+!
+  interface
+    subroutine external_blas_scale (n, s, x)
+      import :: r_typ
+      integer :: n
+      real(r_typ) :: s
+      real(r_typ), dimension(*) :: x
+    end subroutine external_blas_scale
+  end interface
+!
+contains
+!
+  function cell_avg (a, b) result (c)
+!$acc routine seq
+    real(r_typ) :: a, b, c
+    c = 0.5_r_typ * (a + b)
+  end function cell_avg
+!
+  subroutine interp_to_faces (cc, fc, n)
+!
+    integer :: n
+    real(r_typ), dimension(n) :: cc
+    real(r_typ), dimension(n) :: fc
+    integer :: i
+!
+!$acc parallel loop default(present)
+    do i = 2, n
+      fc(i) = cell_avg(cc(i-1), cc(i))
+    enddo
+!
+  end subroutine interp_to_faces
+!
+end module interp

@@ -1,0 +1,23 @@
+module io_util
+!
+! ****** Output helpers; saved from a DOS editor (CRLF, trailing
+! ****** whitespace, a tab) to exercise normalization.
+!
+  use number_types   
+  implicit none
+contains
+!
+  subroutine scale_for_output (x, n)	
+!
+    integer :: n   
+    real(r_typ), dimension(n) :: x
+    integer :: i
+!
+!$acc update host(x)  
+    do i = 1, n
+      x(i) = x(i) * 1.0e-5_r_typ 
+    enddo
+!
+  end subroutine scale_for_output
+!
+end module io_util

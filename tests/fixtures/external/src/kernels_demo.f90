@@ -1,0 +1,44 @@
+module kernels_demo
+!
+! ****** Kernels-style regions, including the combined form and a
+! ****** cache directive the analyzer cannot model (degrades to FE001).
+!
+  use number_types
+  use globals
+  implicit none
+contains
+!
+  subroutine init_pressure ()
+!
+    integer :: i, j, k
+!
+!$acc kernels default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 1, nr
+          p(i,j,k) = 1.0_r_typ
+        enddo
+      enddo
+    enddo
+!$acc end kernels
+!
+  end subroutine init_pressure
+!
+  subroutine smooth_pressure (w)
+!
+    real(r_typ), dimension(nr,nt,np) :: w
+    integer :: i, j, k
+!
+!$acc kernels loop default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 2, nr - 1
+!$acc cache(w(i-1:i+1,j,k))
+          w(i,j,k) = 0.5_r_typ * w(i,j,k)
+        enddo
+      enddo
+    enddo
+!
+  end subroutine smooth_pressure
+!
+end module kernels_demo

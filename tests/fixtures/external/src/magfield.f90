@@ -1,0 +1,45 @@
+module magfield
+!
+! ****** Magnetic field update kernels.
+!
+  use number_types
+  use globals
+  implicit none
+contains
+!
+  subroutine update_br (f, g)
+!
+    real(r_typ), dimension(nr,nt,np) :: f, g
+    integer :: i, j, k
+!
+!$ACC PARALLEL LOOP default(present) collapse(3) &
+!$acc&  private(i, j, k)
+    do k = 1, np
+      do j = 1, nt
+        do i = 1, nr
+          f(i,j,k) = f(i,j,k) + 0.25_r_typ * g(i,j,k)
+        enddo
+      enddo
+    enddo
+!$acc end parallel
+!
+  end subroutine update_br
+!
+  subroutine scale_field (f, s)
+!
+    real(r_typ), dimension(nr,nt,np) :: f
+    real(r_typ) :: s
+    integer :: i, j, k
+!
+!$acc parallel loop default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 1, nr
+          f(i,j,k) = s * f(i,j,k)
+        enddo
+      enddo
+    enddo
+!
+  end subroutine scale_field
+!
+end module magfield

@@ -1,0 +1,8 @@
+module number_types
+!
+! ****** Real kinds for the solver (POT3D-style).
+!
+  implicit none
+  integer, parameter :: r_typ = selected_real_kind(15, 300)
+  integer, parameter :: i_typ = selected_int_kind(9)
+end module number_types

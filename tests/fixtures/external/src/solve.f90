@@ -1,0 +1,42 @@
+program solve
+!
+! ****** Driver: time loop calling the physics modules. The energy
+! ****** accumulation below is missing its reduction clause on purpose
+! ****** (the DC002 fix-it adds it).
+!
+  use number_types
+  use globals
+  use magfield
+  use advect
+  use diffuse
+  use halo
+  implicit none
+!
+  real(r_typ) :: esum, dtime
+  integer :: i, j, k, step
+!
+  nr = 64
+  nt = 32
+  np = 64
+  dtime = 0.01_r_typ
+!
+  do step = 1, 10
+    call advect_rho (br, dtime)
+    call update_br (br, bt)
+!
+    esum = 0.0_r_typ
+!$acc parallel loop default(present)
+    do k = 1, np
+      do j = 1, nt
+        do i = 1, nr
+          esum = esum         &
+               & + p(i,j,k) * &
+               & rho(i,j,k)
+        enddo
+      enddo
+    enddo
+!
+    stats%residual = esum
+  enddo
+!
+end program solve

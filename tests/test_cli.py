@@ -276,3 +276,62 @@ class TestPortTo:
         assert "[ok] lint" in out
         assert "[ok] census" in out
         assert "[ok] regions" in out
+
+
+class TestExternalTrees:
+    """The real-Fortran front end wired through `lint` and `port`."""
+
+    CORPUS = "tests/fixtures/external"
+
+    def test_lint_external_paths(self, capsys):
+        assert main(["lint", self.CORPUS, "--fail-on", "never"]) == 0
+        out = capsys.readouterr().out
+        assert "DC002" in out and "FE001" in out
+
+    def test_lint_jobs_matches_serial(self, capsys):
+        main(["lint", self.CORPUS, "--fail-on", "never"])
+        serial = capsys.readouterr().out
+        main(["lint", self.CORPUS, "--jobs", "4", "--fail-on", "never"])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_lint_cost_report(self, capsys):
+        assert main(["lint", self.CORPUS, "--cost"]) == 0
+        out = capsys.readouterr().out
+        assert "porting-cost report" in out
+        assert "safe_f2018" in out
+        assert "front-end parse census" in out
+
+    def test_lint_fix_out_writes_fixed_tree(self, tmp_path, capsys):
+        out_dir = tmp_path / "fixed"
+        assert main(["lint", self.CORPUS, "--fix", "--fix-out", str(out_dir),
+                     "--fail-on", "never"]) == 0
+        fixed = (out_dir / "src" / "solve.f90").read_text()
+        assert "reduction(+:esum)" in fixed
+        # the interface block came back as code, not as opaque comments
+        interp = (out_dir / "src" / "interp.f90").read_text()
+        assert "repro-fe opaque" not in interp
+
+    def test_port_incremental_external(self, tmp_path, capsys):
+        out_dir = tmp_path / "ported"
+        rc = main(["port", self.CORPUS, "--to", "dc", "--incremental",
+                   "--out", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "incremental port to dc" in out
+        assert "refused: src/solve.f90" in out
+        assert (out_dir / "port-manifest.json").exists()
+
+    def test_port_external_requires_target(self, capsys):
+        assert main(["port", self.CORPUS]) == 2
+
+    def test_port_incremental_vendored(self, capsys):
+        assert main(["port", "--to", "acc-opt", "--incremental"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental port to acc-opt" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == [] and args.jobs == 1 and not args.cost
+        args = build_parser().parse_args(["port"])
+        assert args.path is None and args.limit is None
