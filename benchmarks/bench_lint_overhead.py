@@ -1,12 +1,18 @@
-"""Shadow-checker overhead bench: attached vs detached dispatcher.
+"""Lint-stack overhead benches: shadow checker and interproc summaries.
 
-Measures the host wall-clock of a small run three ways -- checker
-detached (the default ``self._shadow is None`` fast path), checker
-attached with footprint fingerprinting on, and attached with
-fingerprinting off (residency/race checks only) -- plus the raw cost of
-one detached dispatch check. Results land in ``BENCH_lint.json`` at the
-repo root; the ISSUE acceptance bound is the detached fraction < 1%.
+``test_shadow_overhead`` measures the host wall-clock of a small run
+three ways -- checker detached (the default ``self._shadow is None``
+fast path), checker attached with footprint fingerprinting on, and
+attached with fingerprinting off (residency/race checks only) -- plus
+the raw cost of one detached dispatch check. The ISSUE acceptance bound
+is the detached fraction < 1%.
 
+``test_interproc_summary_cache`` measures the whole-program summary
+pass of ``repro.analysis.interproc`` cold, warm (content-hash cache),
+and incrementally after a one-routine edit, plus the re-lint speedup
+the warm cache buys ``analyze_codebase``.
+
+Both merge their results into ``BENCH_lint.json`` at the repo root.
 Run with ``pytest benchmarks/bench_lint_overhead.py -s``.
 """
 
@@ -28,6 +34,14 @@ ARTIFACT = REPO_ROOT / "BENCH_lint.json"
 STEPS = 3
 SHAPE = (8, 6, 8)
 RANKS = 2
+
+
+def _merge_artifact(update: dict) -> None:
+    doc = {"schema": "repro-bench-lint/1"}
+    if ARTIFACT.exists():
+        doc.update(json.loads(ARTIFACT.read_text()))
+    doc.update(update)
+    ARTIFACT.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def _model() -> MasModel:
@@ -81,7 +95,6 @@ def test_shadow_overhead(benchmark):
     # one launch-time check + one body wrap per dispatch
     detached_fraction = launches * 2 * check_ns * 1e-9 / detached_s
     result = {
-        "schema": "repro-bench-lint/1",
         "config": {"steps": STEPS, "shape": list(SHAPE), "ranks": RANKS,
                    "version": "A"},
         "kernel_launches": launches,
@@ -93,7 +106,7 @@ def test_shadow_overhead(benchmark):
         "detached_check_calls_per_run": launches * 2,
         "detached_overhead_fraction": detached_fraction,
     }
-    ARTIFACT.write_text(json.dumps(result, indent=2) + "\n")
+    _merge_artifact(result)
 
     print_block(
         "SHADOW CHECKER OVERHEAD -- attached vs detached",
@@ -115,3 +128,69 @@ def test_shadow_overhead(benchmark):
 
     # ISSUE acceptance: the disabled path must stay under 1%
     assert detached_fraction < 0.01
+
+
+def test_interproc_summary_cache(benchmark):
+    from repro.analysis.fortran_lint import analyze_codebase
+    from repro.analysis.interproc import clear_summary_cache, summarize
+    from repro.fortran.codebase import generate_mas_codebase
+    from repro.fortran.pipeline import build_version
+
+    cb = build_version(CodeVersion.A, code1=generate_mas_codebase())
+
+    clear_summary_cache()
+    cold_s, cold = benchmark.pedantic(
+        lambda: _timed(lambda: summarize(cb)), rounds=1, iterations=1
+    )
+    assert cold.stats.hits == 0
+
+    warm_s, warm = _timed(lambda: summarize(cb))
+    assert warm.stats.misses == 0
+
+    # touch one routine body: only it and its callers should recompute
+    target = cb.files[0]
+    for i, ln in enumerate(target.lines):
+        stripped = ln.strip()
+        if "=" in stripped and not stripped.startswith("!"):
+            target.lines[i] = f"{ln}  ! bench: touched"
+            break
+    incr_s, incr = _timed(lambda: summarize(cb))
+    assert 0 < incr.stats.misses < len(incr.summaries)
+
+    # re-lint speedup: the summary pass is the only cross-file stage of
+    # analyze_codebase, so a warm cache shrinks the whole lint
+    clear_summary_cache()
+    relint_cold_s, _ = _timed(lambda: analyze_codebase(cb))
+    relint_warm_s, _ = _timed(lambda: analyze_codebase(cb))
+
+    result = {
+        "interproc": {
+            "routines": len(cold.summaries),
+            "summarize_cold_seconds": cold_s,
+            "summarize_warm_seconds": warm_s,
+            "summarize_incremental_seconds": incr_s,
+            "incremental_recomputed": incr.stats.misses,
+            "relint_cold_seconds": relint_cold_s,
+            "relint_warm_seconds": relint_warm_s,
+            "relint_speedup": relint_cold_s / relint_warm_s,
+        }
+    }
+    _merge_artifact(result)
+
+    print_block(
+        "INTERPROC SUMMARIES -- cold vs cached vs incremental",
+        "\n".join(
+            [
+                f"summarize cold        {cold_s * 1e3:8.1f} ms "
+                f"({len(cold.summaries)} routines)",
+                f"summarize warm        {warm_s * 1e3:8.1f} ms "
+                f"(all {warm.stats.hits} cached)",
+                f"summarize after edit  {incr_s * 1e3:8.1f} ms "
+                f"({incr.stats.misses} recomputed)",
+                f"re-lint cold          {relint_cold_s * 1e3:8.1f} ms",
+                f"re-lint warm          {relint_warm_s * 1e3:8.1f} ms "
+                f"({relint_cold_s / relint_warm_s:.2f}x)",
+                f"wrote {ARTIFACT}",
+            ]
+        ),
+    )

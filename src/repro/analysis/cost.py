@@ -21,6 +21,7 @@ from repro.fortran.parser import find_parallel_regions
 from repro.fortran.source import Codebase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.interproc import InterprocResult
     from repro.fortran.frontend.lower import ParseCensus
 
 #: Stable report order for the safety classes.
@@ -62,6 +63,8 @@ class CostReport:
     dc_loops: int
     skipped_regions: int = 0  # regions the structural parser lost anyway
     census: "ParseCensus | None" = None
+    summarized_procedures: int = 0  # call-graph summaries backing the verdicts
+    call_blocked_regions: int = 0   # regions UNSAFE only due to callee effects
 
     @property
     def convertible_directive_lines(self) -> int:
@@ -102,6 +105,11 @@ class CostReport:
             f"{self.dc_loops} do concurrent loops"
         )
         out.append(
+            f"interprocedural: {self.summarized_procedures} procedure "
+            f"summaries, {self.call_blocked_regions} regions blocked by "
+            f"callee side effects"
+        )
+        out.append(
             f"projected after port --to dc: {self.projected_acc_lines} !$acc "
             f"lines remain ({self.convertible_directive_lines} removed from "
             f"{total_regions - unsafe.regions} convertible regions, "
@@ -117,16 +125,29 @@ class CostReport:
 
 
 def estimate_cost(
-    cb: Codebase, *, census: "ParseCensus | None" = None
+    cb: Codebase,
+    *,
+    census: "ParseCensus | None" = None,
+    interproc: "InterprocResult | None" = None,
 ) -> CostReport:
     """Bucket every parallel region of ``cb`` by its porting verdict.
 
     Tolerant by construction: a file or region the structural parser
     cannot hold is counted in ``skipped_regions`` rather than raised --
     on front-end-lowered trees this stays zero.
+
+    Calls are priced by their callee's side-effect summary rather than
+    pessimistically: ``interproc`` (computed here when not passed in)
+    moves a region to UNSAFE only when a call site provably blocks the
+    port (impure callee or module-variable write), and leaves regions
+    calling pure or unresolvable routines in their dependence bucket.
     """
+    from repro.analysis.interproc import region_call_blockers, summarize
+
+    ip = interproc if interproc is not None else summarize(cb)
     buckets = {s: CostBucket(safety=s) for s in _BUCKET_ORDER}
     skipped = 0
+    call_blocked = 0
     for f in cb.files:
         try:
             regions = find_parallel_regions(f)
@@ -139,6 +160,11 @@ def estimate_cost(
             except (ValueError, IndexError):
                 skipped += 1
                 continue
+            if safety is not PortSafety.UNSAFE and region_call_blockers(
+                f, region, ip
+            ):
+                safety = PortSafety.UNSAFE
+                call_blocked += 1
             b = buckets[safety]
             b.regions += 1
             b.loc += region.end - region.start + 1
@@ -157,4 +183,6 @@ def estimate_cost(
         dc_loops=dc_loops,
         skipped_regions=skipped,
         census=census,
+        summarized_procedures=len(ip.summaries),
+        call_blocked_regions=call_blocked,
     )

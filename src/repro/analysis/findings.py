@@ -17,7 +17,7 @@ The full catalog with paper grounding lives in ``docs/ANALYSIS.md``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
@@ -89,6 +89,25 @@ _RULES = [
          "The real-Fortran front end could not lower this construct into "
          "the analyzable IR; it was degraded to opaque lines (excluded "
          "from loop analysis) rather than crashing the run."),
+    # -- interprocedural (call-graph summaries) ------------------------------
+    Rule("IP101", "impure call in parallel region", Severity.ERROR,
+         "Call site inside a do concurrent/parallel region invokes a "
+         "routine the summary proves impure (I/O, stop, global allocate) "
+         "or merely not declared pure; do concurrent requires pure "
+         "procedures, and the fix-it adds the attribute when the summary "
+         "proves it safe."),
+    Rule("IP102", "module variable written through call", Severity.ERROR,
+         "Callee (transitively) writes a module variable: a hidden "
+         "loop-carried dependence invisible to per-loop analysis; the "
+         "region races when parallelized."),
+    Rule("IP103", "aliased actual arguments", Severity.ERROR,
+         "Two actual arguments share storage while the callee writes at "
+         "least one of the corresponding dummies; Fortran argument "
+         "aliasing rules make this undefined."),
+    Rule("IP104", "intent mismatch or missing intent", Severity.WARNING,
+         "Dummy argument's declared intent contradicts the observed "
+         "reads/writes, or a routine called from a parallel region leaves "
+         "intent undeclared; the fix-it writes the inferred intent."),
     # -- runtime shadow checker ----------------------------------------------
     Rule("RT301", "unknown array in kernel spec", Severity.ERROR,
          "KernelSpec reads/writes an array the DataEnvironment never "
@@ -111,6 +130,17 @@ RULES: Mapping[str, Rule] = {r.id: r for r in _RULES}
 
 
 @dataclass(frozen=True, slots=True)
+class RelatedLocation:
+    """A secondary source location a finding points at (SARIF
+    ``relatedLocations``): the callee definition an IP finding blames, the
+    sibling nest a DC006 hazard pairs with. ``line`` is 1-based."""
+
+    file: str
+    line: int
+    message: str = ""
+
+
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One analyzer finding, anchored to a file/line or runtime site.
 
@@ -120,6 +150,9 @@ class Finding:
     messages back apart. ``fix`` is an optional machine-applicable repair
     (:class:`repro.analysis.fixes.Fix`), attached by
     :func:`repro.analysis.fixes.attach_fixes` and exported in SARIF.
+    ``related`` carries cross-file evidence locations (the callee an IP
+    rule blames, a sibling loop nest), exported as SARIF
+    ``relatedLocations``.
     """
 
     rule_id: str
@@ -128,6 +161,7 @@ class Finding:
     message: str
     context: str = ""
     fix: "Fix | None" = None
+    related: tuple[RelatedLocation, ...] = ()
 
     @property
     def rule(self) -> Rule:

@@ -92,9 +92,13 @@ class Fix:
 
 
 #: Rules whose findings get a fix attached (the rest are report-only).
+#: IP101/IP104 fixes are built by the interprocedural pass itself (they
+#: edit the *callee's* file) and arrive pre-attached; attach_fixes only
+#: passes them through.
 FIXABLE_RULES = frozenset(
     {"DC001", "DC002", "DC003", "DC004", "DC005", "DC006",
-     "ACC101", "ACC102", "ACC103", "UM201", "UM202", "UM203"}
+     "ACC101", "ACC102", "ACC103", "UM201", "UM202", "UM203",
+     "IP101", "IP104"}
 )
 
 _ACCUM_STMT_RE = re.compile(
@@ -268,6 +272,12 @@ def _build_fix(
     li = finding.line - 1
     rule = finding.rule_id
     lines = ctx.file.lines
+
+    if rule.startswith("IP"):
+        # interprocedural fixes are pre-attached by the summary pass (they
+        # edit the callee's file); an IP finding reaching here is the
+        # unfixable flavor and stays report-only
+        return ("", None)
 
     if rule == "DC001":
         region = ctx.enclosing_region(li)
@@ -475,6 +485,9 @@ def attach_fixes(cb: Codebase, findings: list[Finding]) -> list[Finding]:
     merge = _ClauseMerge()
     staged: list[tuple[Finding, str, tuple | None]] = []
     for f in findings:
+        if f.fix is not None:  # pre-attached (IP rules build cross-file fixes)
+            staged.append((f, "", None))
+            continue
         if f.rule_id not in FIXABLE_RULES or f.line <= 0:
             staged.append((f, "", None))
             continue

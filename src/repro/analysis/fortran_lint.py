@@ -29,7 +29,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.analysis.dependence import LoopReport, Statement, analyze_loop_body, depends
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, RelatedLocation
 from repro.fortran.directives import (
     DirectiveKind,
     is_directive_line,
@@ -254,6 +254,10 @@ def _region_fusion_findings(
                         "DC006", file.name, units[j].header_line + 1,
                         "loop nest depends on an earlier nest in the same "
                         "parallel region; fusion/split changes synchronization",
+                        related=(RelatedLocation(
+                            file.name, units[i].header_line + 1,
+                            "the earlier sibling nest it depends on",
+                        ),),
                     )
                 )
     return out
@@ -464,8 +468,12 @@ def analyze_codebase(
     is byte-identical to a serial run: per-file analysis is independent,
     results come back in file order, codebase-wide coverage stays serial,
     and :func:`sort_findings` imposes the same total order either way.
+    The interprocedural pass (call-graph summaries, IP1xx rules) is also
+    serial -- one summary pass shared by all workers, cached content-hash
+    keyed so re-lints only recompute changed routines.
     """
     from repro.analysis.findings import record_findings, sort_findings
+    from repro.analysis.interproc import interproc_findings, summarize
 
     config = config or LintConfig()
     out: list[Finding] = []
@@ -484,6 +492,7 @@ def analyze_codebase(
         for file in cb.files:
             out.extend(analyze_file(file))
     out.extend(_coverage_findings(cb))
+    out.extend(interproc_findings(cb, summarize(cb)))
     kept = sort_findings(f for f in out if config.allows(f))
     record_findings(kept, source=cb.name)
     return kept

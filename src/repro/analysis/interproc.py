@@ -1,0 +1,1075 @@
+"""Interprocedural purity and side-effect analysis (call-graph summaries).
+
+The paper's porting constraint that ``do concurrent`` bodies may only
+invoke ``pure`` procedures cannot be checked one loop at a time: an
+impure ``call`` inside a hot region, a module variable written three
+files away, or an aliased actual/dummy pair is invisible to per-loop
+analysis. This module builds the whole-codebase call graph from the
+frontend symbol index (:mod:`repro.fortran.frontend.resolve`, including
+``use``-renamed and ``contains``-nested routines), computes per-procedure
+side-effect summaries bottom-up over the SCC condensation (a fixed point
+handles recursion), and derives the ``IP1xx`` rule family:
+
+* **IP101** -- impure call inside a ``do concurrent``/parallel region
+  (with a ``pure``-attribute fix-it when the summary proves the callee
+  effectively pure);
+* **IP102** -- hidden loop-carried dependence through a module variable
+  written (transitively) by a callee;
+* **IP103** -- actual-argument aliasing that violates the callee's dummy
+  ``intent`` pattern;
+* **IP104** -- declared-vs-inferred ``intent`` mismatches and missing
+  ``intent`` on routines called from parallel regions, with inference
+  fix-its.
+
+Summaries are cached keyed by a content hash of the routine body, its
+visible module environment, and its callees' keys -- so re-lint after an
+edit recomputes only the changed routine and its (transitive) callers,
+and ``--jobs N`` workers share the one serial summary pass that runs
+after the per-file pool.
+
+Direction of conservatism: a finding is only emitted on *proof*. Calls
+to routines the tree does not define resolve to nothing and stay silent
+(flagging every external library call would drown real findings), and a
+routine whose body writes names the analyzer cannot place (undeclared,
+neither dummy nor module variable) is ``UNKNOWN`` -- neither trusted as
+pure nor reported as impure.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.dependence import INTRINSICS
+from repro.analysis.findings import Finding, RelatedLocation
+from repro.analysis.fixes import Fix
+from repro.fortran.lexer import LineKind, classify_line, called_name
+from repro.fortran.frontend.resolve import ModuleIndex, RoutineSym, build_index
+from repro.fortran.parser import (
+    ParallelRegion,
+    declared_entities,
+    declared_intent,
+    find_parallel_regions,
+)
+from repro.fortran.source import Codebase, SourceFile
+
+_IDENT_RE = re.compile(r"\b([a-z_]\w*)\b", re.I)
+_ASSIGN_SPLIT_RE = re.compile(r"(?<![=<>/*+\-])=(?![=>])")
+_LHS_TAIL_RE = re.compile(
+    r"([a-z_]\w*)\s*(?:\((?:[^()]|\([^()]*\))*\))?\s*"
+    r"(?:%\s*\w+\s*(?:\((?:[^()]|\([^()]*\))*\))?\s*)*$",
+    re.I,
+)
+_IO_RE = re.compile(
+    r"^\s*(write|print|open|close|rewind|flush|inquire|backspace|endfile)\b"
+    r"|^\s*read\s*\(",
+    re.I,
+)
+_STOP_RE = re.compile(r"^\s*(error\s+)?stop\b", re.I)
+_ALLOC_RE = re.compile(r"^\s*(de)?allocate\s*\(", re.I)
+_CALL_ARGS_RE = re.compile(r"^\s*call\s+\w+\s*\((.*)\)\s*$", re.I)
+_INTENT_CLAUSE_RE = re.compile(r"\bintent\s*\(\s*in\s*\)", re.I)
+
+#: Statement keywords never counted as variable reads.
+_STMT_WORDS = frozenset(
+    {
+        "if", "then", "else", "elseif", "endif", "end", "do", "enddo",
+        "while", "concurrent", "call", "exit", "cycle", "return", "where",
+        "elsewhere", "endwhere", "select", "case", "stop", "error", "only",
+        "use", "true", "false", "and", "or", "not", "eq", "ne", "lt", "le",
+        "gt", "ge", "eqv", "neqv", "allocate", "deallocate", "write",
+        "print", "read", "open", "close", "rewind", "flush", "inquire",
+        "backspace", "endfile", "result", "implicit", "none",
+    }
+) | INTRINSICS
+
+#: Cap on the cross-run summary cache (entries, not bytes).
+_CACHE_LIMIT = 8192
+_SUMMARY_CACHE: dict[str, "ProcedureSummary"] = {}
+_MODVAR_CACHE: dict[tuple[str, str], dict[str, frozenset[str]]] = {}
+
+
+def clear_summary_cache() -> None:
+    """Drop every cached summary (tests and memory hygiene)."""
+    _SUMMARY_CACHE.clear()
+    _MODVAR_CACHE.clear()
+
+
+class Purity(enum.Enum):
+    """Three-state inferred purity of one procedure."""
+
+    PURE = "pure"        # provably side-effect free
+    IMPURE = "impure"    # provable side effect, with evidence sites
+    UNKNOWN = "unknown"  # unresolved calls or unplaceable writes
+
+
+@dataclass(frozen=True, slots=True)
+class Effect:
+    """One impurity evidence site inside a procedure (or a callee)."""
+
+    kind: str    # "global-write" | "io" | "stop" | "allocate-global"
+    detail: str  # the variable / statement the effect is about
+    file: str
+    line: int    # 0-based
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One ``call`` statement, with the actual arguments' base names."""
+
+    callee: str
+    file: str
+    line: int  # 0-based
+    actuals: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ProcedureSummary:
+    """Everything the analyzer knows about one procedure's side effects."""
+
+    name: str
+    kind: str
+    file: str
+    line: int        # 0-based definition line
+    end_line: int
+    module: str = ""
+    declared_pure: bool = False
+    acc_routine: bool = False
+    dummies: tuple[str, ...] = ()
+    #: dummy -> declared intent ("" when the declaration carries none)
+    declared_intents: tuple[tuple[str, str], ...] = ()
+    dummy_reads: frozenset[str] = frozenset()
+    dummy_writes: frozenset[str] = frozenset()
+    globals_read: tuple[str, ...] = ()     # qualified module::var, sorted
+    globals_written: tuple[str, ...] = ()  # qualified module::var, sorted
+    effects: tuple[Effect, ...] = ()       # impurity evidence, transitive
+    calls: tuple[CallSite, ...] = ()
+    unresolved_calls: tuple[str, ...] = ()
+    purity: Purity = Purity.UNKNOWN
+    key: str = ""  # content-hash cache key
+
+    def declared_intent_of(self, dummy: str) -> str:
+        return dict(self.declared_intents).get(dummy, "")
+
+    def inferred_intent_of(self, dummy: str) -> str:
+        """in/out/inout from the observed reads and writes (in if unused)."""
+        if dummy in self.dummy_writes:
+            return "inout" if dummy in self.dummy_reads else "out"
+        return "in"
+
+    def writes_dummy(self, dummy: str) -> bool:
+        """Declared or inferred: does the procedure write this dummy?"""
+        return (
+            dummy in self.dummy_writes
+            or self.declared_intent_of(dummy) in ("out", "inout")
+        )
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Summary-cache traffic for one :func:`summarize` call."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+@dataclass(slots=True)
+class InterprocResult:
+    """Call graph + per-procedure summaries for one codebase."""
+
+    index: ModuleIndex
+    summaries: dict[str, ProcedureSummary] = field(default_factory=dict)
+    order: tuple[str, ...] = ()  # bottom-up summarization order
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def summary_for_call(
+        self, name: str, file: str | None = None
+    ) -> ProcedureSummary | None:
+        """Summary of a called routine, applying ``use`` renames."""
+        sym = self.index.resolve_call(name, file)
+        if sym is None:
+            return None
+        return self.summaries.get(sym.name)
+
+
+@dataclass(frozen=True, slots=True)
+class CallBlocker:
+    """One call site that blocks porting its region to ``do concurrent``."""
+
+    callee: str
+    file: str
+    line: int      # 0-based call line
+    rule: str      # IP101 | IP102
+    why: str       # human fragment: "writes module variable accum" ...
+    fixable: bool  # True when the IP101 pure-attribute fix-it applies
+
+
+# -- body scanning -------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _Block:
+    """One routine's raw body facts before summary propagation."""
+
+    sym: RoutineSym
+    body_lines: list[int]
+    body_hash: str
+    env_hash: str
+    calls: list[CallSite]
+    locals_: set[str]
+    intents: dict[str, str]
+    decl_lines: dict[str, int]  # entity -> 0-based declaration line
+
+
+def _identifiers(text: str) -> set[str]:
+    return {
+        m.group(1).lower()
+        for m in _IDENT_RE.finditer(text)
+        if m.group(1).lower() not in _STMT_WORDS
+    }
+
+
+def _split_top_commas(text: str) -> list[str]:
+    out, depth, token = [], 0, ""
+    for ch in text + ",":
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        elif ch == "," and depth == 0:
+            out.append(token.strip())
+            token = ""
+            continue
+        token += ch
+    return [t for t in out if t]
+
+
+def _base_name(expr: str) -> str:
+    m = re.match(r"\s*([a-z_]\w*)", expr, re.I)
+    return m.group(1).lower() if m else ""
+
+
+def _strip_if_guard(code: str) -> tuple[str, str]:
+    """Split a one-line ``if (cond) action`` into (cond, action).
+
+    Returns ``("", code)`` for anything else — including block ``if``
+    headers, whose action part is ``then``.  Guarded statements carry
+    the same side effects as bare ones (``if (ierr.ne.0) stop`` is the
+    canonical production pattern), so every effect matcher runs on the
+    action, never the raw line.
+    """
+    m = re.match(r"^\s*if\s*\(", code, re.I)
+    if m is None:
+        return "", code
+    depth, i = 1, m.end()
+    while i < len(code) and depth:
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+        i += 1
+    action = code[i:].strip()
+    if depth or not action or action.lower().startswith("then"):
+        return "", code
+    return code[m.end() - 1 : i], action
+
+
+def _assignment_parts(code: str) -> tuple[str, str, str] | None:
+    """Split an assignment into (guard, lhs base, rest-to-read), else None."""
+    m = _ASSIGN_SPLIT_RE.search(code)
+    if m is None:
+        return None
+    lhs_text, rhs = code[: m.start()], code[m.end():]
+    tail = _LHS_TAIL_RE.search(lhs_text)
+    if tail is None:
+        return None
+    return lhs_text[: tail.start()], tail.group(1).lower(), rhs
+
+
+def _file_module_variables(
+    file: SourceFile, index: ModuleIndex
+) -> dict[str, frozenset[str]]:
+    """One file's module -> spec-part variable names."""
+    out: dict[str, set[str]] = {}
+    current = ""
+    in_spec = False
+    for line in file.lines:
+        kind = classify_line(line)
+        if kind is LineKind.MODULE_START:
+            m = re.match(r"^\s*module\s+(\w+)", line, re.I)
+            if m and m.group(1).lower() != "procedure":
+                current = m.group(1).lower()
+                in_spec = current in index.modules
+                out.setdefault(current, set())
+            continue
+        if kind in (LineKind.CONTAINS, LineKind.MODULE_END):
+            in_spec = False
+            current = "" if kind is LineKind.MODULE_END else current
+            continue
+        if in_spec and current and "parameter" not in line.lower():
+            out[current].update(declared_entities(line))
+    return {m: frozenset(vs) for m, vs in out.items()}
+
+
+def _module_variables(cb: Codebase, index: ModuleIndex) -> dict[str, set[str]]:
+    """module -> variable names declared in its specification part.
+
+    Per-file fragments are cached by content hash: a module's spec part
+    depends only on its own file, and this scan is a large share of the
+    warm summary pass on big trees.
+    """
+    out: dict[str, set[str]] = {}
+    for file in cb.files:
+        digest = hashlib.sha256("\n".join(file.lines).encode()).hexdigest()
+        key = (file.name, digest)
+        frag = _MODVAR_CACHE.get(key)
+        if frag is None:
+            frag = _file_module_variables(file, index)
+            if len(_MODVAR_CACHE) >= _CACHE_LIMIT:
+                _MODVAR_CACHE.clear()
+            _MODVAR_CACHE[key] = frag
+        for m, vs in frag.items():
+            out.setdefault(m, set()).update(vs)
+    return out
+
+
+def _visible_globals(
+    sym: RoutineSym,
+    index: ModuleIndex,
+    module_vars: dict[str, set[str]],
+) -> dict[str, str]:
+    """local name -> qualified ``module::var`` visible inside ``sym``."""
+    visible: dict[str, str] = {}
+    for edge in index.use_edges.get(sym.file, ()):
+        mvars = module_vars.get(edge.module)
+        if mvars is None:
+            continue
+        if edge.only:
+            for local, actual in edge.only:
+                if actual in mvars:
+                    visible[local] = f"{edge.module}::{actual}"
+        else:
+            for v in mvars:
+                visible[v] = f"{edge.module}::{v}"
+    if sym.module:
+        for v in module_vars.get(sym.module, ()):
+            visible[v] = f"{sym.module}::{v}"
+    return visible
+
+
+def _scan_block(cb: Codebase, sym: RoutineSym) -> _Block:
+    """Phase-1 scan: body extent, hash, call sites, locals, intents."""
+    file = cb.file(sym.file)
+    body = list(range(sym.line + 1, max(sym.line + 1, sym.end_line)))
+    calls: list[CallSite] = []
+    locals_: set[str] = set()
+    intents: dict[str, str] = {}
+    decl_lines: dict[str, int] = {}
+    dummies = set(sym.dummies)
+    for i in body:
+        line = file.lines[i]
+        kind = classify_line(line)
+        code = line.split("!", 1)[0]
+        if kind is LineKind.CALL:
+            stmt = code
+        elif kind is LineKind.STATEMENT:
+            # a one-line `if (cond) call foo(...)` is a call site too
+            _guard, stmt = _strip_if_guard(code)
+        else:
+            stmt = ""
+        if called_name(stmt) is not None:
+            name = (called_name(stmt) or "").lower()
+            m = _CALL_ARGS_RE.match(stmt.rstrip())
+            actuals = tuple(
+                _base_name(a) for a in _split_top_commas(m.group(1))
+            ) if m else ()
+            calls.append(CallSite(name, sym.file, i, actuals))
+            continue
+        entities = declared_entities(line)
+        if entities:
+            intent = declared_intent(line)
+            for e in entities:
+                decl_lines.setdefault(e, i)
+                if e in dummies:
+                    if intent:
+                        intents[e] = intent
+                else:
+                    locals_.add(e)
+    digest = hashlib.sha256()
+    digest.update(f"{sym.file}:{sym.line}:{sym.end_line}\n".encode())
+    digest.update(file.lines[sym.line].encode())
+    for i in body:
+        digest.update(b"\n")
+        digest.update(file.lines[i].encode())
+    return _Block(
+        sym=sym, body_lines=body, body_hash=digest.hexdigest(),
+        env_hash="", calls=calls, locals_=locals_, intents=intents,
+        decl_lines=decl_lines,
+    )
+
+
+def _strip_child_lines(
+    blocks: dict[str, _Block], index: ModuleIndex
+) -> None:
+    """Remove contains-nested child bodies from their host's body lines."""
+    for name, block in blocks.items():
+        children = [
+            b.sym for b in blocks.values()
+            if b.sym.parent == name and b.sym.file == block.sym.file
+        ]
+        if not children:
+            continue
+        drop: set[int] = set()
+        for child in children:
+            drop.update(range(child.line, child.end_line + 1))
+        block.body_lines = [i for i in block.body_lines if i not in drop]
+        block.calls = [c for c in block.calls if c.line not in drop]
+
+
+def _scan_effects(
+    cb: Codebase,
+    block: _Block,
+    visible: dict[str, str],
+    callee_summaries: dict[str, ProcedureSummary | None],
+) -> ProcedureSummary:
+    """Phase-2 scan: reads/writes/effects with callee summaries folded in."""
+    sym = block.sym
+    file = cb.file(sym.file)
+    dummies = set(sym.dummies)
+    known_local = block.locals_ | {sym.result} if sym.result else set(block.locals_)
+    dummy_reads: set[str] = set()
+    dummy_writes: set[str] = set()
+    globals_read: set[str] = set()
+    globals_written: set[str] = set()
+    effects: set[Effect] = set()
+    unresolved: set[str] = set()
+    unknown_write = False
+
+    def note_reads(names: set[str]) -> None:
+        for n in names:
+            if n in dummies:
+                dummy_reads.add(n)
+            elif n in visible and n not in known_local:
+                globals_read.add(visible[n])
+
+    def note_write(n: str, line: int) -> None:
+        nonlocal unknown_write
+        if n in dummies:
+            dummy_writes.add(n)
+        elif n in known_local:
+            pass
+        elif n in visible:
+            globals_written.add(visible[n])
+            effects.add(
+                Effect("global-write", visible[n], sym.file, line)
+            )
+        else:
+            unknown_write = True
+
+    for i in block.body_lines:
+        line = file.lines[i]
+        kind = classify_line(line)
+        if kind in (LineKind.BLANK, LineKind.COMMENT, LineKind.DIRECTIVE):
+            continue
+        code = line.split("!", 1)[0]
+        guard, action = _strip_if_guard(code)
+        if kind is LineKind.CALL or called_name(action) is not None:
+            # folded in below, via the callee summary; the guard of a
+            # one-line `if (cond) call ...` still reads its operands
+            note_reads(_identifiers(guard))
+            continue
+        if declared_entities(line):
+            continue  # declaration, not an executable statement
+        if _IO_RE.match(action):
+            effects.add(Effect("io", action.strip()[:40], sym.file, i))
+            note_reads(_identifiers(code))
+            continue
+        if _STOP_RE.match(action):
+            effects.add(Effect("stop", action.strip()[:40], sym.file, i))
+            note_reads(_identifiers(guard))
+            continue
+        m = _ALLOC_RE.match(action)
+        if m:
+            inner = action[action.index("(") + 1 : action.rindex(")")] if ")" in action else ""
+            for arg in _split_top_commas(inner):
+                base = _base_name(arg)
+                if base in visible and base not in known_local | dummies:
+                    effects.add(
+                        Effect("allocate-global", visible[base], sym.file, i)
+                    )
+                    globals_written.add(visible[base])
+            continue
+        if kind is LineKind.STATEMENT:
+            parts = _assignment_parts(code)
+            if parts is not None:
+                guard, lhs, rhs = parts
+                note_write(lhs, i)
+                note_reads(_identifiers(guard) | _identifiers(rhs))
+                continue
+        note_reads(_identifiers(code))
+
+    # fold the callees in: their effects are ours, their dummy writes land
+    # on our actuals, their global traffic is ours transitively
+    for site in block.calls:
+        callee = callee_summaries.get(site.callee)
+        if callee is None:
+            unresolved.add(site.callee)
+            continue
+        effects.update(callee.effects)
+        globals_read.update(callee.globals_read)
+        globals_written.update(callee.globals_written)
+        if callee.purity is Purity.UNKNOWN:
+            unknown_write = True
+        for pos, actual in enumerate(site.actuals):
+            if pos >= len(callee.dummies) or not actual:
+                continue
+            d = callee.dummies[pos]
+            if callee.writes_dummy(d):
+                note_write(actual, site.line)
+            if d in callee.dummy_reads or callee.declared_intent_of(d) in (
+                "in", "inout",
+            ):
+                note_reads({actual})
+
+    if effects:
+        purity = Purity.IMPURE
+    elif unknown_write or unresolved:
+        purity = Purity.UNKNOWN
+    else:
+        purity = Purity.PURE
+    return ProcedureSummary(
+        name=sym.name, kind=sym.kind, file=sym.file, line=sym.line,
+        end_line=sym.end_line, module=sym.module,
+        declared_pure=sym.declared_pure, acc_routine=sym.acc_routine,
+        dummies=sym.dummies,
+        declared_intents=tuple(sorted(block.intents.items())),
+        dummy_reads=frozenset(dummy_reads),
+        dummy_writes=frozenset(dummy_writes),
+        globals_read=tuple(sorted(globals_read)),
+        globals_written=tuple(sorted(globals_written)),
+        effects=tuple(sorted(effects, key=lambda e: (e.file, e.line, e.kind))),
+        calls=tuple(block.calls),
+        unresolved_calls=tuple(sorted(unresolved)),
+        purity=purity,
+    )
+
+
+# -- SCC condensation ----------------------------------------------------------
+
+
+def _sccs(order: list[str], edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's SCC, iterative; returns components bottom-up (callees first)."""
+    idx: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    for root in order:
+        if root in idx:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        idx[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in edges:
+                    continue
+                if nxt not in idx:
+                    idx[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], idx[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == idx[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                out.append(sorted(comp))
+    return out
+
+
+# -- the summary pass ----------------------------------------------------------
+
+
+def _record_summary(result: str) -> None:
+    from repro.obs import current
+
+    tel = current()
+    if not tel.enabled:
+        return
+    tel.metrics.counter(
+        "interproc_summaries_total",
+        "procedure summaries by cache outcome",
+        labelnames=("result",),
+    ).labels(result=result).inc()
+
+
+def summarize(cb: Codebase, index: ModuleIndex | None = None) -> InterprocResult:
+    """Build the call graph and every procedure summary for ``cb``.
+
+    Summaries come from the content-hash cache when the routine body, its
+    visible module environment, and all its callees' keys are unchanged;
+    otherwise they are recomputed bottom-up (SCCs of the call graph in
+    reverse topological order, iterating recursive components to a fixed
+    point -- effect sets only grow, so it terminates).
+    """
+    index = index or build_index(cb)
+    module_vars = _module_variables(cb, index)
+    blocks: dict[str, _Block] = {}
+    for name, sym in index.routines.items():
+        if sym.end_line <= sym.line:
+            continue
+        try:
+            blocks[name] = _scan_block(cb, sym)
+        except KeyError:
+            continue  # file not in this codebase view
+    _strip_child_lines(blocks, index)
+
+    visible: dict[str, dict[str, str]] = {}
+    edges: dict[str, set[str]] = {}
+    resolved_callee: dict[str, dict[str, str]] = {}
+    for name, block in blocks.items():
+        vis = _visible_globals(block.sym, index, module_vars)
+        visible[name] = vis
+        env = hashlib.sha256(
+            repr(sorted(vis.items())).encode()
+        ).hexdigest()
+        block.env_hash = env
+        callee_names: dict[str, str] = {}
+        for site in block.calls:
+            target = index.resolve_call(site.callee, block.sym.file)
+            if target is not None and target.name in blocks:
+                callee_names[site.callee] = target.name
+        resolved_callee[name] = callee_names
+        edges[name] = set(callee_names.values())
+
+    result = InterprocResult(index=index)
+    order: list[str] = []
+    for comp in _sccs(sorted(blocks), edges):
+        in_comp = set(comp)
+        external_keys = sorted(
+            result.summaries[c].key
+            for n in comp
+            for c in edges[n]
+            if c not in in_comp and c in result.summaries
+        )
+        comp_digest = hashlib.sha256()
+        for n in comp:
+            comp_digest.update(blocks[n].body_hash.encode())
+            comp_digest.update(blocks[n].env_hash.encode())
+        for k in external_keys:
+            comp_digest.update(k.encode())
+        comp_hash = comp_digest.hexdigest()
+
+        keys = {n: f"{n}:{comp_hash}" for n in comp}
+        if all(keys[n] in _SUMMARY_CACHE for n in comp):
+            for n in comp:
+                result.summaries[n] = _SUMMARY_CACHE[keys[n]]
+                result.stats.hits += 1
+                _record_summary("cached")
+                order.append(n)
+            continue
+
+        # fixed point across the component (single-node components with no
+        # self edge converge in one pass)
+        current: dict[str, ProcedureSummary | None] = {n: None for n in comp}
+        changed = True
+        rounds = 0
+        while changed and rounds < 2 * len(comp) + 3:
+            changed = False
+            rounds += 1
+            for n in comp:
+                callee_map: dict[str, ProcedureSummary | None] = {}
+                for site in blocks[n].calls:
+                    target = resolved_callee[n].get(site.callee)
+                    if target is None:
+                        callee_map[site.callee] = None
+                    elif target in in_comp:
+                        callee_map[site.callee] = current[target]
+                    else:
+                        callee_map[site.callee] = result.summaries.get(target)
+                nxt = _scan_effects(cb, blocks[n], visible[n], callee_map)
+                if current[n] != nxt:
+                    changed = True
+                current[n] = nxt
+        for n in comp:
+            summary = replace(current[n], key=keys[n])
+            result.summaries[n] = summary
+            if len(_SUMMARY_CACHE) >= _CACHE_LIMIT:
+                _SUMMARY_CACHE.clear()
+            _SUMMARY_CACHE[keys[n]] = summary
+            result.stats.misses += 1
+            _record_summary("computed")
+            order.append(n)
+    result.order = tuple(order)
+    return result
+
+
+# -- parallel-context discovery ------------------------------------------------
+
+
+def _dc_end(lines: list[str], start: int) -> int:
+    """Index of the enddo closing the ``do concurrent`` at ``start``."""
+    level = 0
+    for i in range(start, len(lines)):
+        kind = classify_line(lines[i])
+        if kind in (LineKind.DO, LineKind.DO_CONCURRENT):
+            level += 1
+        elif kind is LineKind.ENDDO:
+            level -= 1
+            if level == 0:
+                return i
+    return start
+
+
+def parallel_spans(file: SourceFile) -> list[tuple[int, int, str]]:
+    """(start, end, label) for every parallel context in ``file``.
+
+    Covers ``!$acc parallel`` regions and free-standing ``do concurrent``
+    loops (a DC loop already inside a region is not double-counted).
+    """
+    spans: list[tuple[int, int, str]] = []
+    covered: set[int] = set()
+    for region in find_parallel_regions(file):
+        spans.append(
+            (region.start, region.end,
+             f"the parallel region at line {region.start + 1}")
+        )
+        covered.update(range(region.start, region.end + 1))
+    for i, line in enumerate(file.lines):
+        if i in covered or classify_line(line) is not LineKind.DO_CONCURRENT:
+            continue
+        end = _dc_end(file.lines, i)
+        spans.append((i, end, f"the do concurrent loop at line {i + 1}"))
+        covered.update(range(i, end + 1))
+    return sorted(spans)
+
+
+def _call_blocker(s: ProcedureSummary) -> tuple[str, str, bool] | None:
+    """(rule, why-fragment, fixable) when calling ``s`` blocks a parallel
+    region, else None. Conservative: UNKNOWN purity never blocks."""
+    if s.globals_written:
+        names = ", ".join(s.globals_written)
+        return ("IP102", f"writes module variable(s) {names}", False)
+    if s.purity is Purity.IMPURE:
+        e = s.effects[0]
+        return (
+            "IP101",
+            f"is provably impure ({e.kind} at {e.file}:{e.line + 1})",
+            False,
+        )
+    if s.declared_pure:
+        return None
+    if s.purity is Purity.PURE:
+        return ("IP101", "is effectively pure but not declared pure", True)
+    return None
+
+
+def region_call_blockers(
+    file: SourceFile, region: ParallelRegion, result: InterprocResult
+) -> list[CallBlocker]:
+    """Call sites inside ``region`` that make it unsafe to port to DC."""
+    out: list[CallBlocker] = []
+    for i in range(region.start, region.end + 1):
+        if classify_line(file.lines[i]) is not LineKind.CALL:
+            continue
+        name = (called_name(file.lines[i]) or "").lower()
+        summary = result.summary_for_call(name, file.name)
+        if summary is None:
+            continue
+        blk = _call_blocker(summary)
+        if blk is None:
+            continue
+        rule, why, fixable = blk
+        out.append(CallBlocker(name, file.name, i, rule, why, fixable))
+    return out
+
+
+# -- IP findings ---------------------------------------------------------------
+
+
+def _pure_attribute_fix(cb: Codebase, s: ProcedureSummary) -> Fix:
+    """The IP101 fix-it: prepend ``pure`` to the callee's header line."""
+    from repro.analysis.fixes import _edit_for
+
+    callee_file = cb.file(s.file)
+    header = callee_file.lines[s.line]
+    fixed = re.sub(r"^(\s*)", r"\1pure ", header, count=1)
+    return Fix(
+        "IP101",
+        f"declare {s.name} pure (summary proves no side effects)",
+        (_edit_for(callee_file, s.line, s.line, (fixed,)),),
+    )
+
+
+def _region_call_findings(
+    cb: Codebase, result: InterprocResult, region_called: set[str]
+) -> list[Finding]:
+    """IP101/IP102 at call sites inside parallel contexts."""
+    findings: list[Finding] = []
+    for file in cb.files:
+        seen: set[int] = set()
+        for start, end, label in parallel_spans(file):
+            for i in range(start, end + 1):
+                if i in seen:
+                    continue
+                seen.add(i)
+                if classify_line(file.lines[i]) is not LineKind.CALL:
+                    continue
+                name = (called_name(file.lines[i]) or "").lower()
+                summary = result.summary_for_call(name, file.name)
+                if summary is None:
+                    continue
+                region_called.add(summary.name)
+                blk = _call_blocker(summary)
+                if blk is None:
+                    continue
+                rule, why, fixable = blk
+                related = [RelatedLocation(
+                    summary.file, summary.line + 1,
+                    f"{summary.name} defined here",
+                )]
+                for e in summary.effects[:2]:
+                    related.append(RelatedLocation(
+                        e.file, e.line + 1, f"{e.kind}: {e.detail}"
+                    ))
+                if rule == "IP102":
+                    msg = (f"call to {name} inside {label} {why}: hidden "
+                           f"loop-carried dependence across iterations")
+                elif fixable:
+                    msg = (f"call to {name} inside {label}: callee {why}; "
+                           f"the fix-it adds the pure attribute")
+                else:
+                    msg = (f"call to {name} inside {label}: callee {why}; "
+                           f"do concurrent requires pure procedures")
+                fix = _pure_attribute_fix(cb, summary) if fixable else None
+                findings.append(Finding(
+                    rule, file.name, i + 1, msg, context=name, fix=fix,
+                    related=tuple(related),
+                ))
+    return findings
+
+
+def _alias_findings(cb: Codebase, result: InterprocResult) -> list[Finding]:
+    """IP103: same base name passed twice where a written dummy is involved."""
+    findings: list[Finding] = []
+    for file in cb.files:
+        for i, line in enumerate(file.lines):
+            if classify_line(line) is not LineKind.CALL:
+                continue
+            name = (called_name(line) or "").lower()
+            summary = result.summary_for_call(name, file.name)
+            if summary is None:
+                continue
+            m = _CALL_ARGS_RE.match(line.split("!", 1)[0].rstrip())
+            if m is None:
+                continue
+            actuals = [_base_name(a) for a in _split_top_commas(m.group(1))]
+            hit = None
+            for a in range(len(actuals)):
+                for b in range(a + 1, len(actuals)):
+                    if not actuals[a] or actuals[a] != actuals[b]:
+                        continue
+                    if a >= len(summary.dummies) or b >= len(summary.dummies):
+                        continue
+                    da, db = summary.dummies[a], summary.dummies[b]
+                    if summary.writes_dummy(da) or summary.writes_dummy(db):
+                        hit = (actuals[a], da, db)
+                        break
+                if hit:
+                    break
+            if hit is None:
+                continue
+            base, da, db = hit
+            written = da if summary.writes_dummy(da) else db
+            findings.append(Finding(
+                "IP103", file.name, i + 1,
+                f"call to {name} passes {base} for both dummies {da} and "
+                f"{db} while {written} is written: aliased actual "
+                f"arguments are undefined behavior",
+                context=base,
+                related=(RelatedLocation(
+                    summary.file, summary.line + 1,
+                    f"{summary.name} defined here",
+                ),),
+            ))
+    return findings
+
+
+def _decl_sites(
+    cb: Codebase, s: ProcedureSummary
+) -> dict[str, tuple[int, tuple[str, ...], str]]:
+    """dummy -> (decl line, all entities on that line, declared intent)."""
+    file = cb.file(s.file)
+    dummies = set(s.dummies)
+    out: dict[str, tuple[int, tuple[str, ...], str]] = {}
+    for i in range(s.line + 1, s.end_line):
+        entities = declared_entities(file.lines[i])
+        if not entities:
+            continue
+        intent = declared_intent(file.lines[i])
+        for e in entities:
+            if e in dummies:
+                out.setdefault(e, (i, entities, intent))
+    return out
+
+
+def _intent_findings(
+    cb: Codebase, result: InterprocResult, region_called: set[str]
+) -> list[Finding]:
+    """IP104: declared-vs-inferred intent mismatches and missing intents."""
+    from repro.analysis.fixes import _edit_for
+
+    findings: list[Finding] = []
+    for name in sorted(result.summaries):
+        s = result.summaries[name]
+        try:
+            file = cb.file(s.file)
+        except KeyError:
+            continue
+        sites = _decl_sites(cb, s)
+        for dummy in s.dummies:
+            site = sites.get(dummy)
+            if site is None:
+                continue
+            line_idx, entities, declared = site
+            inferred = s.inferred_intent_of(dummy)
+            related = (RelatedLocation(
+                s.file, s.line + 1, f"{s.name} defined here"
+            ),)
+            if declared == "in" and dummy in s.dummy_writes:
+                fix = None
+                if all(e in s.dummy_writes for e in entities):
+                    fixed = _INTENT_CLAUSE_RE.sub(
+                        "intent(inout)", file.lines[line_idx], count=1
+                    )
+                    fix = Fix(
+                        "IP104",
+                        f"declare {', '.join(entities)} intent(inout)",
+                        (_edit_for(file, line_idx, line_idx, (fixed,)),),
+                    )
+                findings.append(Finding(
+                    "IP104", s.file, line_idx + 1,
+                    f"dummy {dummy} of {s.name} is declared intent(in) "
+                    f"but the body writes it; intent(inout) matches the "
+                    f"observed access",
+                    context=dummy, fix=fix, related=related,
+                ))
+            elif not declared and s.name in region_called:
+                fix = None
+                code = file.lines[line_idx].split("!", 1)[0]
+                same_inferred = all(
+                    e in s.dummies and s.inferred_intent_of(e) == inferred
+                    for e in entities
+                )
+                if same_inferred and "::" in code:
+                    head, _, tail = file.lines[line_idx].partition("::")
+                    fixed = f"{head.rstrip()}, intent({inferred}) ::{tail}"
+                    fix = Fix(
+                        "IP104",
+                        f"declare {', '.join(entities)} intent({inferred})",
+                        (_edit_for(file, line_idx, line_idx, (fixed,)),),
+                    )
+                findings.append(Finding(
+                    "IP104", s.file, line_idx + 1,
+                    f"dummy {dummy} of {s.name} (called from a parallel "
+                    f"region) has no declared intent; the summary infers "
+                    f"intent({inferred})",
+                    context=dummy, fix=fix, related=related,
+                ))
+    return findings
+
+
+def interproc_findings(cb: Codebase, result: InterprocResult) -> list[Finding]:
+    """All IP1xx findings for ``cb`` given its summary ``result``."""
+    region_called: set[str] = set()
+    findings = _region_call_findings(cb, result, region_called)
+    findings.extend(_alias_findings(cb, result))
+    findings.extend(_intent_findings(cb, result, region_called))
+    return findings
+
+
+# -- call-graph export ---------------------------------------------------------
+
+
+def callgraph_json(result: InterprocResult) -> str:
+    """Byte-stable JSON call graph (``repro lint --call-graph json``)."""
+    routines: dict[str, dict] = {}
+    for name in sorted(result.summaries):
+        s = result.summaries[name]
+        calls: list[str] = []
+        for site in s.calls:
+            target = result.index.resolve_call(site.callee, s.file)
+            if target is not None and target.name in result.summaries:
+                calls.append(target.name)
+        routines[name] = {
+            "file": s.file,
+            "line": s.line + 1,
+            "kind": s.kind,
+            "module": s.module,
+            "purity": s.purity.value,
+            "declared_pure": s.declared_pure,
+            "acc_routine": s.acc_routine,
+            "globals_written": list(s.globals_written),
+            "calls": sorted(set(calls)),
+            "unresolved": list(s.unresolved_calls),
+        }
+    return json.dumps(
+        {"schema": "repro-callgraph/1", "routines": routines},
+        indent=2, sort_keys=True,
+    ) + "\n"
+
+
+def callgraph_dot(result: InterprocResult) -> str:
+    """Graphviz call graph, nodes colored by inferred purity."""
+    color = {Purity.PURE: "darkgreen", Purity.IMPURE: "red3",
+             Purity.UNKNOWN: "gray40"}
+    out = ["digraph callgraph {", "  rankdir=LR;",
+           '  node [fontname="monospace"];']
+    externals: set[str] = set()
+    for name in sorted(result.summaries):
+        s = result.summaries[name]
+        shape = "ellipse" if s.kind == "subroutine" else "box"
+        out.append(
+            f'  "{name}" [label="{name}\\n{s.purity.value}", '
+            f"color={color[s.purity]}, shape={shape}];"
+        )
+        externals.update(s.unresolved_calls)
+    for ext in sorted(externals):
+        out.append(f'  "{ext}" [style=dashed, color=gray60];')
+    for name in sorted(result.summaries):
+        s = result.summaries[name]
+        edges: set[str] = set()
+        for site in s.calls:
+            target = result.index.resolve_call(site.callee, s.file)
+            if target is not None and target.name in result.summaries:
+                edges.add(target.name)
+        for tgt in sorted(edges):
+            out.append(f'  "{name}" -> "{tgt}";')
+        for ext in sorted(set(s.unresolved_calls)):
+            out.append(f'  "{name}" -> "{ext}" [style=dashed];')
+    out.append("}")
+    return "\n".join(out) + "\n"

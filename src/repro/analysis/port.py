@@ -34,6 +34,10 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.interproc import InterprocResult
 
 from repro.analysis.fortran_lint import (
     PortSafety,
@@ -352,13 +356,23 @@ def _target_safeties(target: PortTarget) -> frozenset[PortSafety]:
     })
 
 
-def port_file(file, target: PortTarget) -> FilePortStatus:
+def port_file(
+    file, target: PortTarget, *, interproc: "InterprocResult | None" = None
+) -> FilePortStatus:
     """Port one file in place (tolerantly); never raises.
 
     The all-DC targets refuse the whole file when any region is UNSAFE or
     a conversion fails -- the file is left byte-identical, so a refused
     file is always safe to ship alongside ported ones. ``acc-opt`` keeps
     UNSAFE regions as OpenACC instead (that target still compiles them).
+
+    With ``interproc`` (the tree-wide call-graph summary pass,
+    :func:`repro.analysis.interproc.summarize`), the DC targets also
+    refuse regions whose call sites the summaries prove unsafe: an impure
+    callee or a module-variable write through the call. A region calling
+    an effectively-pure-but-undeclared routine is refused with a pointer
+    at the IP101 fix-it (``repro lint --fix`` adds the ``pure``
+    attribute, after which the port goes through).
     """
     snapshot = list(file.lines)
     safeties = _target_safeties(target)
@@ -375,6 +389,27 @@ def port_file(file, target: PortTarget) -> FilePortStatus:
                 reason=f"{len(unsafe)} region(s) with a proven loop-carried "
                        f"hazard (first at line {unsafe[0].start + 1})",
             )
+        if interproc is not None:
+            from repro.analysis.interproc import region_call_blockers
+
+            for region, _safety in verdicts:
+                blockers = region_call_blockers(file, region, interproc)
+                if not blockers:
+                    continue
+                b = blockers[0]
+                if b.fixable:
+                    reason = (
+                        f"call to {b.callee} at line {b.line + 1} "
+                        f"{b.why} ({b.rule}): run `repro lint --fix` to "
+                        "add the pure attribute first"
+                    )
+                else:
+                    reason = (
+                        f"call to {b.callee} at line {b.line + 1} "
+                        f"{b.why} ({b.rule}): do concurrent requires "
+                        "pure procedures"
+                    )
+                return FilePortStatus(file.name, "refused", reason=reason)
         # NEEDS_ATOMIC covers two cases: atomic-protected bodies port fine
         # (the atomics are kept), but an *undeclared* scalar reduction is a
         # race in the original source -- converting it to plain DC would
@@ -397,6 +432,12 @@ def port_file(file, target: PortTarget) -> FilePortStatus:
             if safety not in safeties or not region.loops:
                 kept += 1
                 continue
+            if interproc is not None and target is PortTarget.ACC_OPT:
+                from repro.analysis.interproc import region_call_blockers
+
+                if region_call_blockers(file, region, interproc):
+                    kept += 1  # blocked call: the region stays OpenACC
+                    continue
             if safety is PortSafety.SAFE_F2018:
                 replacement: list[str] = []
                 for nest in region.loops:
@@ -430,11 +471,15 @@ def port_tree_incremental(
     counting against the limit (the conversion is deterministic, so the
     output tree stays complete and self-consistent on every run); the
     rest are ported oldest-first until the limit runs out, then left
-    ``pending`` verbatim.
+    ``pending`` verbatim.  The interprocedural summary pass runs once for
+    the whole tree and is shared by every per-file port.
     """
+    from repro.analysis.interproc import summarize
+
     out_cb = cb.copy(f"{cb.name}_{target.value}")
     result = IncrementalResult(target=target, codebase=out_cb)
     prior = prior or {}
+    interproc = summarize(out_cb)
     budget = limit if limit is not None else len(out_cb.files)
     for f in out_cb.files:
         was_ported = prior.get(f.name) is not None and prior[f.name].status == "ported"
@@ -443,7 +488,7 @@ def port_tree_incremental(
                 FilePortStatus(f.name, "pending", reason="--limit exhausted")
             )
             continue
-        status = port_file(f, target)
+        status = port_file(f, target, interproc=interproc)
         if not was_ported:
             budget -= 1
         result.statuses.append(status)

@@ -62,6 +62,17 @@ def findings_to_json(findings: Iterable[Finding]) -> str:
                 "line": f.line,
                 "message": f.message,
                 **({"context": f.context} if f.context else {}),
+                **(
+                    {
+                        "related": [
+                            {"file": r.file, "line": r.line,
+                             "message": r.message}
+                            for r in f.related
+                        ]
+                    }
+                    if f.related
+                    else {}
+                ),
             }
             for f in ranked
         ],
@@ -146,6 +157,17 @@ def findings_to_sarif(
                 }
             ],
         }
+        if f.related:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": r.file},
+                        "region": {"startLine": max(r.line, 1)},
+                    },
+                    **({"message": {"text": r.message}} if r.message else {}),
+                }
+                for r in f.related
+            ]
         if f.fix is not None:
             result["fixes"] = [_sarif_fix(f.fix)]
         results.append(result)
@@ -219,6 +241,47 @@ def sarif_to_edits(sarif_text: str) -> list:
                             )
                         )
     return edits
+
+
+def sarif_to_findings(sarif_text: str) -> list[Finding]:
+    """Minimal SARIF ``results`` reader: the inverse of
+    :func:`findings_to_sarif` for the fields findings render with
+    (rule/file/line/message) plus ``relatedLocations``.  Fixes are
+    recovered separately by :func:`sarif_to_edits`; anchors and context
+    are not encoded in SARIF and come back empty.  Used by the
+    round-trip regression test: export, re-read, and the related
+    evidence locations must survive unchanged.
+    """
+    from repro.analysis.findings import RelatedLocation
+
+    log = json.loads(sarif_text)
+    out: list[Finding] = []
+    for run in log.get("runs", []):
+        for result in run.get("results", []):
+            locs = result.get("locations", [])
+            phys = locs[0].get("physicalLocation", {}) if locs else {}
+            related = tuple(
+                RelatedLocation(
+                    file=r.get("physicalLocation", {})
+                    .get("artifactLocation", {})
+                    .get("uri", ""),
+                    line=r.get("physicalLocation", {})
+                    .get("region", {})
+                    .get("startLine", 0),
+                    message=r.get("message", {}).get("text", ""),
+                )
+                for r in result.get("relatedLocations", [])
+            )
+            out.append(
+                Finding(
+                    rule_id=result.get("ruleId", ""),
+                    file=phys.get("artifactLocation", {}).get("uri", ""),
+                    line=phys.get("region", {}).get("startLine", 0),
+                    message=result.get("message", {}).get("text", ""),
+                    related=related,
+                )
+            )
+    return out
 
 
 def explain_rule(rule_id: str) -> str:

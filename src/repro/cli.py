@@ -576,6 +576,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     with _telemetry_session(args):
         triples = _lint_codebases(args)
+        if args.call_graph:
+            from repro.analysis.interproc import (
+                callgraph_dot,
+                callgraph_json,
+                summarize,
+            )
+
+            for cb, _fe, _census in triples:
+                result = summarize(cb)
+                if args.call_graph == "dot":
+                    print(callgraph_dot(result), end="")
+                else:
+                    print(callgraph_json(result), end="")
+            return 0
         if args.cost:
             from repro.analysis.cost import estimate_cost
 
@@ -770,6 +784,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the porting-cost report (regions bucketed "
                    "by safety class, projected post-port census) instead "
                    "of findings")
+    p.add_argument("--call-graph", default=None, choices=["dot", "json"],
+                   dest="call_graph", metavar="FMT",
+                   help="print the interprocedural call graph (dot|json) "
+                   "with per-routine purity verdicts instead of findings")
     p.add_argument("--fix-out", metavar="DIR", default=None,
                    help="with --fix: write the fixed tree here (sources "
                    "are never modified in place; whitespace and "

@@ -21,6 +21,10 @@ FILLER_PREFIX = "! repro-fe: joined into line "
 _SENTINEL_RE = re.compile(r"^(\s*)!\$acc(&?)", re.I)
 _OMP_SENTINEL_RE = re.compile(r"^\s*!\$omp", re.I)
 
+#: Suffixes treated as fixed-form (column-1 comments, column-6
+#: continuations). Everything else is free-form.
+_FIXED_SUFFIXES = (".f", ".for", ".f77", ".ftn")
+
 
 def _code_part(line: str) -> str:
     """The code before a trailing ``!`` comment (naive: ignores strings)."""
@@ -117,12 +121,66 @@ def _join_statement_continuations(lines: list[str]) -> int:
     return joined
 
 
+def is_fixed_form(name: str) -> bool:
+    """Fixed-form source, judged by suffix (the compilers' convention)."""
+    return name.lower().endswith(_FIXED_SUFFIXES)
+
+
+def _fixed_comments(lines: list[str]) -> None:
+    """Convert column-1 fixed-form comment markers to ``!``.
+
+    ``*`` in column 1 is always a comment; ``c``/``C`` only when not the
+    start of a word (``contains``, ``call`` at column 1 stay code).
+    """
+    for i, ln in enumerate(lines):
+        if not ln:
+            continue
+        c0 = ln[0]
+        if c0 == "*":
+            lines[i] = "!" + ln[1:]
+        elif c0 in "cC" and (len(ln) == 1 or not (ln[1].isalnum() or ln[1] == "_")):
+            lines[i] = "!" + ln[1:]
+
+
+def _join_fixed_continuations(lines: list[str]) -> int:
+    """Join column-6 continuations onto the preceding code line.
+
+    A continuation line has columns 1-5 blank and a non-blank, non-``0``
+    marker in column 6. Alphabetic column-6 characters are skipped: a
+    free-form statement indented five spaces would otherwise be eaten.
+    Consumed lines become filler comments (line count preserved).
+    """
+    joined = 0
+    for i, ln in enumerate(lines):
+        if len(ln) < 6 or ln[:5].strip() or ln[5] in " 0":
+            continue
+        if ln[5].isalpha():
+            continue
+        if is_directive_line(ln) or ln.lstrip().startswith("!"):
+            continue
+        h = i - 1
+        while h >= 0 and (
+            not _is_code_line(lines[h]) or is_directive_line(lines[h])
+        ):
+            h -= 1
+        if h < 0:
+            continue
+        lines[h] = f"{lines[h].rstrip()} {ln[6:].strip()}"
+        lines[i] = f"{FILLER_PREFIX}{h + 1}"
+        joined += 1
+    return joined
+
+
 def normalize_file(file: SourceFile) -> int:
     """Normalize one file in place; returns the joined-line count."""
     _normalize_endings(file.lines)
+    joined_fixed = 0
+    if is_fixed_form(file.name):
+        _fixed_comments(file.lines)
+        joined_fixed = _join_fixed_continuations(file.lines)
     _normalize_sentinels(file.lines)
     _join_directive_continuations(file.lines)
-    return _join_statement_continuations(file.lines)
+    return joined_fixed + _join_statement_continuations(file.lines)
 
 
 def normalize_tree(cb: Codebase) -> dict[str, int]:

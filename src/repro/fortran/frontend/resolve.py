@@ -1,10 +1,12 @@
 """Interprocedural symbol resolution over a lowered tree.
 
 Builds the cross-file picture the per-line IR cannot see: which file
-defines each module, which files ``use`` it, and where every subroutine
-or function lives -- including whether it carries an ``!$acc routine``
-directive (callable from device regions). Interface blocks are skipped:
-the signatures inside them declare, they do not define.
+defines each module, which files ``use`` it (including ``only:`` lists
+and ``=>`` renames), and where every subroutine or function lives --
+with its body extent, ``contains`` nesting, purity prefixes, and whether
+it carries an ``!$acc routine`` directive (callable from device
+regions). Interface blocks are skipped: the signatures inside them
+declare, they do not define.
 """
 
 from __future__ import annotations
@@ -13,11 +15,13 @@ import re
 from dataclasses import dataclass, field
 
 from repro.fortran.directives import DirectiveKind, try_parse_directive
-from repro.fortran.lexer import LineKind, classify_line, subroutine_name
+from repro.fortran.lexer import LineKind, classify_line
+from repro.fortran.parser import parse_procedure_header
 from repro.fortran.source import Codebase
 
-_USE_RE = re.compile(r"^\s*use\s+(\w+)", re.I)
-_FUNC_NAME_RE = re.compile(r"\bfunction\s+(\w+)", re.I)
+_USE_RE = re.compile(
+    r"^\s*use\s*(?:,\s*\w+\s*::)?\s*(\w+)\s*(?:,\s*only\s*:\s*(.*))?$", re.I
+)
 _INTERFACE_RE = re.compile(r"^\s*(abstract\s+)?interface\b", re.I)
 _END_INTERFACE_RE = re.compile(r"^\s*end\s*interface\b", re.I)
 
@@ -32,6 +36,25 @@ class RoutineSym:
     line: int          # 0-based definition line
     module: str = ""   # enclosing module, if any
     acc_routine: bool = False  # carries !$acc routine
+    end_line: int = -1         # 0-based end subroutine/function line
+    parent: str = ""           # host routine for contains-nested routines
+    declared_pure: bool = False
+    dummies: tuple[str, ...] = ()
+    result: str = ""           # function result variable ("" for subroutines)
+
+
+@dataclass(frozen=True, slots=True)
+class UseEdge:
+    """One ``use`` statement: the module plus any only-list/renames."""
+
+    module: str
+    #: ``only:`` imports as (local name, name inside the module) pairs;
+    #: empty means the whole module is imported unrenamed.
+    only: tuple[tuple[str, str], ...] = ()
+
+    def local_names(self) -> dict[str, str]:
+        """Map of local name -> module-side name (empty = import all)."""
+        return dict(self.only)
 
 
 @dataclass(slots=True)
@@ -41,11 +64,25 @@ class ModuleIndex:
     modules: dict[str, str] = field(default_factory=dict)   # module -> file
     routines: dict[str, RoutineSym] = field(default_factory=dict)
     uses: dict[str, list[str]] = field(default_factory=dict)  # file -> modules
+    #: file -> detailed use edges (only-lists and renames preserved)
+    use_edges: dict[str, list[UseEdge]] = field(default_factory=dict)
     unresolved_uses: list[tuple[str, int, str]] = field(default_factory=list)
 
-    def resolve_call(self, name: str) -> RoutineSym | None:
-        """Definition site of a called routine, if the tree defines it."""
-        return self.routines.get(name.lower())
+    def resolve_call(self, name: str, file: str | None = None) -> RoutineSym | None:
+        """Definition site of a called routine, if the tree defines it.
+
+        With ``file``, ``use ..., only: local => actual`` renames visible
+        in that file are applied first, so renamed imports resolve to
+        their real definition.
+        """
+        key = name.lower()
+        if file is not None:
+            for edge in self.use_edges.get(file, ()):
+                actual = edge.local_names().get(key)
+                if actual is not None and actual != key:
+                    key = actual
+                    break
+        return self.routines.get(key)
 
 
 def _routine_block_has_acc(lines: list[str], start: int) -> bool:
@@ -64,6 +101,25 @@ def _routine_block_has_acc(lines: list[str], start: int) -> bool:
     return False
 
 
+def _parse_use(line: str) -> UseEdge | None:
+    m = _USE_RE.match(line.split("!", 1)[0].rstrip())
+    if m is None:
+        return None
+    only: list[tuple[str, str]] = []
+    if m.group(2) is not None:
+        for item in m.group(2).split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=>" in item:
+                local, _, actual = (p.strip() for p in item.partition("=>"))
+            else:
+                local = actual = item
+            if re.fullmatch(r"\w+", local) and re.fullmatch(r"\w+", actual):
+                only.append((local.lower(), actual.lower()))
+    return UseEdge(module=m.group(1).lower(), only=tuple(only))
+
+
 def build_index(cb: Codebase) -> ModuleIndex:
     """Scan every file once and build the cross-file symbol index."""
     index = ModuleIndex()
@@ -71,6 +127,7 @@ def build_index(cb: Codebase) -> ModuleIndex:
     for file in cb.files:
         current_module = ""
         in_interface = False
+        open_routines: list[RoutineSym] = []  # contains-nesting stack
         for i, line in enumerate(file.lines):
             if _INTERFACE_RE.match(line):
                 in_interface = True
@@ -88,27 +145,40 @@ def build_index(cb: Codebase) -> ModuleIndex:
                     index.modules.setdefault(current_module, file.name)
             elif kind is LineKind.MODULE_END:
                 current_module = ""
-            elif kind is LineKind.SUBROUTINE_START:
-                name = (subroutine_name(line) or "").lower()
-                if name and name not in index.routines:
-                    index.routines[name] = RoutineSym(
-                        name, "subroutine", file.name, i, current_module,
-                        _routine_block_has_acc(file.lines, i),
+            elif kind in (LineKind.SUBROUTINE_START, LineKind.FUNCTION_START):
+                header = parse_procedure_header(line)
+                if header is None:
+                    continue
+                sym = RoutineSym(
+                    name=header.name,
+                    kind=header.kind,
+                    file=file.name,
+                    line=i,
+                    module=current_module,
+                    acc_routine=_routine_block_has_acc(file.lines, i),
+                    parent=open_routines[-1].name if open_routines else "",
+                    declared_pure=header.declared_pure,
+                    dummies=header.dummies,
+                    result=header.result,
+                )
+                open_routines.append(sym)
+            elif kind in (LineKind.SUBROUTINE_END, LineKind.FUNCTION_END):
+                if open_routines:
+                    sym = open_routines.pop()
+                    closed = RoutineSym(
+                        name=sym.name, kind=sym.kind, file=sym.file,
+                        line=sym.line, module=sym.module,
+                        acc_routine=sym.acc_routine, end_line=i,
+                        parent=sym.parent, declared_pure=sym.declared_pure,
+                        dummies=sym.dummies, result=sym.result,
                     )
-            elif kind is LineKind.FUNCTION_START:
-                m = _FUNC_NAME_RE.search(line)
-                name = m.group(1).lower() if m else ""
-                if name and name not in index.routines:
-                    index.routines[name] = RoutineSym(
-                        name, "function", file.name, i, current_module,
-                        _routine_block_has_acc(file.lines, i),
-                    )
+                    index.routines.setdefault(sym.name, closed)
             else:
-                m = _USE_RE.match(line)
-                if m:
-                    used = m.group(1).lower()
-                    index.uses.setdefault(file.name, []).append(used)
-                    pending.append((file.name, i, used))
+                edge = _parse_use(line)
+                if edge is not None:
+                    index.uses.setdefault(file.name, []).append(edge.module)
+                    index.use_edges.setdefault(file.name, []).append(edge)
+                    pending.append((file.name, i, edge.module))
     for fname, i, used in pending:
         if used not in index.modules:
             index.unresolved_uses.append((fname, i, used))

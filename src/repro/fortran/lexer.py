@@ -36,9 +36,17 @@ _DO = re.compile(r"^\s*do\s+\w+\s*=", re.I)
 #: and stay invisible -- both the header and the terminator.)
 _DO_OTHER = re.compile(r"^\s*do\s*(while\b[^!]*)?(!.*)?$", re.I)
 _ENDDO = re.compile(r"^\s*end\s*do\b", re.I)
-_SUB_START = re.compile(r"^\s*(pure\s+)?subroutine\s+(\w+)", re.I)
+#: Procedure prefixes: any combination of purity/recursion attributes
+#: (``pure elemental subroutine``, ``impure elemental function`` ...).
+_PREFIXES = r"(?:(?:pure|impure|elemental|recursive)\s+)*"
+_SUB_START = re.compile(rf"^\s*({_PREFIXES})subroutine\s+(\w+)", re.I)
 _SUB_END = re.compile(r"^\s*end\s+subroutine\b", re.I)
-_FUN_START = re.compile(r"^\s*(pure\s+)?(real|integer|logical)?\s*function\s+(\w+)", re.I)
+_FUN_START = re.compile(
+    rf"^\s*({_PREFIXES})"
+    r"(real|integer|logical|complex|double\s+precision|character|type)?"
+    r"\s*(\([^)]*\))?\s*function\s+(\w+)",
+    re.I,
+)
 _FUN_END = re.compile(r"^\s*end\s+function\b", re.I)
 _MOD_START = re.compile(r"^\s*module\s+(\w+)", re.I)
 _MOD_END = re.compile(r"^\s*end\s+module\b", re.I)

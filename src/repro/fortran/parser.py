@@ -98,6 +98,101 @@ class SubroutineBlock:
 _DO_RE = re.compile(r"^\s*do\s+(\w+)\s*=\s*(.+)$", re.I)
 _ARRAY_ACCUM_RE = re.compile(r"^\s*\w+\(\w+\)\s*=\s*\w+\(\w+\)\s*\+")
 
+# -- procedure headers and declarations ---------------------------------------
+
+_HEADER_RE = re.compile(
+    r"^\s*(?P<prefix>(?:(?:pure|impure|elemental|recursive)\s+)*)"
+    r"(?:(?:real|integer|logical|complex|double\s+precision|character|type)"
+    r"\s*(?:\([^)]*\))?\s+)?"
+    r"(?P<kind>subroutine|function)\s+(?P<name>\w+)\s*"
+    r"(?:\((?P<args>[^)]*)\))?"
+    r"(?:\s*result\s*\(\s*(?P<result>\w+)\s*\))?",
+    re.I,
+)
+_TYPE_DECL_RE = re.compile(
+    r"^\s*(?:real|integer|logical|complex|double\s+precision|character"
+    r"|type\s*\(\s*\w+\s*\))\s*(?:\([^)]*\))?\s*"
+    r"(?P<attrs>(?:\s*,\s*[\w()=:,+\-* ]+?)*)\s*::\s*(?P<names>.+)$",
+    re.I,
+)
+_INTENT_RE = re.compile(r"\bintent\s*\(\s*(in\s*out|inout|in|out)\s*\)", re.I)
+
+
+@dataclass(frozen=True, slots=True)
+class ProcedureHeader:
+    """Parsed ``subroutine``/``function`` start line."""
+
+    name: str
+    kind: str                   # "subroutine" | "function"
+    prefixes: tuple[str, ...]   # pure/impure/elemental/recursive, lowercased
+    dummies: tuple[str, ...]    # dummy argument names, lowercased
+    result: str = ""            # result variable of a function ("" = name)
+
+    @property
+    def declared_pure(self) -> bool:
+        """Declared ``pure`` (or ``elemental``, which implies pure unless
+        explicitly ``impure elemental``)."""
+        if "impure" in self.prefixes:
+            return False
+        return "pure" in self.prefixes or "elemental" in self.prefixes
+
+
+def parse_procedure_header(line: str) -> ProcedureHeader | None:
+    """Parse a procedure start line into its header, else None."""
+    m = _HEADER_RE.match(line)
+    if m is None:
+        return None
+    prefixes = tuple(m.group("prefix").lower().split())
+    args = m.group("args") or ""
+    dummies = tuple(
+        a.strip().lower() for a in args.split(",") if a.strip()
+    )
+    kind = m.group("kind").lower()
+    result = (m.group("result") or "").lower()
+    if kind == "function" and not result:
+        result = m.group("name").lower()
+    return ProcedureHeader(
+        name=m.group("name").lower(), kind=kind,
+        prefixes=prefixes, dummies=dummies,
+        result=result if kind == "function" else "",
+    )
+
+
+def declared_entities(line: str) -> tuple[str, ...]:
+    """Entity names a type-declaration line declares (lowercased).
+
+    ``real(r_typ), dimension(n), intent(in) :: x, y(3) = 0`` yields
+    ``("x", "y")``; non-declaration lines yield ``()``.
+    """
+    m = _TYPE_DECL_RE.match(line.split("!", 1)[0])
+    if m is None:
+        return ()
+    names: list[str] = []
+    depth = 0
+    token = ""
+    for ch in m.group("names") + ",":
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        elif ch == "," and depth == 0:
+            head = token.split("=")[0].strip()
+            ident = re.match(r"[A-Za-z_]\w*", head)
+            if ident:
+                names.append(ident.group(0).lower())
+            token = ""
+            continue
+        token += ch
+    return tuple(names)
+
+
+def declared_intent(line: str) -> str:
+    """The ``intent(...)`` a declaration line carries ("" when none)."""
+    m = _INTENT_RE.search(line.split("!", 1)[0])
+    if m is None:
+        return ""
+    return re.sub(r"\s+", "", m.group(1).lower())
+
 
 def _continuations(lines: list[str], idx: int) -> list[int]:
     """Indices of ``!$acc&`` lines directly following ``idx``."""

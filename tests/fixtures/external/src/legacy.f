@@ -1,21 +1,23 @@
-module legacy
-!
-! ****** Older utility kept with a legacy suffix; carries a declare
-! ****** directive the analyzer does not model.
-!
-  use number_types
-  implicit none
-  real(r_typ), dimension(:), allocatable :: work
+      module legacy
+c
+c ****** Older utility kept in true fixed form; carries a declare
+C ****** directive the analyzer does not model.
+* ****** Stars mark comments too.
+c
+      use number_types
+      implicit none
+      real(r_typ), dimension(:), allocatable :: work
 !$acc declare create(work)
-contains
-!
-  subroutine zero_work (n)
-    integer :: n
-    integer :: i
+      contains
+c
+      subroutine zero_work (n)
+      integer :: n
+      integer :: i
 !$acc parallel loop default(present)
-    do i = 1, n
-      work(i) = 0.0_r_typ
-    enddo
-  end subroutine zero_work
-!
-end module legacy
+      do i = 1, n
+        work(i) = 0.0_r_typ
+     &          + 0.0_r_typ
+      enddo
+      end subroutine zero_work
+c
+      end module legacy

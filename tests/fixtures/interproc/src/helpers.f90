@@ -1,0 +1,52 @@
+module helpers
+!
+! ****** Callee zoo for the interprocedural fixtures: one routine per
+! ****** side-effect class the summary pass must classify.
+!
+  use mod_state
+  implicit none
+contains
+!
+! ****** Clean worker with full intents; the IP103 fixture aliases its
+! ****** actuals.
+!
+  subroutine saxpy_line (x, y, a, n)
+    integer, intent(in) :: n
+    real, dimension(n), intent(in) :: x
+    real, dimension(n), intent(inout) :: y
+    real, intent(in) :: a
+    integer :: i
+    do i = 1, n
+      y(i) = y(i) + a * x(i)
+    enddo
+  end subroutine saxpy_line
+!
+! ****** Writes a module variable: calling this hides a loop-carried
+! ****** dependence (IP102).
+!
+  subroutine bump_accum (v)
+    real, intent(in) :: v
+    accum = accum + v
+  end subroutine bump_accum
+!
+! ****** Effectively pure but never declared so: the IP101 fix-it adds
+! ****** the attribute.
+!
+  subroutine smooth_point (x, y, i, n)
+    integer, intent(in) :: i
+    integer, intent(in) :: n
+    real, dimension(n), intent(in) :: x
+    real, dimension(n), intent(out) :: y
+    y(i) = 0.5 * x(i)
+  end subroutine smooth_point
+!
+! ****** Provably impure (I/O): no fix can make this region portable.
+!
+  subroutine log_point (x, i, n)
+    integer, intent(in) :: i
+    integer, intent(in) :: n
+    real, dimension(n), intent(in) :: x
+    write (*, *) 'x(', i, ') = ', x(i)
+  end subroutine log_point
+!
+end module helpers

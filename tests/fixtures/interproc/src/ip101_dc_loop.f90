@@ -1,0 +1,17 @@
+subroutine trace_field (x, n)
+!
+! ****** Seeded IP101 (unfixable flavor): a free-standing do concurrent
+! ****** loop calls log_point, which does I/O -- provably impure, no
+! ****** fix-it applies.
+!
+  use helpers
+  implicit none
+  integer, intent(in) :: n
+  real, dimension(n), intent(in) :: x
+  integer :: i
+!
+  do concurrent (i = 1:n)
+    call log_point (x, i, n)
+  enddo
+!
+end subroutine trace_field

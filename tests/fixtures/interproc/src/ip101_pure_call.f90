@@ -1,0 +1,20 @@
+subroutine apply_smooth (x, y, n)
+!
+! ****** Seeded IP101 (fixable flavor): the region calls smooth_point,
+! ****** which the summary proves pure -- it just lacks the attribute.
+! ****** `repro port --to dc` must refuse this file until `lint --fix`
+! ****** declares the callee pure.
+!
+  use helpers
+  implicit none
+  integer, intent(in) :: n
+  real, dimension(n), intent(in) :: x
+  real, dimension(n), intent(out) :: y
+  integer :: i
+!
+!$acc parallel loop default(present)
+  do i = 1, n
+    call smooth_point (x, y, i, n)
+  enddo
+!
+end subroutine apply_smooth

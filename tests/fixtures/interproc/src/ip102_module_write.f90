@@ -1,0 +1,18 @@
+subroutine accumulate_flux (x, n)
+!
+! ****** Seeded IP102: the region calls bump_accum, which writes the
+! ****** module variable mod_state::accum -- a hidden loop-carried
+! ****** dependence no per-loop analysis can see.
+!
+  use helpers
+  implicit none
+  integer, intent(in) :: n
+  real, dimension(n), intent(in) :: x
+  integer :: i
+!
+!$acc parallel loop default(present)
+  do i = 1, n
+    call bump_accum (x(i))
+  enddo
+!
+end subroutine accumulate_flux

@@ -1,0 +1,13 @@
+subroutine double_in_place (x, n)
+!
+! ****** Seeded IP103: x is passed for both the read-only and the
+! ****** written dummy of saxpy_line -- aliased actual arguments.
+!
+  use helpers
+  implicit none
+  integer, intent(in) :: n
+  real, dimension(n), intent(inout) :: x
+!
+  call saxpy_line (x, x, 1.0, n)
+!
+end subroutine double_in_place

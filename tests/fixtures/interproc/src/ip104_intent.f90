@@ -1,0 +1,33 @@
+module scaling
+!
+! ****** Seeded IP104: scale_point is declared pure (so IP101 stays
+! ****** quiet) but none of its dummies declare an intent; the summary
+! ****** infers one per dummy and the fix-it writes it.
+!
+  implicit none
+contains
+!
+  pure subroutine scale_point (x, s, i, n)
+    integer :: n
+    integer :: i
+    real :: s
+    real, dimension(n) :: x
+    x(i) = s * x(i)
+  end subroutine scale_point
+!
+end module scaling
+!
+subroutine apply_scale (x, s, n)
+  use scaling
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: s
+  real, dimension(n), intent(inout) :: x
+  integer :: i
+!
+!$acc parallel loop default(present)
+  do i = 1, n
+    call scale_point (x, s, i, n)
+  enddo
+!
+end subroutine apply_scale

@@ -1,0 +1,9 @@
+module mod_state
+!
+! ****** Shared solver state: the module variables callees write behind
+! ****** the linter's back in the seeded interprocedural fixtures.
+!
+  implicit none
+  real :: accum
+  integer :: nstep
+end module mod_state

@@ -65,6 +65,94 @@ class TestNormalize:
         assert f.lines == ["!$acc parallel loop", "!$acc&  async(1)"]
 
 
+class TestFixedForm:
+    """Column-discipline handling for ``.f``/``.for``/``.f77`` sources."""
+
+    @staticmethod
+    def _ffile(*lines):
+        return SourceFile("legacy.f", list(lines))
+
+    def test_suffix_gate(self):
+        from repro.fortran.frontend.normalize import is_fixed_form
+
+        assert is_fixed_form("a.f")
+        assert is_fixed_form("A.FOR")
+        assert is_fixed_form("a.f77")
+        assert not is_fixed_form("a.f90")
+        assert not is_fixed_form("a.F90")
+
+    def test_column_one_comment_markers(self):
+        f = self._ffile(
+            "c plain comment",
+            "C ****** banner",
+            "* starred comment",
+            "      x = 1",
+        )
+        normalize_file(f)
+        assert f.lines == [
+            "! plain comment",
+            "! ****** banner",
+            "! starred comment",
+            "      x = 1",
+        ]
+
+    def test_contains_and_call_in_column_one_stay_code(self):
+        f = self._ffile("contains", "call foo", "c")
+        normalize_file(f)
+        assert f.lines == ["contains", "call foo", "!"]
+
+    def test_column_six_continuation_joined_with_filler(self):
+        f = self._ffile(
+            "      x = a",
+            "     &  + b",
+            "      y = 2",
+        )
+        joined = normalize_file(f)
+        assert joined == 1
+        assert f.lines == [
+            "      x = a + b", f"{FILLER_PREFIX}1", "      y = 2",
+        ]
+
+    def test_continuation_walks_back_over_comments(self):
+        f = self._ffile(
+            "      x = a",
+            "c interleaved remark",
+            "     1  + b",
+        )
+        normalize_file(f)
+        assert f.lines == [
+            "      x = a + b",
+            "! interleaved remark",
+            f"{FILLER_PREFIX}1",
+        ]
+
+    def test_column_six_zero_is_not_a_continuation(self):
+        f = self._ffile("      x = a", "     0y = 2")
+        assert normalize_file(f) == 0
+        assert f.lines[1] == "     0y = 2"
+
+    def test_alphabetic_column_six_is_code_not_continuation(self):
+        # a free-form-style statement indented five spaces must survive
+        f = self._ffile("      x = a", "     yval = 2")
+        assert normalize_file(f) == 0
+        assert f.lines[1] == "     yval = 2"
+
+    def test_directives_never_treated_as_continuations(self):
+        f = self._ffile(
+            "      x = a",
+            "!$acc parallel loop default(present)",
+        )
+        assert normalize_file(f) == 0
+        assert f.lines[1] == "!$acc parallel loop default(present)"
+
+    def test_free_form_file_keeps_fixed_syntax_untouched(self):
+        f = _file("c = 1", "* comment-looking line")
+        normalize_file(f)
+        assert f.lines[0] == "c = 1"
+        # `*` at column 1 of free form is left alone (it is code context)
+        assert f.lines[1] == "* comment-looking line"
+
+
 class TestLower:
     def test_combined_construct_parses(self):
         res = _lower(
