@@ -1,0 +1,117 @@
+"""Ensemble batching bench: member throughput and launch amortization.
+
+Runs the same small multi-rank model as a batched ensemble at
+B in {1, 2, 4, 8} and measures what the member axis buys: members/sec
+(real wall-clock member-step throughput), kernel launches per member
+(one batched launch moves every member, so per-member launches fall as
+1/B), and the halo message count (packing all members per message keeps
+it independent of B).  Results land in ``BENCH_ensemble.json`` at the
+repo root so PRs can track the batching payoff like the other BENCH
+artifacts.
+
+Run with ``pytest benchmarks/bench_ensemble.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_block
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.model import MasModel, ModelConfig
+from repro.obs.telemetry import session
+from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_ensemble.json"
+
+STEPS = 3
+SHAPE = (8, 6, 12)
+#: Per-member nominal (cost-model) grid, shrunk from the paper's
+#: (150, 300, 800) so a B=8 batch fits the simulated 40 GB device.
+NOMINAL = (150, 300, 96)
+RANKS = 2
+MEMBERS = (1, 2, 4, 8)
+
+
+def _run_batch(members: int, out_dir: Path) -> dict:
+    with session(out_dir) as tel:
+        model = MasModel(
+            ModelConfig(shape=SHAPE, nominal_shape=NOMINAL, num_ranks=RANKS,
+                        pcg_iters=4, sts_stages=3, ensemble_size=members),
+            runtime_config_for(CodeVersion.A),
+        )
+        t0 = time.perf_counter()
+        model.run(STEPS)
+        elapsed = time.perf_counter() - t0
+        metrics = json.loads(tel.metrics.to_json_text())
+    launches = sum(rt.stats.launches for rt in model.ranks)
+    halo_msgs = sum(
+        s["value"]
+        for s in metrics.get("halo_messages_total", {}).get("samples", [])
+        if "value" in s
+    )
+    return {
+        "members": members,
+        "elapsed_seconds": elapsed,
+        "member_steps_per_sec": members * STEPS / elapsed,
+        "launches": int(launches),
+        "launches_per_member": launches / members,
+        "halo_messages": int(halo_msgs),
+        "sim_wall_seconds": max(rt.clock.now for rt in model.ranks),
+    }
+
+
+def test_ensemble_batching(tmp_path, benchmark):
+    runs = benchmark.pedantic(
+        lambda: {b: _run_batch(b, tmp_path / f"b{b}") for b in MEMBERS},
+        rounds=1, iterations=1,
+    )
+
+    serial = runs[1]
+    result = {
+        "schema": "repro-bench-ensemble/1",
+        "config": {"steps": STEPS, "shape": list(SHAPE), "ranks": RANKS,
+                   "version": "A"},
+        "batches": {},
+    }
+    for b in MEMBERS:
+        r = runs[b]
+        result["batches"][str(b)] = {
+            "members": b,
+            "member_steps_per_sec": round(r["member_steps_per_sec"], 2),
+            "throughput_vs_serial": round(
+                r["member_steps_per_sec"] / serial["member_steps_per_sec"], 3
+            ),
+            "launches": r["launches"],
+            "launches_per_member": round(r["launches_per_member"], 2),
+            "launch_amortization": round(
+                serial["launches_per_member"] / r["launches_per_member"], 3
+            ),
+            "halo_messages": r["halo_messages"],
+            "sim_wall_seconds": r["sim_wall_seconds"],
+        }
+    ARTIFACT.write_text(json.dumps(result, indent=2) + "\n")
+
+    t = Table(
+        ["B", "member-steps/s", "vs serial", "launches/member",
+         "amortization", "halo msgs"],
+        title=f"Ensemble batching, {STEPS} steps of {SHAPE} on {RANKS} ranks",
+    )
+    for b in MEMBERS:
+        s = result["batches"][str(b)]
+        t.add_row([b, s["member_steps_per_sec"], s["throughput_vs_serial"],
+                   s["launches_per_member"], s["launch_amortization"],
+                   s["halo_messages"]])
+    print_block("ENSEMBLE BATCHING -- member-axis amortization",
+                t.render() + f"\nwrote {ARTIFACT}")
+
+    b8 = result["batches"]["8"]
+    # batching must amortize launches >= 4x per member at B=8, keep the
+    # MPI message count independent of B, and lift member throughput >= 3x
+    assert b8["launch_amortization"] >= 4.0
+    assert b8["halo_messages"] == serial["halo_messages"]
+    assert b8["throughput_vs_serial"] >= 3.0

@@ -271,6 +271,148 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_vary(spec: str, members: int) -> tuple[str, tuple[float, ...]]:
+    """Parse one ``param=lo:hi[:log]`` sweep axis into per-member values."""
+    import numpy as np
+
+    from repro.mas.model import ENSEMBLE_VARY_PARAMS
+
+    name, sep, rng = spec.partition("=")
+    if not sep or not rng:
+        raise ValueError(f"--vary {spec!r}: expected param=lo:hi[:log]")
+    if name not in ENSEMBLE_VARY_PARAMS:
+        raise ValueError(
+            f"--vary {name!r}: choose from {', '.join(ENSEMBLE_VARY_PARAMS)}"
+        )
+    parts = rng.split(":")
+    log = parts[-1] == "log"
+    if log:
+        parts = parts[:-1]
+    if len(parts) != 2:
+        raise ValueError(f"--vary {spec!r}: expected param=lo:hi[:log]")
+    lo, hi = float(parts[0]), float(parts[1])
+    if log and (lo <= 0 or hi <= 0):
+        raise ValueError(f"--vary {spec!r}: log spacing needs positive bounds")
+    if members == 1:
+        values = np.array([lo])
+    elif log:
+        values = np.geomspace(lo, hi, members)
+    else:
+        values = np.linspace(lo, hi, members)
+    return name, tuple(float(v) for v in values)
+
+
+def _render_member_rows(rows: list[dict]) -> str:
+    """Per-member convergence table shared by ``sweep`` and the telemetry
+    summary."""
+    from repro.util.tables import Table
+
+    base = ("member", "sim_time", "dt", "pcg_iterations", "pcg_converged",
+            "pcg_breakdown")
+    vary_cols = [k for k in rows[0] if k not in base]
+    t = Table(["member", *vary_cols, "sim_time", "dt", "pcg_iters",
+               "converged", "breakdown"])
+    for r in rows:
+        t.add_row(
+            [
+                r["member"],
+                *(f"{r[k]:.6g}" for k in vary_cols),
+                f"{r['sim_time']:.5f}",
+                "-" if r.get("dt") is None else f"{r['dt']:.5f}",
+                r["pcg_iterations"],
+                r["pcg_converged"],
+                "yes" if r["pcg_breakdown"] else "no",
+            ]
+        )
+    return t.render()
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Ensemble parameter sweep: B members advanced in one batched model."""
+    import json as _json
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.mas.model import MasModel, ModelConfig
+    from repro.obs.telemetry import current as _current_telemetry
+
+    version = CodeVersion[args.version]
+    rt_cfg = runtime_config_for(version)
+    if args.fuse_regions:
+        rt_cfg = replace(rt_cfg, cross_region_fusion=True)
+    try:
+        vary = tuple(_parse_vary(s, args.members) for s in (args.vary or []))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.nominal_shape is not None:
+        nominal = tuple(args.nominal_shape)
+    else:
+        # The paper grid per member would overflow the simulated device at
+        # B >= 4; shrink each member's nominal phi extent so the aggregate
+        # batch footprint stays at paper scale.
+        nr, nt, nphi = ModelConfig.__dataclass_fields__["nominal_shape"].default
+        nominal = (nr, nt, max(1, nphi // args.members))
+    with _telemetry_session(args):
+        model = MasModel(
+            ModelConfig(
+                shape=tuple(args.shape),
+                nominal_shape=nominal,
+                num_ranks=args.ranks,
+                pcg_iters=args.pcg_iters,
+                pcg_variant=args.pcg,
+                pcg_precond=args.precond,
+                pcg_tol=args.pcg_tol,
+                cheby_degree=args.cheby_degree,
+                sts_stages=args.sts_stages,
+                halo_overlap=args.halo_overlap,
+                ensemble_size=args.members,
+                ensemble_vary=vary,
+            ),
+            rt_cfg,
+        )
+        print(
+            f"sweep: {args.members} member(s) under "
+            f"{version_info(version).tag}, varying "
+            f"{', '.join(n for n, _ in vary) if vary else 'nothing'}"
+        )
+        for i, t in enumerate(model.run(args.steps)):
+            print(
+                f"step {i:3d}  dt={t.dt:.5f}  wall={t.wall * 1e3:8.2f} ms  "
+                f"mpi={t.mpi * 1e3:7.2f} ms  launches={t.launches}"
+            )
+        rows = model.ensemble_report()
+        tel = _current_telemetry()
+        if tel.enabled:
+            for row in rows:
+                tel.logger.log("sweep_member", **row)
+    print()
+    print(_render_member_rows(rows))
+    manifest = {
+        "schema": "repro-sweep/1",
+        "members": args.members,
+        "vary": {name: list(values) for name, values in vary},
+        "version": version.name,
+        "ranks": args.ranks,
+        "steps": args.steps,
+        "shape": list(args.shape),
+        "nominal_shape": list(nominal),
+        "pcg_variant": args.pcg,
+        "pcg_precond": args.precond,
+        "member_rows": rows,
+    }
+    targets = []
+    if args.telemetry:
+        targets.append(Path(args.telemetry) / "sweep.json")
+    if args.manifest:
+        targets.append(Path(args.manifest))
+    for target in targets:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(_json.dumps(manifest, indent=2) + "\n")
+        print(f"wrote {target}")
+    return 0
+
+
 def cmd_port(args: argparse.Namespace) -> int:
     from repro.fortran.codebase import generate_mas_codebase
     from repro.fortran.metrics import measure
@@ -475,12 +617,35 @@ def cmd_critpath(args: argparse.Namespace) -> int:
     from repro.obs import telemetry as tmod
     from pathlib import Path
 
+    def _sweep_fallback(reason: str) -> int | None:
+        """Sweep telemetry dirs carry aggregate batched-kernel traces that
+        have no per-rank critical path; degrade to the per-member summary
+        instead of a hard error."""
+        import json as _json
+
+        sweep_file = Path(args.dir) / "sweep.json"
+        if not sweep_file.exists():
+            return None
+        sweep = _json.loads(sweep_file.read_text())
+        print(f"(sweep telemetry directory: {reason}; "
+              "showing per-member convergence instead)")
+        rows = sweep.get("member_rows") or []
+        if rows:
+            print(_render_member_rows(rows))
+        return 0
+
     try:
         results = analyze_dir(args.dir)
     except FileNotFoundError as exc:
+        fb = _sweep_fallback(str(exc))
+        if fb is not None:
+            return fb
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if not results:
+        fb = _sweep_fallback("trace has no per-rank profiler events")
+        if fb is not None:
+            return fb
         print("error: trace has no per-rank profiler events to analyze",
               file=sys.stderr)
         return 1
@@ -701,6 +866,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_overlap_options(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="ensemble parameter sweep: advance B members in one batched model",
+    )
+    p.add_argument("--members", type=int, required=True, metavar="N",
+                   help="ensemble size B (all members advance in one "
+                   "batched kernel stream; launches and halo messages "
+                   "amortize ~B-fold)")
+    p.add_argument("--vary", action="append", default=[],
+                   metavar="PARAM=LO:HI[:log]",
+                   help="sweep one parameter linearly (or log-spaced) "
+                   "across members; repeatable; params: b0, perturbation, "
+                   "viscosity, resistivity")
+    p.add_argument("--manifest", metavar="FILE", default=None,
+                   help="also write the sweep manifest JSON here (always "
+                   "written into the --telemetry dir as sweep.json)")
+    p.add_argument("--version", default="A", choices=[v.name for v in CodeVersion])
+    p.add_argument("--ranks", type=int, default=1)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--shape", type=int, nargs=3, default=[12, 10, 20],
+                   metavar=("NR", "NT", "NP"))
+    p.add_argument("--nominal-shape", type=int, nargs=3, default=None,
+                   metavar=("NR", "NT", "NP"),
+                   help="per-member nominal (cost-model) grid; defaults to "
+                   "the paper grid with its phi extent divided by B so the "
+                   "whole batch fits simulated device memory")
+    p.add_argument("--pcg-iters", type=int, default=5)
+    p.add_argument("--pcg-tol", type=float, default=0.0,
+                   help="PCG early-exit relative residual; a converged "
+                   "member freezes via mask and never stalls the batch")
+    p.add_argument("--cheby-degree", type=int, default=3)
+    p.add_argument("--sts-stages", type=int, default=5)
+    _add_pcg_options(p)
+    _add_overlap_options(p)
+    _add_telemetry(p)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("port", help="run the source-porting pipeline")
     p.add_argument("path", nargs="?", default=None,

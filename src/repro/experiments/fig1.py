@@ -70,7 +70,7 @@ def run_fig1(
     return Fig1Result(
         meridional_temp=temp[:, :, k_cut].copy(),
         shell_temp=temp[r_cut].copy(),
-        r_centers=grid.rc[i[0]].copy(),
+        r_centers=grid.rc[i[-3]].copy(),
         diagnostics=model.diagnostics(),
         steps=steps,
         time=model.time,

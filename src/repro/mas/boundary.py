@@ -30,15 +30,18 @@ from repro.mpi.decomp import Decomposition3D
 class BoundaryProfiles:
     """Frozen inner-boundary (solar surface) values per rank."""
 
-    rho_inner: np.ndarray  # shape (ntg, npg): boundary cell values
+    rho_inner: np.ndarray  # shape (..., ntg, npg): boundary cell values
     temp_inner: np.ndarray
 
     @classmethod
     def capture(cls, state: MhdState) -> "BoundaryProfiles":
-        """Freeze the initial first-interior-shell values as the BC."""
+        """Freeze the initial first-interior-shell values as the BC.
+
+        Batched states capture per-member profiles (leading member axis).
+        """
         return cls(
-            rho_inner=state.rho[1].copy(),
-            temp_inner=state.temp[1].copy(),
+            rho_inner=state.rho[..., 1, :, :].copy(),
+            temp_inner=state.temp[..., 1, :, :].copy(),
         )
 
 
@@ -60,22 +63,23 @@ def apply_boundaries(
 
     # ---- inner r (axis 0, low) -------------------------------------------------
     if _owns(decomp, rank, 0, -1):
-        state.rho[0] = profiles.rho_inner
-        state.temp[0] = profiles.temp_inner
-        state.vr[0] = -state.vr[1]
-        state.vt[0] = -state.vt[1]
-        state.vp[0] = -state.vp[1]
-        state.br[0] = state.br[1]
-        state.bt[0] = state.bt[1]
-        state.bp[0] = state.bp[1]
+        state.rho[..., 0, :, :] = profiles.rho_inner
+        state.temp[..., 0, :, :] = profiles.temp_inner
+        state.vr[..., 0, :, :] = -state.vr[..., 1, :, :]
+        state.vt[..., 0, :, :] = -state.vt[..., 1, :, :]
+        state.vp[..., 0, :, :] = -state.vp[..., 1, :, :]
+        state.br[..., 0, :, :] = state.br[..., 1, :, :]
+        state.bt[..., 0, :, :] = state.bt[..., 1, :, :]
+        state.bp[..., 0, :, :] = state.bp[..., 1, :, :]
 
     # ---- outer r (axis 0, high): zero-gradient ----------------------------------
     if _owns(decomp, rank, 0, 1):
         for name in ("rho", "temp", "vr", "vt", "vp", "br", "bt", "bp"):
             a = state.get(name)
-            a[-1] = a[-2]
+            a[..., -1, :, :] = a[..., -2, :, :]
         # open boundary: forbid inflow through the outer shell
-        np.maximum(state.vr[-1], 0.0, out=state.vr[-1])
+        outer = state.vr[..., -1, :, :]
+        np.maximum(outer, 0.0, out=outer)
 
     # ---- theta cutouts (axis 1): reflective ---------------------------------------
     for direction, ghost_i, mirror_i in ((-1, 0, 1), (1, -1, -2)):
@@ -83,8 +87,8 @@ def apply_boundaries(
             continue
         for name in ("rho", "temp", "vr", "vp", "br", "bt", "bp"):
             a = state.get(name)
-            a[:, ghost_i] = a[:, mirror_i]
-        state.vt[:, ghost_i] = -state.vt[:, mirror_i]
+            a[..., :, ghost_i, :] = a[..., :, mirror_i, :]
+        state.vt[..., :, ghost_i, :] = -state.vt[..., :, mirror_i, :]
 
 
 def apply_centered_boundary(
@@ -100,12 +104,12 @@ def apply_centered_boundary(
     ghosts but have no physical boundary data of their own.
     """
     if _owns(decomp, rank, 0, -1):
-        arr[0] = arr[1]
+        arr[..., 0, :, :] = arr[..., 1, :, :]
     if _owns(decomp, rank, 0, 1):
-        arr[-1] = arr[-2]
+        arr[..., -1, :, :] = arr[..., -2, :, :]
     for direction, ghost_i, mirror_i in ((-1, 0, 1), (1, -1, -2)):
         if _owns(decomp, rank, 1, direction):
             if antisymmetric_theta:
-                arr[:, ghost_i] = -arr[:, mirror_i]
+                arr[..., :, ghost_i, :] = -arr[..., :, mirror_i, :]
             else:
-                arr[:, ghost_i] = arr[:, mirror_i]
+                arr[..., :, ghost_i, :] = arr[..., :, mirror_i, :]

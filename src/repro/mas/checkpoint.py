@@ -17,7 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.mas.model import MasModel
-from repro.mas.state import ALL_FIELDS
+from repro.mas.state import ALL_FIELDS, stagger_axis
 
 #: Format version for forward-compat checks.
 CHECKPOINT_FORMAT = 1
@@ -27,6 +27,24 @@ class CheckpointError(RuntimeError):
     """Raised when a restart file cannot be applied to a model."""
 
 
+def _jsonable(v):
+    """float / (B,) array / None -> a JSON-serializable value."""
+    if v is None:
+        return None
+    if isinstance(v, np.ndarray):
+        return [float(x) for x in v]
+    return float(v)
+
+
+def _from_jsonable(v):
+    """Inverse of :func:`_jsonable` (lists come back as (B,) arrays)."""
+    if v is None:
+        return None
+    if isinstance(v, list):
+        return np.asarray(v, dtype=float)
+    return float(v)
+
+
 @dataclass(frozen=True, slots=True)
 class CheckpointInfo:
     """Metadata stored alongside the arrays."""
@@ -34,11 +52,20 @@ class CheckpointInfo:
     format: int
     shape: tuple[int, int, int]
     num_ranks: int
-    time: float
+    #: Simulated time; a length-B list for ensemble runs (members advance
+    #: under their own CFL steps).
+    time: float | list
     steps_taken: int
     #: Timestep controller state (the dt growth limiter's memory); None in
-    #: a never-stepped model.
-    last_dt: float | None = None
+    #: a never-stepped model, a length-B list for ensemble runs.
+    last_dt: float | list | None = None
+    #: Ensemble batch size the run was checkpointed at (1 = scalar).
+    ensemble_size: int = 1
+    #: Array dtype name; restores refuse a silent cast.
+    dtype: str = "float64"
+    #: Stagger axis per field name (None = cell-centered), so a restore
+    #: can verify the staggering convention instead of trusting shapes.
+    stagger: dict | None = None
 
     def to_json(self) -> str:
         """Serialize for embedding in the npz."""
@@ -50,6 +77,9 @@ class CheckpointInfo:
                 "time": self.time,
                 "steps_taken": self.steps_taken,
                 "last_dt": self.last_dt,
+                "ensemble_size": self.ensemble_size,
+                "dtype": self.dtype,
+                "stagger": self.stagger,
             }
         )
 
@@ -64,6 +94,9 @@ class CheckpointInfo:
             time=d["time"],
             steps_taken=d["steps_taken"],
             last_dt=d.get("last_dt"),
+            ensemble_size=d.get("ensemble_size", 1),
+            dtype=d.get("dtype", "float64"),
+            stagger=d.get("stagger"),
         )
 
 
@@ -78,9 +111,12 @@ def save_checkpoint(model: MasModel, path: str | Path) -> CheckpointInfo:
         format=CHECKPOINT_FORMAT,
         shape=model.config.shape,
         num_ranks=model.config.num_ranks,
-        time=model.time,
+        time=_jsonable(model.time),
         steps_taken=model.steps_taken,
-        last_dt=model._last_dt,
+        last_dt=_jsonable(model._last_dt),
+        ensemble_size=model.config.ensemble_size,
+        dtype=str(model.states[0].rho.dtype.name),
+        stagger={name: stagger_axis(name) for name in ALL_FIELDS},
     )
     arrays: dict[str, np.ndarray] = {"_meta": np.frombuffer(info.to_json().encode(), dtype=np.uint8)}
     for r, state in enumerate(model.states):
@@ -121,6 +157,18 @@ def load_checkpoint(model: MasModel, path: str | Path) -> CheckpointInfo:
         raise CheckpointError(
             f"checkpoint has {info.num_ranks} ranks, model has {model.config.num_ranks}"
         )
+    if info.ensemble_size != model.config.ensemble_size:
+        raise CheckpointError(
+            f"checkpoint has {info.ensemble_size} ensemble member(s), "
+            f"model has {model.config.ensemble_size}"
+        )
+    if info.stagger is not None:
+        for name in ALL_FIELDS:
+            if info.stagger.get(name) != stagger_axis(name):
+                raise CheckpointError(
+                    f"{name}: checkpoint stagger axis {info.stagger.get(name)} "
+                    f"!= this build's {stagger_axis(name)}"
+                )
     with np.load(Path(path)) as data:
         for r, state in enumerate(model.states):
             for name in ALL_FIELDS:
@@ -133,11 +181,15 @@ def load_checkpoint(model: MasModel, path: str | Path) -> CheckpointInfo:
                     raise CheckpointError(
                         f"{key}: shape {arr.shape} != expected {target.shape}"
                     )
+                if arr.dtype != target.dtype:
+                    raise CheckpointError(
+                        f"{key}: dtype {arr.dtype} != expected {target.dtype}"
+                    )
                 target[:] = arr
             # restart pushes everything back to the device
             for name in ALL_FIELDS:
                 model.ranks[r].update_device(name)
-    model.time = info.time
+    model.time = _from_jsonable(info.time)
     model.steps_taken = info.steps_taken
-    model._last_dt = info.last_dt
+    model._last_dt = _from_jsonable(info.last_dt)
     return info

@@ -32,7 +32,7 @@ def conduction_rhs(
     kap = kappa_centered(temp, params)
     flux_div = diffuse_flux_div(temp, grid, harmonic_face_coeff(kap))
     out = np.zeros_like(temp)
-    inner = (slice(1, -1), slice(1, -1), slice(1, -1))
+    inner = (Ellipsis, slice(1, -1), slice(1, -1), slice(1, -1))
     out[inner] = (
         (params.gamma - 1.0)
         * flux_div[inner]
@@ -43,6 +43,6 @@ def conduction_rhs(
 
 def max_diffusivity(temp: np.ndarray, rho: np.ndarray, params: PhysicsParams) -> float:
     """Largest effective diffusion coefficient, for STS stage sizing."""
-    kap = kappa_centered(temp[1:-1, 1:-1, 1:-1], params)
-    rho_i = np.maximum(rho[1:-1, 1:-1, 1:-1], params.rho_floor)
+    kap = kappa_centered(temp[..., 1:-1, 1:-1, 1:-1], params)
+    rho_i = np.maximum(rho[..., 1:-1, 1:-1, 1:-1], params.rho_floor)
     return float(((params.gamma - 1.0) * kap / rho_i).max())

@@ -157,19 +157,26 @@ class LocalGrid:
         s[axis] += 1
         return tuple(s)  # type: ignore[return-value]
 
-    def interior(self) -> tuple[slice, slice, slice]:
-        """Slices selecting the interior of a ghosted centered array."""
-        g = self.ghost
-        return tuple(slice(g, n + g) for n in self.interior_shape)  # type: ignore[return-value]
+    def interior(self) -> tuple:
+        """Index selecting the interior of a ghosted centered array.
 
-    def face_interior(self, axis: int) -> tuple[slice, slice, slice]:
-        """Slices selecting interior faces of a face array (incl. both
-        boundary faces along the staggered axis)."""
+        The tuple is ``(Ellipsis, slice_r, slice_t, slice_p)``: the
+        leading Ellipsis makes the same index work on scalar 3-D arrays
+        and member-batched 4-D arrays (the spatial axes are always the
+        trailing three). The spatial slices sit at positions -3..-1.
+        """
+        g = self.ghost
+        return (Ellipsis, *(slice(g, n + g) for n in self.interior_shape))
+
+    def face_interior(self, axis: int) -> tuple:
+        """Index selecting interior faces of a face array (incl. both
+        boundary faces along the staggered axis); Ellipsis-prefixed like
+        :meth:`interior` so it applies to batched arrays too."""
         g = self.ghost
         out = []
         for a, n in enumerate(self.interior_shape):
             out.append(slice(g, n + g + (1 if a == axis else 0)))
-        return tuple(out)  # type: ignore[return-value]
+        return (Ellipsis, *out)
 
     # -- 1-D coordinates ------------------------------------------------------
 

@@ -41,11 +41,14 @@ from repro.mas.pcg import (
     chebyshev_preconditioner,
     jacobi_spectral_bounds,
     pcg_solve,
+    pcg_solve_batched,
     pcg_solve_ca,
+    pcg_solve_ca_batched,
     pcg_solve_pipelined,
+    pcg_solve_pipelined_batched,
 )
 from repro.mas.radiation import energy_source_rate, heating_profile
-from repro.mas.state import MhdState
+from repro.mas.state import EnsembleState, MhdState
 from repro.mas.semi_implicit import max_wave_speed, si_coefficient
 from repro.mas.sts import explicit_parabolic_dt, rkl2_advance, stages_for_dt
 from repro.mas.viscosity import implicit_matvec, jacobi_diagonal
@@ -95,6 +98,14 @@ _AXPY_ROLES = {
     ("q", "m"): ("pcg_q", "pcg_z"),
     ("z", "n"): ("pcg_az", "pcg_ap"),
 }
+
+#: Parameters a sweep may vary per ensemble member.  ``b0`` and
+#: ``perturbation`` enter the initial condition; ``viscosity`` and
+#: ``resistivity`` broadcast as (B,1,1,1) coefficient arrays through the
+#: implicit solve and EMF assembly.  (Other :class:`PhysicsParams` fields
+#: feed scalar control logic -- CFL constants, floors, stage sizing --
+#: and are deliberately not per-member.)
+ENSEMBLE_VARY_PARAMS = ("b0", "perturbation", "viscosity", "resistivity")
 
 
 @dataclass(frozen=True)
@@ -148,6 +159,17 @@ class ModelConfig:
     #: Maximum factor dt may grow between steps (production codes ramp the
     #: step up slowly after transients; shrinking is never limited).
     dt_growth_limit: float = 1.25
+    #: Initial non-axisymmetric density perturbation amplitude.
+    perturbation: float = 0.02
+    #: Ensemble batch size B.  1 keeps the legacy scalar 3-D state layout
+    #: (bit-identical to the pre-ensemble code path); B > 1 prepends a
+    #: member axis to every state/work array so one kernel advances all
+    #: members at once -- launches and halo messages amortize ~B-fold.
+    ensemble_size: int = 1
+    #: Per-member parameter overrides for sweeps, as
+    #: ``((name, (v_0, ..., v_{B-1})), ...)`` with names from
+    #: :data:`ENSEMBLE_VARY_PARAMS`.
+    ensemble_vary: tuple = ()
 
     def __post_init__(self) -> None:
         if any(n < 4 for n in self.shape):
@@ -177,6 +199,20 @@ class ModelConfig:
             raise ValueError("si_theta cannot be negative")
         if self.dt_growth_limit <= 1.0:
             raise ValueError("dt_growth_limit must exceed 1")
+        if self.ensemble_size < 1:
+            raise ValueError("ensemble_size must be >= 1")
+        for entry in self.ensemble_vary:
+            name, values = entry
+            if name not in ENSEMBLE_VARY_PARAMS:
+                raise ValueError(
+                    f"cannot vary {name!r} per member; choose from "
+                    f"{ENSEMBLE_VARY_PARAMS}"
+                )
+            if len(values) != self.ensemble_size:
+                raise ValueError(
+                    f"vary {name!r} needs {self.ensemble_size} values, "
+                    f"got {len(values)}"
+                )
 
 
 @dataclass(slots=True)
@@ -217,9 +253,24 @@ class MasModel:
     ) -> None:
         self.config = config
         self.rt_config = runtime_config
-        self.time = 0.0
+        #: Simulated physical time; a (B,) array in ensemble runs (members
+        #: advance under their own CFL steps).
+        self.time: float | np.ndarray = 0.0
         self.steps_taken = 0
-        self._last_dt: float | None = None
+        self._last_dt: float | np.ndarray | None = None
+        #: Ensemble batching: B > 1 switches every state/work array to the
+        #: member-batched 4-D layout.  B == 1 keeps the scalar arrays and
+        #: the exact pre-ensemble code path.
+        self.ensemble = config.ensemble_size > 1
+        self._vary = {
+            name: np.asarray(values, dtype=float)
+            for name, values in config.ensemble_vary
+        }
+        #: Members frozen by a PCG rho-breakdown (sticky across steps).
+        self._member_breakdown = np.zeros(config.ensemble_size, dtype=bool)
+        #: Cumulative per-member PCG iteration / tol-convergence counters.
+        self._member_pcg_iterations = np.zeros(config.ensemble_size, dtype=int)
+        self._member_pcg_converged = np.zeros(config.ensemble_size, dtype=int)
         #: Overlapped halo exchanges: requested by the model config AND
         #: supported by the runtime (codes without async queues degrade
         #: gracefully to bulk-synchronous exchanges).
@@ -312,9 +363,38 @@ class MasModel:
             self.reduce_link = SLINGSHOT
 
         # -- states, boundary profiles, work arrays -----------------------------
-        self.states = [
-            initialize(g, config.params, b0=config.b0) for g in self.local_grids
-        ]
+        if self.ensemble:
+            nb = config.ensemble_size
+            b0s = self._vary.get("b0", np.full(nb, config.b0))
+            perts = self._vary.get(
+                "perturbation", np.full(nb, config.perturbation)
+            )
+            # Each member initializes exactly as its scalar run would, then
+            # the members stack into one (B, ...) array per field.
+            self.states = [
+                EnsembleState.stack(
+                    [
+                        initialize(
+                            g,
+                            config.params,
+                            b0=float(b0s[b]),
+                            perturbation=float(perts[b]),
+                        )
+                        for b in range(nb)
+                    ]
+                )
+                for g in self.local_grids
+            ]
+        else:
+            self.states = [
+                initialize(
+                    g,
+                    config.params,
+                    b0=config.b0,
+                    perturbation=config.perturbation,
+                )
+                for g in self.local_grids
+            ]
         self._register_arrays()
         self.profiles = [BoundaryProfiles.capture(s) for s in self.states]
         self.heating = [heating_profile(g, config.params) for g in self.local_grids]
@@ -327,6 +407,9 @@ class MasModel:
             pack_inefficiency=halo_pack_inefficiency,
             buffer_init_fraction=halo_buffer_init_fraction,
             rank_nodes=self.rank_nodes,
+            # Batched runs move every member's ghost layer in the SAME
+            # message: payloads widen B-fold, message COUNT is unchanged.
+            element_bytes=8 * config.ensemble_size,
         )
         # Register with the active telemetry session (no-op by default):
         # attaches the session profiler to the rank clocks, rebinds the span
@@ -352,7 +435,11 @@ class MasModel:
         if staggered_axis is not None:
             shape[staggered_axis] += 1
         cells = shape[0] * shape[1] * shape[2]
-        return cells * 8
+        # Ensemble runs: one registered array holds all B members, so its
+        # nominal footprint (and thus every kernel's byte cost) scales by
+        # B while the LAUNCH count stays that of a scalar run -- the
+        # per-member amortization the batching buys.
+        return cells * 8 * self.config.ensemble_size
 
     def _register_arrays(self) -> None:
         um = self.rt_config.unified_memory
@@ -499,11 +586,13 @@ class MasModel:
 
     # ------------------------------------------------------------------- step
 
-    def compute_dt(self) -> float:
+    def compute_dt(self) -> float | np.ndarray:
         """CFL timestep: local fast-speed reduction + global min.
 
         The returned step is additionally rate-limited: it may grow by at
-        most ``dt_growth_limit`` per step (it shrinks freely).
+        most ``dt_growth_limit`` per step (it shrinks freely).  Ensemble
+        runs return a per-member ``(B,)`` step (elementwise global min --
+        a converged/stiff member never throttles the others' physics).
         """
         if self.config.fixed_dt is not None:
             return self.config.fixed_dt
@@ -512,7 +601,7 @@ class MasModel:
             state, grid = self.states[r], self.local_grids[r]
             p = self.config.params
 
-            def body(state=state, grid=grid, p=p) -> float:
+            def body(state=state, grid=grid, p=p) -> float | np.ndarray:
                 i = grid.interior()
                 bcr, bct, bcp = ops.face_to_center(state.br, state.bt, state.bp)
                 rho = np.maximum(state.rho[i], p.rho_floor)
@@ -522,6 +611,10 @@ class MasModel:
                     state.vr[i] ** 2 + state.vt[i] ** 2 + state.vp[i] ** 2
                 )
                 speed = vmag + np.sqrt(va2 + cs2)
+                if speed.ndim > 3:  # batched: one max per member
+                    return p.cfl * grid.min_cell_extent / speed.max(
+                        axis=(-3, -2, -1)
+                    )
                 return p.cfl * grid.min_cell_extent / float(speed.max())
 
             # MAS's remaining `kernels` regions wrap Fortran intrinsics like
@@ -537,17 +630,27 @@ class MasModel:
                     )
                 )
             )
-        dt = float(
-            allreduce_min(
-                self.ranks,
-                locals_,
-                self.reduce_link,
-                unified_memory=self.rt_config.unified_memory,
-            )
+        dt = allreduce_min(
+            self.ranks,
+            locals_,
+            self.reduce_link,
+            nbytes=8 * self.config.ensemble_size,
+            unified_memory=self.rt_config.unified_memory,
         )
+        if not isinstance(dt, np.ndarray):
+            dt = float(dt)
         if self._last_dt is not None:
-            dt = min(dt, self._last_dt * self.config.dt_growth_limit)
+            limit = self._last_dt * self.config.dt_growth_limit
+            dt = np.minimum(dt, limit) if isinstance(dt, np.ndarray) else min(dt, limit)
         self._last_dt = dt
+        return dt
+
+    @staticmethod
+    def _dt_field(dt: float | np.ndarray) -> float | np.ndarray:
+        """A per-member quantity reshaped to broadcast against batched
+        ``(B, nr, nt, np)`` state arrays; scalars pass through."""
+        if isinstance(dt, np.ndarray):
+            return dt[:, None, None, None]
         return dt
 
     def step(self) -> StepTiming:
@@ -593,7 +696,7 @@ class MasModel:
                 self._energy_sources(dt)
                 self._floors()
 
-        self.time += dt
+        self.time = self.time + dt
         self.steps_taken += 1
         for rt in self.ranks:
             rt.sync()
@@ -610,7 +713,10 @@ class MasModel:
             )
         )
         launches = sum(rt.stats.launches for rt in self.ranks) - launches0
-        timing = StepTiming(dt=dt, wall=wall, mpi=mpi, compute=comp, launches=launches)
+        timing = StepTiming(
+            dt=float(np.min(dt)), wall=wall, mpi=mpi, compute=comp,
+            launches=launches,
+        )
         if tel.enabled:
             self._record_step(tel, timing, cat0)
         return timing
@@ -630,7 +736,20 @@ class MasModel:
         tel.metrics.gauge("sim_dt", "last CFL timestep (simulation units)").set(
             timing.dt
         )
-        tel.metrics.gauge("sim_time", "simulated physical time").set(self.time)
+        sim_time = float(np.min(np.asarray(self.time)))
+        tel.metrics.gauge("sim_time", "simulated physical time").set(sim_time)
+        extra: dict = {}
+        if self.ensemble:
+            nb = self.config.ensemble_size
+            active = nb - int(self._member_breakdown.sum())
+            tel.metrics.gauge(
+                "ensemble_members", "ensemble batch size B"
+            ).set(float(nb))
+            tel.metrics.gauge(
+                "ensemble_members_active",
+                "members not frozen by a PCG rho-breakdown",
+            ).set(float(active))
+            extra = {"ensemble_members": nb, "ensemble_members_active": active}
         tel.logger.log(
             "step",
             step=self.steps_taken - 1,
@@ -639,8 +758,9 @@ class MasModel:
             mpi=float(timing.mpi),
             compute=float(timing.compute),
             launches=int(timing.launches),
-            sim_time=float(self.time),
+            sim_time=sim_time,
             categories=categories,
+            **extra,
         )
         tel.maybe_snapshot_metrics()
 
@@ -664,8 +784,9 @@ class MasModel:
                 for name in WORK_ARRAYS:
                     rt.loop(KernelSpec(f"wrapper_zero_{name}", writes=(name,)))
 
-    def _hydro_advance(self, dt: float) -> None:
+    def _hydro_advance(self, dt: float | np.ndarray) -> None:
         p = self.config.params
+        dt = self._dt_field(dt)
         for r, rt in enumerate(self.ranks):
             state, grid = self.states[r], self.local_grids[r]
             work: dict[str, np.ndarray] = {}
@@ -729,8 +850,9 @@ class MasModel:
             def body(state=state, grid=grid) -> np.ndarray:
                 i = grid.interior()
                 rhovr = state.rho[i] * state.vr[i]
-                area = grid.area_r[1:-1][:, 1:-1, 1:-1][: rhovr.shape[0]]
-                return (rhovr * area).sum(axis=(1, 2))
+                area = grid.area_r[1:-1][:, 1:-1, 1:-1][: rhovr.shape[-3]]
+                # one radial profile per member in batched runs
+                return (rhovr * area).sum(axis=(-2, -1))
 
             self._last_flux_profile.append(
                 rt.array_reduction(
@@ -743,8 +865,9 @@ class MasModel:
                 )
             )
 
-    def _momentum_predictor(self, dt: float, pending=None) -> None:
+    def _momentum_predictor(self, dt: float | np.ndarray, pending=None) -> None:
         p = self.config.params
+        dt = self._dt_field(dt)
         for r, rt in enumerate(self.ranks):
             state, grid = self.states[r], self.local_grids[r]
             work = getattr(self, f"_work_{r}")
@@ -781,7 +904,7 @@ class MasModel:
                 gp = ops.grad_center(work["pres"], grid)
                 i = grid.interior()
                 rho_i = np.maximum(state.rho[i], p.rho_floor)
-                grav_i = (p.gravity / grid.rc[i[0]] ** 2)[:, None, None]
+                grav_i = (p.gravity / grid.rc[i[-3]] ** 2)[:, None, None]
                 lor = work["lor"]
                 adv = work["adv"]
 
@@ -808,13 +931,18 @@ class MasModel:
 
     # -- implicit velocity solves (viscosity & semi-implicit) ------------------------
 
-    def _viscosity_solve(self, dt: float) -> None:
-        nu = self.config.params.viscosity
-        if nu == 0.0:
+    def _viscosity_solve(self, dt: float | np.ndarray) -> None:
+        nu = self._vary_param("viscosity", self.config.params.viscosity)
+        if np.all(np.asarray(nu) == 0.0):
             return
         self._implicit_velocity_solve(nu, dt, "visc")
 
-    def _semi_implicit_solve(self, dt: float) -> None:
+    def _vary_param(self, name: str, default: float) -> float | np.ndarray:
+        """Per-member (B,) values of a swept parameter, or its scalar."""
+        vals = self._vary.get(name)
+        return default if vals is None else vals
+
+    def _semi_implicit_solve(self, dt: float | np.ndarray) -> None:
         """MAS's semi-implicit wave stabilization (see repro.mas.semi_implicit)."""
         if not self.config.semi_implicit:
             return
@@ -835,15 +963,25 @@ class MasModel:
             self.ranks,
             locals_,
             self.reduce_link,
+            nbytes=8 * self.config.ensemble_size,
             unified_memory=self.rt_config.unified_memory,
         )
         coeff = si_coefficient(c_max, dt, self.config.si_theta)
-        if coeff > 0.0:
+        if np.any(np.asarray(coeff) > 0.0):
             self._implicit_velocity_solve(coeff, dt, "si")
 
-    def _implicit_velocity_solve(self, nu: float, dt: float, tag: str) -> None:
-        """(I - dt nu Lap) v = v* per component via the selected PCG variant."""
+    def _implicit_velocity_solve(
+        self, nu: float | np.ndarray, dt: float | np.ndarray, tag: str
+    ) -> None:
+        """(I - dt nu Lap) v = v* per component via the selected PCG variant.
+
+        Per-member ``nu``/``dt`` broadcast as (B,1,1,1) coefficient fields:
+        each member sees exactly the scalar operator its serial run would,
+        but every matvec/axpy kernel covers the whole batch.
+        """
         tracer = _telemetry().tracer
+        nu = self._dt_field(nu)
+        dt = self._dt_field(dt)
         diags = [jacobi_diagonal(g, nu, dt) for g in self.local_grids]
         cost_tag = "viscosity" if tag == "visc" else "semi_implicit"
         precondition = self._make_preconditioner(diags, nu, dt, tag, cost_tag)
@@ -879,13 +1017,26 @@ class MasModel:
                 self._finish_exchange(pend)
                 return out
 
+            def _pair_dot(x, y):
+                """One (pair of) interior dot(s): float, or (B,) per member.
+
+                The per-member values are each computed by the same
+                ``np.vdot`` over the same elements as the member's serial
+                run -- bitwise-identical reductions, one kernel.
+                """
+                if x.ndim == 3:
+                    return float(np.vdot(x, y).real)
+                return np.array(
+                    [float(np.vdot(xb, yb).real) for xb, yb in zip(x, y)]
+                )
+
             def dot(a, b):
                 locals_ = []
                 for r, rt in enumerate(self.ranks):
                     i = self.local_grids[r].interior()
 
-                    def body(x=a[r], y=b[r], i=i) -> float:
-                        return float(np.vdot(x[i], y[i]).real)
+                    def body(x=a[r], y=b[r], i=i):
+                        return _pair_dot(x[i], y[i])
 
                     locals_.append(
                         rt.scalar_reduction(
@@ -893,24 +1044,28 @@ class MasModel:
                                        tags=frozenset({cost_tag}))
                         )
                     )
-                return float(
-                    allreduce_sum(
-                        self.ranks,
-                        locals_,
-                        self.reduce_link,
-                        unified_memory=self.rt_config.unified_memory,
-                    )
+                total = allreduce_sum(
+                    self.ranks,
+                    locals_,
+                    self.reduce_link,
+                    nbytes=8 * self.config.ensemble_size,
+                    unified_memory=self.rt_config.unified_memory,
                 )
+                return total if isinstance(total, np.ndarray) else float(total)
 
             def dot_many_local(pairs):
-                """Per-rank partial dots for one fused reduction."""
+                """Per-rank partial dots for one fused reduction.
+
+                Scalar runs contribute a (k,) vector; ensemble runs a
+                (k, B) matrix -- still ONE collective either way.
+                """
                 locals_ = []
                 for r, rt in enumerate(self.ranks):
                     i = self.local_grids[r].interior()
 
                     def body(pairs=pairs, r=r, i=i) -> np.ndarray:
                         return np.array(
-                            [float(np.vdot(a[r][i], b[r][i]).real) for a, b in pairs]
+                            [_pair_dot(a[r][i], b[r][i]) for a, b in pairs]
                         )
 
                     locals_.append(
@@ -954,7 +1109,8 @@ class MasModel:
             with tracer.span(f"step/{cost_tag}/pcg", component=comp,
                              variant=variant):
                 if variant == "classic":
-                    pcg_solve(
+                    solver = pcg_solve_batched if self.ensemble else pcg_solve
+                    result = solver(
                         apply_a,
                         rhs,
                         arrays,
@@ -965,7 +1121,10 @@ class MasModel:
                         tol=self.config.pcg_tol,
                     )
                 elif variant == "ca":
-                    pcg_solve_ca(
+                    solver = (
+                        pcg_solve_ca_batched if self.ensemble else pcg_solve_ca
+                    )
+                    result = solver(
                         apply_a,
                         rhs,
                         arrays,
@@ -977,7 +1136,12 @@ class MasModel:
                     )
                 else:
                     overlap = self.rt_config.supports_pipelined_reductions
-                    pcg_solve_pipelined(
+                    solver = (
+                        pcg_solve_pipelined_batched
+                        if self.ensemble
+                        else pcg_solve_pipelined
+                    )
+                    result = solver(
                         apply_a,
                         rhs,
                         arrays,
@@ -991,6 +1155,14 @@ class MasModel:
                             allreduce_many_finish if overlap else None
                         ),
                     )
+                if self.ensemble:
+                    self._member_breakdown |= result.breakdown
+                    self._member_pcg_iterations += result.iterations
+                    self._member_pcg_converged += result.converged.astype(int)
+                else:
+                    self._member_breakdown |= result.breakdown
+                    self._member_pcg_iterations += result.iterations
+                    self._member_pcg_converged += int(result.converged)
 
     def _make_preconditioner(self, diags, nu: float, dt: float,
                              tag: str, cost_tag: str):
@@ -1081,8 +1253,11 @@ class MasModel:
 
     # -- induction -------------------------------------------------------------------
 
-    def _induction(self, dt: float, pending=None) -> None:
-        eta = self.config.params.resistivity
+    def _induction(self, dt: float | np.ndarray, pending=None) -> None:
+        dt = self._dt_field(dt)
+        eta = self._dt_field(
+            self._vary_param("resistivity", self.config.params.resistivity)
+        )
         all_emfs: list[dict[str, tuple]] = []
         for r, rt in enumerate(self.ranks):
             state, grid = self.states[r], self.local_grids[r]
@@ -1134,7 +1309,7 @@ class MasModel:
 
     # -- conduction (STS) ---------------------------------------------------------------
 
-    def _conduction(self, dt: float) -> None:
+    def _conduction(self, dt: float | np.ndarray) -> None:
         p = self.config.params
         if p.kappa0 == 0.0:
             return
@@ -1148,7 +1323,11 @@ class MasModel:
             dte = explicit_parabolic_dt(
                 min(g.min_cell_extent for g in self.local_grids), max(kmax, 1e-30)
             )
-            s = stages_for_dt(dt, dte) if dt > dte else 2
+            # Batched runs share one stage count sized for the widest
+            # member step (conservative: more stages only adds stability).
+            dt_max = float(np.max(dt))
+            s = stages_for_dt(dt_max, dte) if dt_max > dte else 2
+        dt = self._dt_field(dt)
 
         temps = [st.temp for st in self.states]
 
@@ -1185,8 +1364,9 @@ class MasModel:
 
     # -- sources & floors -------------------------------------------------------------
 
-    def _energy_sources(self, dt: float) -> None:
+    def _energy_sources(self, dt: float | np.ndarray) -> None:
         p = self.config.params
+        dt = self._dt_field(dt)
         for r, rt in enumerate(self.ranks):
             state, grid = self.states[r], self.local_grids[r]
             heat = self.heating[r]
@@ -1224,6 +1404,36 @@ class MasModel:
         for rt in self.ranks:
             rt.sync()
         return float(np.mean([rt.clock.mpi_time for rt in self.ranks]))
+
+    def ensemble_report(self) -> list[dict]:
+        """One row per ensemble member: swept parameter values, simulated
+        time reached, and cumulative PCG convergence counters.  Works for
+        scalar runs too (a single row)."""
+        nb = self.config.ensemble_size
+        times = np.broadcast_to(
+            np.asarray(self.time, dtype=float).reshape(-1), (nb,)
+        )
+        dts = (
+            None
+            if self._last_dt is None
+            else np.broadcast_to(
+                np.asarray(self._last_dt, dtype=float).reshape(-1), (nb,)
+            )
+        )
+        rows = []
+        for b in range(nb):
+            row: dict = {"member": b}
+            for name, values in self._vary.items():
+                row[name] = float(values[b])
+            row.update(
+                sim_time=float(times[b]),
+                dt=None if dts is None else float(dts[b]),
+                pcg_iterations=int(self._member_pcg_iterations[b]),
+                pcg_converged=int(self._member_pcg_converged[b]),
+                pcg_breakdown=bool(self._member_breakdown[b]),
+            )
+            rows.append(row)
+        return rows
 
     def diagnostics(self) -> dict[str, float]:
         """Physics diagnostics aggregated over ranks (interior cells)."""

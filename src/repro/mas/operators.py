@@ -5,9 +5,13 @@ in runtime kernels for cost accounting. Stencils are one cell wide, so one
 ghost layer suffices. Outputs are full-shape arrays whose one-cell rim is
 not meaningful; callers update interior slices only.
 
-Conventions: arrays are (r, theta, phi); face arrays are one longer along
-their stagger axis; edge arrays (EMFs, currents) are one longer along the
-two transverse axes.
+Conventions: the trailing three axes of every array are (r, theta, phi);
+a leading ensemble-member axis may precede them (see
+:mod:`repro.mas.state`), and every operator here is polymorphic over it.
+Face arrays are one longer along their stagger axis; edge arrays (EMFs,
+currents) are one longer along the two transverse axes. 1-D grid metric
+arrays broadcast with trailing-axis alignment (``rc[:, None, None]`` has
+shape ``(nr, 1, 1)``), so they apply unchanged to batched arrays.
 """
 
 from __future__ import annotations
@@ -17,18 +21,24 @@ import numpy as np
 from repro.mas.grid import LocalGrid
 
 
+def _ax(f: np.ndarray, axis: int) -> int:
+    """Absolute axis of spatial axis ``axis`` (0=r, 1=theta, 2=phi)."""
+    return f.ndim - 3 + axis
+
+
 def _avg(f: np.ndarray, axis: int) -> np.ndarray:
-    """Midpoint average between consecutive entries along ``axis``."""
+    """Midpoint average between consecutive entries along spatial ``axis``."""
+    a = _ax(f, axis)
     lo = [slice(None)] * f.ndim
     hi = [slice(None)] * f.ndim
-    lo[axis] = slice(None, -1)
-    hi[axis] = slice(1, None)
+    lo[a] = slice(None, -1)
+    hi[a] = slice(1, None)
     return 0.5 * (f[tuple(lo)] + f[tuple(hi)])
 
 
 def _diff(f: np.ndarray, axis: int) -> np.ndarray:
-    """Forward difference along ``axis`` (length shrinks by one)."""
-    return np.diff(f, axis=axis)
+    """Forward difference along spatial ``axis`` (length shrinks by one)."""
+    return np.diff(f, axis=_ax(f, axis))
 
 
 def overlap_split_fractions(
@@ -63,15 +73,18 @@ def overlap_split_fractions(
 
 def grad_center(f: np.ndarray, grid: LocalGrid) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Physical gradient (d/dr, 1/r d/dt, 1/(r sin t) d/dp) at centers."""
-    gr = np.gradient(f, grid.rc, axis=0)
-    gt = np.gradient(f, grid.tc, axis=1) / grid.rc[:, None, None]
-    gp = np.gradient(f, grid.pc, axis=2) / (
+    gr = np.gradient(f, grid.rc, axis=_ax(f, 0))
+    gt = np.gradient(f, grid.tc, axis=_ax(f, 1)) / grid.rc[:, None, None]
+    gp = np.gradient(f, grid.pc, axis=_ax(f, 2)) / (
         grid.rc[:, None, None] * np.sin(grid.tc)[None, :, None]
     )
     return gr, gt, gp
 
 
 # -- finite-volume divergence of a centered vector ------------------------------
+
+#: Interior index of the trailing three (spatial) axes.
+_INNER = (Ellipsis, slice(1, -1), slice(1, -1), slice(1, -1))
 
 
 def _face_interp(f: np.ndarray, centers: np.ndarray, faces: np.ndarray, axis: int) -> np.ndarray:
@@ -85,10 +98,11 @@ def _face_interp(f: np.ndarray, centers: np.ndarray, faces: np.ndarray, axis: in
     shape = [1, 1, 1]
     shape[axis] = w.size
     w = w.reshape(shape)
+    a = _ax(f, axis)
     lo = [slice(None)] * f.ndim
     hi = [slice(None)] * f.ndim
-    lo[axis] = slice(None, -1)
-    hi[axis] = slice(1, None)
+    lo[a] = slice(None, -1)
+    hi[a] = slice(1, None)
     return (1.0 - w) * f[tuple(lo)] + w * f[tuple(hi)]
 
 
@@ -97,15 +111,14 @@ def div_center(
 ) -> np.ndarray:
     """FV divergence of a cell-centered vector; valid away from the rim."""
     out = np.zeros_like(vr)
-    inner = (slice(1, -1), slice(1, -1), slice(1, -1))
     fr = _face_interp(vr, grid.rc, grid.re, 0) * grid.area_r[1:-1]
     ft = _face_interp(vt, grid.tc, grid.te, 1) * grid.area_t[:, 1:-1]
     fp = _face_interp(vp, grid.pc, grid.pe, 2) * grid.area_p[:, :, 1:-1]
-    out[inner] = (
-        _diff(fr, 0)[:, 1:-1, 1:-1]
-        + _diff(ft, 1)[1:-1, :, 1:-1]
-        + _diff(fp, 2)[1:-1, 1:-1, :]
-    ) / grid.volume[inner]
+    out[_INNER] = (
+        _diff(fr, 0)[..., :, 1:-1, 1:-1]
+        + _diff(ft, 1)[..., 1:-1, :, 1:-1]
+        + _diff(fp, 2)[..., 1:-1, 1:-1, :]
+    ) / grid.volume[1:-1, 1:-1, 1:-1]
     return out
 
 
@@ -126,25 +139,25 @@ def advect_upwind(
     sharpness.
     """
     out = np.zeros_like(f)
-    inner = (slice(1, -1), slice(1, -1), slice(1, -1))
 
     def face_flux(v: np.ndarray, axis: int, area: np.ndarray) -> np.ndarray:
         vbar = _avg(v, axis)
-        lo = [slice(None)] * 3
-        hi = [slice(None)] * 3
-        lo[axis] = slice(None, -1)
-        hi[axis] = slice(1, None)
+        a = _ax(f, axis)
+        lo = [slice(None)] * f.ndim
+        hi = [slice(None)] * f.ndim
+        lo[a] = slice(None, -1)
+        hi[a] = slice(1, None)
         fup = np.where(vbar > 0.0, f[tuple(lo)], f[tuple(hi)])
         return vbar * fup * area
 
     fr = face_flux(vr, 0, grid.area_r[1:-1])
     ft = face_flux(vt, 1, grid.area_t[:, 1:-1])
     fp = face_flux(vp, 2, grid.area_p[:, :, 1:-1])
-    out[inner] = (
-        _diff(fr, 0)[:, 1:-1, 1:-1]
-        + _diff(ft, 1)[1:-1, :, 1:-1]
-        + _diff(fp, 2)[1:-1, 1:-1, :]
-    ) / grid.volume[inner]
+    out[_INNER] = (
+        _diff(fr, 0)[..., :, 1:-1, 1:-1]
+        + _diff(ft, 1)[..., 1:-1, :, 1:-1]
+        + _diff(fp, 2)[..., 1:-1, 1:-1, :]
+    ) / grid.volume[1:-1, 1:-1, 1:-1]
     return out
 
 
@@ -160,7 +173,6 @@ def diffuse_flux_div(
     ``_avg(f, axis)``); ``None`` means unit coefficient.
     """
     out = np.zeros_like(f)
-    inner = (slice(1, -1), slice(1, -1), slice(1, -1))
 
     # physical distances between adjacent cell centers
     d_r = np.diff(grid.rc)[:, None, None]
@@ -182,11 +194,11 @@ def diffuse_flux_div(
     fr = gr * grid.area_r[1:-1]
     ft = gt * grid.area_t[:, 1:-1]
     fp = gp * grid.area_p[:, :, 1:-1]
-    out[inner] = (
-        _diff(fr, 0)[:, 1:-1, 1:-1]
-        + _diff(ft, 1)[1:-1, :, 1:-1]
-        + _diff(fp, 2)[1:-1, 1:-1, :]
-    ) / grid.volume[inner]
+    out[_INNER] = (
+        _diff(fr, 0)[..., :, 1:-1, 1:-1]
+        + _diff(ft, 1)[..., 1:-1, :, 1:-1]
+        + _diff(fp, 2)[..., 1:-1, 1:-1, :]
+    ) / grid.volume[1:-1, 1:-1, 1:-1]
     return out
 
 
@@ -198,12 +210,13 @@ def harmonic_face_coeff(
         raise ValueError("harmonic mean requires positive coefficients")
 
     def h(axis: int) -> np.ndarray:
-        lo = [slice(None)] * 3
-        hi = [slice(None)] * 3
-        lo[axis] = slice(None, -1)
-        hi[axis] = slice(1, None)
-        a, b = c[tuple(lo)], c[tuple(hi)]
-        return 2.0 * a * b / (a + b)
+        a = _ax(c, axis)
+        lo = [slice(None)] * c.ndim
+        hi = [slice(None)] * c.ndim
+        lo[a] = slice(None, -1)
+        hi[a] = slice(1, None)
+        x, y = c[tuple(lo)], c[tuple(hi)]
+        return 2.0 * x * y / (x + y)
 
     return h(0), h(1), h(2)
 
@@ -239,44 +252,46 @@ def emf_edges(
     bp: np.ndarray,
     grid: LocalGrid,
     *,
-    resistivity: float = 0.0,
+    resistivity: float | np.ndarray = 0.0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Electric field E = -v x B + eta J on cell edges.
 
-    Returns (Er, Et, Ep) with shapes (nc, ne, ne), (ne, nc, ne),
+    Returns (Er, Et, Ep) with spatial shapes (nc, ne, ne), (ne, nc, ne),
     (ne, ne, nc) per axis (ne = nc + 1 edges). Rim entries (where the
     averaging stencil leaves the ghosted block) are zero; interior face
-    updates never read them.
+    updates never read them. ``resistivity`` may be a per-member array
+    broadcastable against the edge arrays (e.g. shape ``(B, 1, 1, 1)``).
     """
-    nrg, ntg, npg = vr.shape
-    er = np.zeros((nrg, ntg + 1, npg + 1))
-    et = np.zeros((nrg + 1, ntg, npg + 1))
-    ep = np.zeros((nrg + 1, ntg + 1, npg))
+    lead = vr.shape[:-3]
+    nrg, ntg, npg = vr.shape[-3:]
+    er = np.zeros(lead + (nrg, ntg + 1, npg + 1))
+    et = np.zeros(lead + (nrg + 1, ntg, npg + 1))
+    ep = np.zeros(lead + (nrg + 1, ntg + 1, npg))
 
     # -- Ep at (r-edge, theta-edge, phi-center): -(vr*Bt - vt*Br)
     vr_e = _avg(_avg(vr, 0), 1)                  # (nrg-1, ntg-1, npg)
     vt_e = _avg(_avg(vt, 0), 1)
-    bt_e = _avg(bt, 0)[:, 1:-1, :]               # faces avg along r, theta-edges 1..ntg-1
-    br_e = _avg(br, 1)[1:-1, :, :]               # faces avg along theta, r-edges 1..nrg-1
-    ep[1:-1, 1:-1, :] = -(vr_e * bt_e - vt_e * br_e)
+    bt_e = _avg(bt, 0)[..., :, 1:-1, :]          # faces avg along r, theta-edges 1..ntg-1
+    br_e = _avg(br, 1)[..., 1:-1, :, :]          # faces avg along theta, r-edges 1..nrg-1
+    ep[..., 1:-1, 1:-1, :] = -(vr_e * bt_e - vt_e * br_e)
 
     # -- Er at (r-center, theta-edge, phi-edge): -(vt*Bp - vp*Bt) + eta*Jr
     vt_e = _avg(_avg(vt, 1), 2)
     vp_e = _avg(_avg(vp, 1), 2)
-    bp_e = _avg(bp, 1)[:, :, 1:-1]
-    bt_e = _avg(bt, 2)[:, 1:-1, :]
+    bp_e = _avg(bp, 1)[..., :, :, 1:-1]
+    bt_e = _avg(bt, 2)[..., :, 1:-1, :]
     er_core = -(vt_e * bp_e - vp_e * bt_e)
-    er[:, 1:-1, 1:-1] = er_core
+    er[..., :, 1:-1, 1:-1] = er_core
 
     # -- Et at (r-edge, theta-center, phi-edge): -(vp*Br - vr*Bp) + eta*Jt
     vp_e = _avg(_avg(vp, 0), 2)
     vr_e = _avg(_avg(vr, 0), 2)
-    br_e = _avg(br, 2)[1:-1, :, :]
-    bp_e = _avg(bp, 0)[:, :, 1:-1]
+    br_e = _avg(br, 2)[..., 1:-1, :, :]
+    bp_e = _avg(bp, 0)[..., :, :, 1:-1]
     et_core = -(vp_e * br_e - vr_e * bp_e)
-    et[1:-1, :, 1:-1] = et_core
+    et[..., 1:-1, :, 1:-1] = et_core
 
-    if resistivity > 0.0:
+    if np.any(np.asarray(resistivity) > 0.0):
         jr, jt, jp = current_edges(br, bt, bp, grid)
         er += resistivity * jr
         et += resistivity * jt
@@ -288,32 +303,33 @@ def current_edges(
     br: np.ndarray, bt: np.ndarray, bp: np.ndarray, grid: LocalGrid
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Discrete J = curl(B) on edges (first order, rim zeroed)."""
-    nrg, ntg, npg = br.shape[0] - 1, bt.shape[1] - 1, bp.shape[2] - 1
-    jr = np.zeros((nrg, ntg + 1, npg + 1))
-    jt = np.zeros((nrg + 1, ntg, npg + 1))
-    jp = np.zeros((nrg + 1, ntg + 1, npg))
+    lead = br.shape[:-3]
+    nrg, ntg, npg = br.shape[-3] - 1, bt.shape[-2] - 1, bp.shape[-1] - 1
+    jr = np.zeros(lead + (nrg, ntg + 1, npg + 1))
+    jt = np.zeros(lead + (nrg + 1, ntg, npg + 1))
+    jp = np.zeros(lead + (nrg + 1, ntg + 1, npg))
 
     sin_tc = np.sin(grid.tc)
     sin_te = np.sin(grid.te)
 
     # Jr = 1/(r sin t) [ d(sin t Bp)/dt - dBt/dp ] at (rc, te, pe)
-    d_sbp = _diff(sin_tc[None, :, None] * bp, 1)[:, :, 1:-1] / np.diff(grid.tc)[None, :, None]
-    d_bt = _diff(bt, 2)[:, 1:-1, :] / np.diff(grid.pc)[None, None, :]
-    jr[:, 1:-1, 1:-1] = (d_sbp - d_bt) / (
+    d_sbp = _diff(sin_tc[None, :, None] * bp, 1)[..., :, :, 1:-1] / np.diff(grid.tc)[None, :, None]
+    d_bt = _diff(bt, 2)[..., :, 1:-1, :] / np.diff(grid.pc)[None, None, :]
+    jr[..., :, 1:-1, 1:-1] = (d_sbp - d_bt) / (
         grid.rc[:, None, None] * sin_te[None, 1:-1, None]
     )
 
     # Jt = 1/(r sin t) dBr/dp - 1/r d(r Bp)/dr at (re, tc, pe)
-    d_br = _diff(br, 2)[1:-1, :, :] / np.diff(grid.pc)[None, None, :]
-    d_rbp = _diff(grid.rc[:, None, None] * bp, 0)[:, :, 1:-1] / np.diff(grid.rc)[:, None, None]
-    jt[1:-1, :, 1:-1] = d_br / (
+    d_br = _diff(br, 2)[..., 1:-1, :, :] / np.diff(grid.pc)[None, None, :]
+    d_rbp = _diff(grid.rc[:, None, None] * bp, 0)[..., :, :, 1:-1] / np.diff(grid.rc)[:, None, None]
+    jt[..., 1:-1, :, 1:-1] = d_br / (
         grid.re[1:-1, None, None] * sin_tc[None, :, None]
     ) - d_rbp / grid.re[1:-1, None, None]
 
     # Jp = 1/r [ d(r Bt)/dr - dBr/dt ] at (re, te, pc)
-    d_rbt = _diff(grid.rc[:, None, None] * bt, 0)[:, 1:-1, :] / np.diff(grid.rc)[:, None, None]
-    d_br2 = _diff(br, 1)[1:-1, :, :] / np.diff(grid.tc)[None, :, None]
-    jp[1:-1, 1:-1, :] = (d_rbt - d_br2) / grid.re[1:-1, None, None]
+    d_rbt = _diff(grid.rc[:, None, None] * bt, 0)[..., :, 1:-1, :] / np.diff(grid.rc)[:, None, None]
+    d_br2 = _diff(br, 1)[..., 1:-1, :, :] / np.diff(grid.tc)[None, :, None]
+    jp[..., 1:-1, 1:-1, :] = (d_rbt - d_br2) / grid.re[1:-1, None, None]
     return jr, jt, jp
 
 

@@ -611,3 +611,514 @@ def chebyshev_preconditioner(
         return z
 
     return apply
+
+
+# --------------------------------------------------------------------------
+# ensemble-batched solvers (leading member axis, per-member masking)
+# --------------------------------------------------------------------------
+#
+# The batched solvers advance all B ensemble members of a member-batched
+# state in one set of rank arrays (shape ``(B, ...spatial)``): every
+# operator application, preconditioner and axpy is ONE kernel for the
+# whole batch, and the per-iteration dot products reduce as length-B
+# vectors through the same fused collectives -- so launch count and
+# allreduce count are independent of B. Per-member scalars (alpha, beta,
+# gamma, residual norms) are ``(B,)`` arrays; a member that converges
+# under ``tol`` or trips the rho-breakdown guard is *frozen* via a mask
+# (its effective alpha/beta become zero) exactly where its serial solve
+# would have returned, so it never stalls the batch and its solution
+# matches the serial member run.
+
+#: Per-member batched dot: returns a ``(B,)`` array.
+BatchDot = Callable[[RankArrays, RankArrays], np.ndarray]
+
+#: Per-member batched fused dots: returns a ``(k, B)`` array.
+BatchDotMany = Callable[[DotPairs], np.ndarray]
+
+
+@dataclass(slots=True)
+class PcgBatchResult:
+    """Outcome of one ensemble-batched PCG solve (per-member arrays)."""
+
+    iterations: np.ndarray      # (B,) int: per-member iteration counts
+    residual_norm: np.ndarray   # (B,): per-member final relative residuals
+    converged: np.ndarray       # (B,) bool
+    breakdown: np.ndarray       # (B,) bool
+    variant: str = "classic"
+    #: Global reductions issued for the whole batch (independent of B).
+    allreduce_calls: int = 0
+
+    @property
+    def members(self) -> int:
+        return int(self.iterations.size)
+
+    def member(self, b: int) -> PcgResult:
+        """Scalar view of member ``b``'s outcome."""
+        return PcgResult(
+            iterations=int(self.iterations[b]),
+            residual_norm=float(self.residual_norm[b]),
+            converged=bool(self.converged[b]),
+            breakdown=bool(self.breakdown[b]),
+            variant=self.variant,
+            allreduce_calls=self.allreduce_calls,
+        )
+
+
+def _observe_batch_solve(result: PcgBatchResult) -> PcgBatchResult:
+    """Record a finished batched solve: aggregate + per-member counters."""
+    tel = _telemetry()
+    if tel.enabled:
+        tel.metrics.counter("pcg_solves_total", "PCG solves completed").inc()
+        tel.metrics.counter(
+            "pcg_iterations_total", "PCG iterations across all solves"
+        ).inc(int(result.iterations.max(initial=0)))
+        tel.metrics.counter(
+            "pcg_variant_solves_total",
+            "PCG solves completed, by solver variant",
+            labelnames=("variant",),
+        ).labels(variant=result.variant).inc()
+        member_iters = tel.metrics.counter(
+            "pcg_member_iterations_total",
+            "PCG iterations a member stayed active for, by ensemble member",
+            labelnames=("member",),
+        )
+        member_conv = tel.metrics.counter(
+            "pcg_member_converged_total",
+            "PCG solves a member converged in, by ensemble member",
+            labelnames=("member",),
+        )
+        member_bd = tel.metrics.counter(
+            "pcg_member_breakdown_total",
+            "PCG solves a member hit the rho-breakdown guard in, by member",
+            labelnames=("member",),
+        )
+        hist = tel.metrics.histogram(
+            "pcg_residual_norm", "relative residual at solve end",
+            buckets=(1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0),
+        )
+        for b in range(result.members):
+            member_iters.labels(member=str(b)).inc(int(result.iterations[b]))
+            if result.converged[b]:
+                member_conv.labels(member=str(b)).inc()
+            if result.breakdown[b]:
+                member_bd.labels(member=str(b)).inc()
+            hist.observe(float(result.residual_norm[b]))
+        tel.logger.log(
+            "pcg_solve",
+            iterations=int(result.iterations.max(initial=0)),
+            residual_norm=float(result.residual_norm.max(initial=0.0)),
+            converged=bool(result.converged.all()),
+            breakdown=bool(result.breakdown.any()),
+            variant=result.variant,
+            allreduce_calls=result.allreduce_calls,
+            ensemble_members=result.members,
+            member_iterations=[int(v) for v in result.iterations],
+            member_residual_norm=[float(v) for v in result.residual_norm],
+            member_converged=[bool(v) for v in result.converged],
+            member_breakdown=[bool(v) for v in result.breakdown],
+        )
+    return result
+
+
+def _rho_breakdown_mask(
+    rho: np.ndarray, rho0: np.ndarray, res_norm: np.ndarray
+) -> np.ndarray:
+    """Elementwise (per-member) form of :func:`_rho_breakdown`."""
+    rho = np.asarray(rho)
+    bad = ~np.isfinite(rho) | (rho < 0.0)
+    zero = (rho == 0.0) & (res_norm > 0.0)
+    collapsed = (
+        (rho != 0.0)
+        & (np.abs(rho) <= PCG_BREAKDOWN_REL * rho0)
+        & (res_norm > PCG_STAGNATION_RESIDUAL)
+    )
+    return bad | zero | collapsed
+
+
+def _bcol(v: np.ndarray, ndim: int) -> np.ndarray:
+    """Reshape a ``(B,)`` per-member scalar for broadcasting against
+    ``(B, ...spatial)`` arrays of ``ndim`` axes."""
+    return v.reshape(v.shape + (1,) * (ndim - 1))
+
+
+def _safe_div(num: np.ndarray, den: np.ndarray, ok: np.ndarray) -> np.ndarray:
+    """``num/den`` where ``ok``, 0 elsewhere (no spurious warnings)."""
+    return np.where(ok, num / np.where(ok, den, 1.0), 0.0)
+
+
+def pcg_solve_batched(
+    apply_a: Callable[[RankArrays], RankArrays],
+    rhs: RankArrays,
+    x: RankArrays,
+    *,
+    dot: BatchDot,
+    precondition: Callable[[RankArrays], RankArrays],
+    combine: Callable[[RankArrays, float, RankArrays, tuple[str, str]], None],
+    iterations: int,
+    tol: float = 0.0,
+) -> PcgBatchResult:
+    """Classic PCG over a member-batched system with per-member masking.
+
+    Control flow mirrors :func:`pcg_solve` member-by-member: a member
+    whose serial solve would have returned (tol reached, rho breakdown,
+    zero initial rho) freezes -- its effective alpha/beta are masked to
+    zero from that point on, so ``x`` stops changing for it while the
+    remaining members keep iterating. An active member with an indefinite
+    operator still raises, exactly as its serial solve would.
+    """
+    _validate(rhs, x, iterations)
+    calls = 0
+
+    def gdot(a: RankArrays, b: RankArrays) -> np.ndarray:
+        nonlocal calls
+        calls += 1
+        _count_allreduce("classic")
+        return np.asarray(dot(a, b), dtype=float)
+
+    ax = apply_a(x)
+    r = [b - a for b, a in zip(rhs, ax)]
+    z = precondition(r)
+    p = [zi.copy() for zi in z]
+    rz = gdot(r, z)
+    nb = rz.size
+    rz0 = np.abs(rz)
+    rhs_norm = np.sqrt(np.maximum(gdot(rhs, rhs), 1e-300))
+    res_norm = np.sqrt(np.maximum(gdot(r, r), 0.0)) / rhs_norm
+
+    active = np.ones(nb, dtype=bool)
+    converged = np.zeros(nb, dtype=bool)
+    breakdown = np.zeros(nb, dtype=bool)
+    iters = np.zeros(nb, dtype=int)
+
+    zero0 = rz == 0.0
+    converged |= zero0 & (res_norm == 0.0)
+    breakdown |= zero0 & (res_norm != 0.0)
+    active &= ~zero0
+
+    ndim = x[0].ndim
+    for it in range(1, iterations + 1):
+        if not active.any():
+            break
+        ap = apply_a(p)
+        pap = gdot(p, ap)
+        indefinite = active & (pap <= 0) & (res_norm > PCG_STAGNATION_RESIDUAL)
+        if indefinite.any():
+            b = int(np.argmax(indefinite))
+            raise np.linalg.LinAlgError(
+                f"PCG operator not positive definite for member {b}: "
+                f"p.Ap = {pap[b]}"
+            )
+        alpha = _safe_div(rz, pap, active & (pap > 0))
+        a_col = _bcol(alpha, ndim)
+        for xi, pi in zip(x, p):
+            xi += a_col * pi
+        for ri, api in zip(r, ap):
+            ri -= a_col * api
+        res_new = np.sqrt(np.maximum(gdot(r, r), 0.0)) / rhs_norm
+        res_norm = np.where(active, res_new, res_norm)
+        iters = np.where(active, it, iters)
+        if tol > 0.0:
+            newly = active & (res_norm < tol)
+            converged |= newly
+            active &= ~newly
+        if not active.any():
+            break
+        z = precondition(r)
+        rz_new = gdot(r, z)
+        broke = active & _rho_breakdown_mask(rz_new, rz0, res_norm)
+        breakdown |= broke
+        active &= ~broke
+        beta = _safe_div(rz_new, rz, active & (rz > 0.0))
+        rz = np.where(active, rz_new, rz)
+        b_col = _bcol(beta, ndim)
+        for pi in p:
+            pi *= b_col
+        combine(p, 1.0, z, ("p", "u"))  # p = z + beta * p
+    return _observe_batch_solve(
+        PcgBatchResult(iters, res_norm, converged, breakdown,
+                       variant="classic", allreduce_calls=calls)
+    )
+
+
+def pcg_solve_ca_batched(
+    apply_a: Callable[[RankArrays], RankArrays],
+    rhs: RankArrays,
+    x: RankArrays,
+    *,
+    dot_many: BatchDotMany,
+    precondition: Callable[[RankArrays], RankArrays],
+    combine: Callable[[RankArrays, float, RankArrays, tuple[str, str]], None],
+    iterations: int,
+    tol: float = 0.0,
+    variant: str = "ca",
+) -> PcgBatchResult:
+    """Chronopoulos--Gear PCG over a member-batched system.
+
+    One fused allreduce per iteration for the whole batch: ``dot_many``
+    returns a ``(k, B)`` array -- k fused dot products, each a length-B
+    per-member vector -- reduced in a single collective. Masking follows
+    :func:`pcg_solve_batched`.
+    """
+    _validate(rhs, x, iterations)
+    calls = 0
+
+    def gdots(pairs: DotPairs) -> np.ndarray:
+        nonlocal calls
+        calls += 1
+        _count_allreduce(variant)
+        return np.asarray(dot_many(pairs), dtype=float)
+
+    ax = apply_a(x)
+    r = [b - a for b, a in zip(rhs, ax)]
+    u = precondition(r)
+    w = apply_a(u)
+    gamma, delta, rr, bb = gdots(((r, u), (w, u), (r, r), (rhs, rhs)))
+    nb = gamma.size
+    rhs_norm = np.sqrt(np.maximum(bb, 1e-300))
+    res_norm = np.sqrt(np.maximum(rr, 0.0)) / rhs_norm
+
+    active = np.ones(nb, dtype=bool)
+    converged = np.zeros(nb, dtype=bool)
+    breakdown = np.zeros(nb, dtype=bool)
+    iters = np.zeros(nb, dtype=int)
+
+    zero0 = gamma == 0.0
+    converged |= zero0 & (res_norm == 0.0)
+    breakdown |= zero0 & (res_norm != 0.0)
+    active &= ~zero0
+    indefinite = active & (delta <= 0)
+    if indefinite.any():
+        b = int(np.argmax(indefinite))
+        raise np.linalg.LinAlgError(
+            f"PCG operator not positive definite for member {b}: "
+            f"u.Au = {delta[b]}"
+        )
+    gamma0 = np.abs(gamma)
+    alpha = _safe_div(gamma, delta, active)
+    beta = np.zeros(nb)
+    p = [np.zeros_like(ui) for ui in u]
+    s = [np.zeros_like(wi) for wi in w]
+
+    ndim = x[0].ndim
+    for it in range(1, iterations + 1):
+        if not active.any():
+            break
+        a_col = _bcol(np.where(active, alpha, 0.0), ndim)
+        b_col = _bcol(np.where(active, beta, 0.0), ndim)
+        for pi in p:
+            pi *= b_col
+        combine(p, 1.0, u, ("p", "u"))  # p = u + beta * p
+        for si in s:
+            si *= b_col
+        combine(s, 1.0, w, ("s", "w"))  # s = w + beta * s (s = A p)
+        for xi, pi in zip(x, p):
+            xi += a_col * pi
+        for ri, si in zip(r, s):
+            ri -= a_col * si
+        u = precondition(r)
+        w = apply_a(u)
+        gamma_new, delta, rr = gdots(((r, u), (w, u), (r, r)))
+        res_norm = np.where(
+            active, np.sqrt(np.maximum(rr, 0.0)) / rhs_norm, res_norm
+        )
+        iters = np.where(active, it, iters)
+        if tol > 0.0:
+            newly = active & (res_norm < tol)
+            converged |= newly
+            active &= ~newly
+        broke = active & _rho_breakdown_mask(gamma_new, gamma0, res_norm)
+        breakdown |= broke
+        active &= ~broke
+        if not active.any():
+            break
+        beta_new = _safe_div(gamma_new, gamma, active & (gamma > 0.0))
+        denom = delta - beta_new * gamma_new / np.where(alpha != 0.0, alpha, 1.0)
+        ok = denom > 0
+        indefinite = active & ~ok & (res_norm > PCG_STAGNATION_RESIDUAL)
+        if indefinite.any():
+            b = int(np.argmax(indefinite))
+            raise np.linalg.LinAlgError(
+                f"PCG operator not positive definite for member {b}: "
+                f"p.Ap = {denom[b]}"
+            )
+        upd = active & ok
+        beta = np.where(upd, beta_new, beta)
+        alpha = np.where(upd, _safe_div(gamma_new, denom, upd), alpha)
+        # over-converged members (denom <= 0 at noise level) keep their
+        # previous step sizes and burn the fixed budget, as in the serial
+        # solver.
+        gamma = np.where(active, gamma_new, gamma)
+    return _observe_batch_solve(
+        PcgBatchResult(iters, res_norm, converged, breakdown,
+                       variant=variant, allreduce_calls=calls)
+    )
+
+
+def pcg_solve_pipelined_batched(
+    apply_a: Callable[[RankArrays], RankArrays],
+    rhs: RankArrays,
+    x: RankArrays,
+    *,
+    dot_many: BatchDotMany,
+    precondition: Callable[[RankArrays], RankArrays],
+    combine: Callable[[RankArrays, float, RankArrays, tuple[str, str]], None],
+    iterations: int,
+    tol: float = 0.0,
+    dot_many_begin: Callable[[DotPairs], Any] | None = None,
+    dot_many_finish: Callable[[Any], np.ndarray] | None = None,
+    variant: str = "pipelined",
+) -> PcgBatchResult:
+    """Ghysels--Vanroose pipelined PCG over a member-batched system.
+
+    The per-iteration fused length-``k*B`` reduction is posted
+    nonblocking and overlapped with the preconditioner + matvec of the
+    whole batch; masking follows :func:`pcg_solve_batched`.
+    """
+    _validate(rhs, x, iterations)
+    if (dot_many_begin is None) != (dot_many_finish is None):
+        raise ValueError("dot_many_begin and dot_many_finish come as a pair")
+    calls = 0
+
+    def begin(pairs: DotPairs) -> Any:
+        nonlocal calls
+        calls += 1
+        _count_allreduce(variant)
+        if dot_many_begin is None:
+            return np.asarray(dot_many(pairs), dtype=float)
+        return dot_many_begin(pairs)
+
+    def finish(handle: Any) -> np.ndarray:
+        if dot_many_finish is None:
+            return np.asarray(handle, dtype=float)
+        return np.asarray(dot_many_finish(handle), dtype=float)
+
+    ax = apply_a(x)
+    r = [b - a for b, a in zip(rhs, ax)]
+    u = precondition(r)
+    w = apply_a(u)
+    p = [np.zeros_like(ui) for ui in u]
+    s = [np.zeros_like(ui) for ui in u]
+    q = [np.zeros_like(ui) for ui in u]
+    z = [np.zeros_like(ui) for ui in u]
+
+    nb = None
+    active = converged = breakdown = iters = None
+    gamma = gamma0 = alpha = beta = None
+    rhs_norm = res_norm = None
+
+    ndim = x[0].ndim
+    it = 0
+    for it in range(1, iterations + 1):
+        pairs: list[tuple[RankArrays, RankArrays]] = [(r, u), (w, u), (r, r)]
+        if it == 1:
+            pairs.append((rhs, rhs))
+        handle = begin(pairs)
+        m = precondition(w)     # overlapped with the in-flight reduction
+        n = apply_a(m)
+        values = finish(handle)
+        gamma_new, delta, rr = values[0], values[1], values[2]
+        if it == 1:
+            nb = gamma_new.size
+            rhs_norm = np.sqrt(np.maximum(values[3], 1e-300))
+            gamma0 = np.abs(gamma_new)
+            active = np.ones(nb, dtype=bool)
+            converged = np.zeros(nb, dtype=bool)
+            breakdown = np.zeros(nb, dtype=bool)
+            iters = np.zeros(nb, dtype=int)
+            res_norm = np.sqrt(np.maximum(rr, 0.0)) / rhs_norm
+            gamma = np.zeros(nb)
+            alpha = np.zeros(nb)
+            beta = np.zeros(nb)
+        else:
+            res_norm = np.where(
+                active, np.sqrt(np.maximum(rr, 0.0)) / rhs_norm, res_norm
+            )
+        if tol > 0.0:
+            # (r, r) is the residual *entering* this iteration.
+            newly = active & (res_norm < tol)
+            converged |= newly
+            active &= ~newly
+        if it == 1:
+            zero0 = active & (gamma_new == 0.0)
+            converged |= zero0 & (res_norm == 0.0)
+            breakdown |= zero0 & (res_norm != 0.0)
+            active &= ~zero0
+            indefinite = active & (delta <= 0)
+            if indefinite.any():
+                b = int(np.argmax(indefinite))
+                raise np.linalg.LinAlgError(
+                    f"PCG operator not positive definite for member {b}: "
+                    f"u.Au = {delta[b]}"
+                )
+            alpha = _safe_div(gamma_new, delta, active)
+        else:
+            broke = active & _rho_breakdown_mask(gamma_new, gamma0, res_norm)
+            breakdown |= broke
+            active &= ~broke
+            beta_new = _safe_div(gamma_new, gamma, active & (gamma > 0.0))
+            denom = delta - beta_new * gamma_new / np.where(
+                alpha != 0.0, alpha, 1.0
+            )
+            ok = denom > 0
+            indefinite = active & ~ok & (res_norm > PCG_STAGNATION_RESIDUAL)
+            if indefinite.any():
+                b = int(np.argmax(indefinite))
+                raise np.linalg.LinAlgError(
+                    f"PCG operator not positive definite for member {b}: "
+                    f"p.Ap = {denom[b]}"
+                )
+            upd = active & ok
+            beta = np.where(upd, beta_new, beta)
+            alpha = np.where(upd, _safe_div(gamma_new, denom, upd), alpha)
+        gamma = np.where(active, gamma_new, gamma)
+        if not active.any():
+            break
+        iters = np.where(active, it, iters)
+        a_col = _bcol(np.where(active, alpha, 0.0), ndim)
+        b_col = _bcol(np.where(active, beta, 0.0), ndim)
+        for zi in z:
+            zi *= b_col
+        combine(z, 1.0, n, ("z", "n"))  # z = n + beta * z  (z = A q)
+        for qi in q:
+            qi *= b_col
+        combine(q, 1.0, m, ("q", "m"))  # q = m + beta * q  (q = M^-1 s)
+        for si in s:
+            si *= b_col
+        combine(s, 1.0, w, ("s", "w"))  # s = w + beta * s  (s = A p)
+        for pi in p:
+            pi *= b_col
+        combine(p, 1.0, u, ("p", "u"))  # p = u + beta * p
+        for xi, pi in zip(x, p):
+            xi += a_col * pi
+        for ri, si in zip(r, s):
+            ri -= a_col * si
+        for ui, qi in zip(u, q):
+            ui -= a_col * qi
+        for wi, zi in zip(w, z):
+            wi -= a_col * zi
+    return _observe_batch_solve(
+        PcgBatchResult(iters, res_norm, converged, breakdown,
+                       variant=variant, allreduce_calls=calls)
+    )
+
+
+#: Batched solver per variant name (mirrors ``PCG_VARIANTS``).
+PCG_BATCHED_SOLVERS = {
+    "classic": pcg_solve_batched,
+    "ca": pcg_solve_ca_batched,
+    "pipelined": pcg_solve_pipelined_batched,
+}
+
+
+def numpy_dot_batched(a: RankArrays, b: RankArrays) -> np.ndarray:
+    """Reference per-member dot product over batched rank arrays."""
+    total = None
+    for xi, yi in zip(a, b):
+        v = (xi * yi).sum(axis=tuple(range(1, xi.ndim)))
+        total = v if total is None else total + v
+    return np.asarray(total, dtype=float)
+
+
+def numpy_dot_many_batched(pairs: DotPairs) -> np.ndarray:
+    """Reference batched fused dots: a ``(k, B)`` array."""
+    return np.stack([numpy_dot_batched(a, b) for a, b in pairs])

@@ -21,34 +21,50 @@ from repro.mas.operators import diffuse_flux_div
 from repro.mas.viscosity import jacobi_diagonal
 
 
-def si_coefficient(c_max: float, dt: float, theta: float = 1.0) -> float:
+def si_coefficient(
+    c_max: float | np.ndarray, dt: float | np.ndarray, theta: float = 1.0
+):
     """Effective diffusivity of the semi-implicit operator.
 
     ``theta`` ~ 1 stabilizes the full wave CFL; larger values over-smooth,
-    0 disables the operator.
+    0 disables the operator. Per-member (array) wave speeds and steps
+    yield a per-member coefficient.
     """
-    if c_max < 0 or dt < 0:
+    if np.any(np.asarray(c_max) < 0) or np.any(np.asarray(dt) < 0):
         raise ValueError("wave speed and dt must be non-negative")
     if theta < 0:
         raise ValueError("theta cannot be negative")
+    if isinstance(c_max, np.ndarray) or isinstance(dt, np.ndarray):
+        return theta * (c_max * dt) ** 2 / np.maximum(dt, 1e-300)
     return theta * (c_max * dt) ** 2 / max(dt, 1e-300)
 
 
-def si_matvec(v: np.ndarray, grid: LocalGrid, coeff: float, dt: float) -> np.ndarray:
+def si_matvec(
+    v: np.ndarray,
+    grid: LocalGrid,
+    coeff: float | np.ndarray,
+    dt: float | np.ndarray,
+) -> np.ndarray:
     """Apply (I - dt * coeff * Lap) -- same SPD shape as the viscous
     backward-Euler operator (coeff plays the role of a viscosity)."""
-    if coeff < 0 or dt < 0:
+    if np.any(np.asarray(coeff) < 0) or np.any(np.asarray(dt) < 0):
         raise ValueError("coefficient and dt must be non-negative")
     return v - dt * coeff * diffuse_flux_div(v, grid)
 
 
-def si_diagonal(grid: LocalGrid, coeff: float, dt: float) -> np.ndarray:
+def si_diagonal(
+    grid: LocalGrid, coeff: float | np.ndarray, dt: float | np.ndarray
+) -> np.ndarray:
     """Jacobi diagonal of the semi-implicit operator."""
     return jacobi_diagonal(grid, coeff, dt)
 
 
-def max_wave_speed(state, grid: LocalGrid, params) -> float:
-    """Fast magnetosonic estimate over the interior (per rank)."""
+def max_wave_speed(state, grid: LocalGrid, params) -> float | np.ndarray:
+    """Fast magnetosonic estimate over the interior (per rank).
+
+    Batched states yield a per-member ``(B,)`` array (max over the
+    spatial axes only); scalar states keep the float return.
+    """
     from repro.mas.operators import face_to_center
 
     i = grid.interior()
@@ -56,4 +72,7 @@ def max_wave_speed(state, grid: LocalGrid, params) -> float:
     rho = np.maximum(state.rho[i], params.rho_floor)
     va2 = (bcr[i] ** 2 + bct[i] ** 2 + bcp[i] ** 2) / rho
     cs2 = params.sound_speed_sq(np.maximum(state.temp[i], params.temp_floor))
-    return float(np.sqrt(va2 + cs2).max())
+    speed = np.sqrt(va2 + cs2)
+    if speed.ndim == 3:
+        return float(speed.max())
+    return speed.max(axis=(-3, -2, -1))

@@ -3,11 +3,20 @@
 Plasma variables (rho, T, v) are cell-centered; the magnetic field is
 face-staggered for constrained transport. All arrays carry one ghost
 layer; the model's halo/boundary machinery keeps ghosts coherent.
+
+Ensemble batching: every state array may carry a leading *member* axis
+``B`` in front of the three spatial axes, so one numpy kernel advances
+all ensemble members at once. All numeric code in this package treats
+the trailing three axes as spatial (``a[..., i, j, k]`` indexing,
+negative/trailing-relative ``axis`` arguments), which makes the same
+code path handle both the scalar 3-D layout (``B`` absent -- the
+bit-identical legacy path) and the batched 4-D layout.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -20,10 +29,21 @@ FACE_FIELDS = (("br", 0), ("bt", 1), ("bp", 2))
 #: All state array names.
 ALL_FIELDS = CENTERED_FIELDS + tuple(n for n, _ in FACE_FIELDS)
 
+#: Stagger axis per field name (None for cell-centered fields).
+STAGGER_AXES = {name: None for name in CENTERED_FIELDS}
+STAGGER_AXES.update({name: axis for name, axis in FACE_FIELDS})
+
+
+def stagger_axis(name: str) -> int | None:
+    """Spatial stagger axis of a state field (None if cell-centered)."""
+    if name not in STAGGER_AXES:
+        raise KeyError(f"unknown state field {name!r}")
+    return STAGGER_AXES[name]
+
 
 @dataclass(slots=True)
 class MhdState:
-    """One rank's ghosted state arrays."""
+    """One rank's ghosted state arrays (optionally member-batched)."""
 
     rho: np.ndarray
     temp: np.ndarray
@@ -35,23 +55,64 @@ class MhdState:
     bp: np.ndarray
 
     @classmethod
-    def allocate(cls, grid: LocalGrid, dtype=np.float64) -> "MhdState":
-        """Zero-initialized state with the grid's ghosted shapes."""
-        c = grid.centered_shape()
+    def allocate(
+        cls, grid: LocalGrid, dtype=np.float64, *, members: int | None = None
+    ) -> "MhdState":
+        """Zero-initialized state with the grid's ghosted shapes.
+
+        ``members=None`` keeps the legacy 3-D layout; ``members=B``
+        prepends a leading batch axis of length B to every array.
+        """
+        if members is not None and members < 1:
+            raise ValueError("members must be >= 1")
+        lead = () if members is None else (members,)
+        c = lead + grid.centered_shape()
         return cls(
             rho=np.zeros(c, dtype),
             temp=np.zeros(c, dtype),
             vr=np.zeros(c, dtype),
             vt=np.zeros(c, dtype),
             vp=np.zeros(c, dtype),
-            br=np.zeros(grid.face_shape(0), dtype),
-            bt=np.zeros(grid.face_shape(1), dtype),
-            bp=np.zeros(grid.face_shape(2), dtype),
+            br=np.zeros(lead + grid.face_shape(0), dtype),
+            bt=np.zeros(lead + grid.face_shape(1), dtype),
+            bp=np.zeros(lead + grid.face_shape(2), dtype),
+        )
+
+    @property
+    def members(self) -> int | None:
+        """Batch size B, or None for the scalar 3-D layout."""
+        return None if self.rho.ndim == 3 else int(self.rho.shape[0])
+
+    def member_view(self, b: int) -> "MhdState":
+        """Zero-copy 3-D view of member ``b`` of a batched state."""
+        if self.members is None:
+            raise ValueError("state is not batched")
+        return MhdState(**{f.name: getattr(self, f.name)[b] for f in fields(self)})
+
+    def member_views(self) -> Iterator["MhdState"]:
+        """Iterate zero-copy member views of a batched state."""
+        for b in range(self.members or 0):
+            yield self.member_view(b)
+
+    @classmethod
+    def stack(cls, states: Sequence["MhdState"]) -> "MhdState":
+        """Batch B scalar states into one 4-D state (copies)."""
+        if not states:
+            raise ValueError("cannot stack an empty member list")
+        if any(s.members is not None for s in states):
+            raise ValueError("can only stack scalar (3-D) states")
+        return cls(
+            **{
+                f.name: np.stack([getattr(s, f.name) for s in states])
+                for f in fields(states[0])
+            }
         )
 
     def copy(self) -> "MhdState":
-        """Deep copy of every array."""
-        return MhdState(**{f.name: getattr(self, f.name).copy() for f in fields(self)})
+        """Deep copy of every array (dtype and batch layout preserved)."""
+        return type(self)(
+            **{f.name: getattr(self, f.name).copy() for f in fields(self)}
+        )
 
     def get(self, name: str) -> np.ndarray:
         """Array by field name."""
@@ -68,6 +129,24 @@ class MhdState:
         for f in fields(self):
             a = getattr(self, f.name)
             # ghost rims may legitimately hold unset values; check core
-            core = a[1:-1, 1:-1, 1:-1]
+            core = a[..., 1:-1, 1:-1, 1:-1]
             if not np.all(np.isfinite(core)):
                 raise FloatingPointError(f"non-finite values in {f.name}")
+
+
+class EnsembleState(MhdState):
+    """A member-batched :class:`MhdState` (leading axis = ensemble members).
+
+    Behaviourally identical to a batched ``MhdState``; the subclass only
+    marks intent at allocation sites and requires the batch axis.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def allocate(
+        cls, grid: LocalGrid, dtype=np.float64, *, members: int | None = None
+    ) -> "EnsembleState":
+        if members is None:
+            raise ValueError("EnsembleState.allocate requires members")
+        return super().allocate(grid, dtype, members=members)  # type: ignore[return-value]

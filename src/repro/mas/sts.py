@@ -64,7 +64,7 @@ def rkl2_coefficients(s: int) -> Rkl2Coefficients:
 def rkl2_advance(
     apply_l: Callable[[RankArrays], RankArrays],
     u: RankArrays,
-    dt: float,
+    dt: float | np.ndarray,
     s: int,
     *,
     on_stage: Callable[[int], None] | None = None,
@@ -74,9 +74,10 @@ def rkl2_advance(
     ``apply_l`` is called once per stage (plus once for the initial
     operator evaluation); ``on_stage`` is a hook the model uses to account
     stage bookkeeping. Returns the advanced per-rank arrays (inputs are not
-    mutated).
+    mutated). ``dt`` may be a per-member array broadcastable against the
+    state arrays (shape ``(B, 1, 1, 1)``).
     """
-    if dt < 0:
+    if np.any(np.asarray(dt) < 0):
         raise ValueError("dt cannot be negative")
     c = rkl2_coefficients(s)
     y0 = [a.copy() for a in u]

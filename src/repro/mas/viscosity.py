@@ -15,33 +15,48 @@ from repro.mas.grid import LocalGrid
 from repro.mas.operators import diffuse_flux_div
 
 
-def viscous_rhs(v: np.ndarray, grid: LocalGrid, nu: float) -> np.ndarray:
-    """Explicit viscous acceleration nu * div(grad v) (componentwise)."""
-    if nu < 0:
+def viscous_rhs(
+    v: np.ndarray, grid: LocalGrid, nu: float | np.ndarray
+) -> np.ndarray:
+    """Explicit viscous acceleration nu * div(grad v) (componentwise).
+
+    ``nu`` may be a per-member array broadcastable against ``v`` (shape
+    ``(B, 1, 1, 1)`` for a batched state).
+    """
+    if np.any(np.asarray(nu) < 0):
         raise ValueError("viscosity cannot be negative")
     return nu * diffuse_flux_div(v, grid)
 
 
-def implicit_matvec(v: np.ndarray, grid: LocalGrid, nu: float, dt: float) -> np.ndarray:
+def implicit_matvec(
+    v: np.ndarray,
+    grid: LocalGrid,
+    nu: float | np.ndarray,
+    dt: float | np.ndarray,
+) -> np.ndarray:
     """Backward-Euler operator A v = v - dt * nu * Lap(v).
 
     Valid on interior cells; the rim is passed through unchanged (identity)
     so the operator stays SPD on the solved subspace.
     """
-    if dt < 0:
+    if np.any(np.asarray(dt) < 0):
         raise ValueError("dt cannot be negative")
     out = v - dt * viscous_rhs(v, grid, nu)
     # rim: diffuse_flux_div already leaves the rim zero, so out = v there.
     return out
 
 
-def jacobi_diagonal(grid: LocalGrid, nu: float, dt: float) -> np.ndarray:
+def jacobi_diagonal(
+    grid: LocalGrid, nu: float | np.ndarray, dt: float | np.ndarray
+) -> np.ndarray:
     """Diagonal of the backward-Euler viscous operator, for Jacobi PCG.
 
     diag(A) = 1 + dt*nu/V * sum_faces(A_face / d_centerline). Rim cells get
-    1 (identity rows).
+    1 (identity rows). Array-valued ``nu``/``dt`` (per ensemble member,
+    spatial dims of size one) yield a member-batched diagonal.
     """
-    diag = np.ones(grid.shape)
+    scale = np.asarray(dt * nu)
+    diag = np.ones(np.broadcast_shapes(scale.shape, grid.shape))
     d_r = np.diff(grid.rc)[:, None, None]
     d_t = (grid.rc[:, None] * np.diff(grid.tc)[None, :])[:, :, None]
     d_p = (
@@ -58,12 +73,16 @@ def jacobi_diagonal(grid: LocalGrid, nu: float, dt: float) -> np.ndarray:
         + (at[:, :-1] + at[:, 1:])[1:-1, :, 1:-1]
         + (ap[:, :, :-1] + ap[:, :, 1:])[1:-1, 1:-1, :]
     )
-    diag[inner] += dt * nu * total / grid.volume[inner]
+    diag[(Ellipsis, *inner)] += dt * nu * total / grid.volume[inner]
     return diag
 
 
-def viscous_timescale(grid: LocalGrid, nu: float) -> float:
-    """Explicit stability limit the implicit solve is buying us out of."""
-    if nu <= 0:
+def viscous_timescale(grid: LocalGrid, nu: float | np.ndarray) -> float:
+    """Explicit stability limit the implicit solve is buying us out of.
+
+    For per-member ``nu`` the largest member coefficient (the most
+    restrictive explicit limit) sets the timescale.
+    """
+    if np.any(np.asarray(nu) <= 0):
         raise ValueError("viscosity must be positive for a timescale")
-    return grid.min_cell_extent**2 / (6.0 * nu)
+    return grid.min_cell_extent**2 / (6.0 * float(np.max(nu)))

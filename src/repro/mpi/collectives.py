@@ -104,18 +104,27 @@ def allreduce_sum(
 
 def allreduce_min(
     ranks: Sequence[RankRuntime],
-    values: Sequence[float],
+    values: Sequence[float | np.ndarray],
     link: LinkSpec,
     *,
     nbytes: int = 8,
     unified_memory: bool = False,
-) -> float:
-    """MPI_Allreduce(MIN), used by the CFL timestep controller."""
+) -> float | np.ndarray:
+    """MPI_Allreduce(MIN), used by the CFL timestep controller.
+
+    Array-valued contributions (one per rank, equal shapes -- e.g. the
+    per-ensemble-member CFL limits) reduce elementwise in one collective,
+    like a vector MPI_Allreduce(MIN); pass ``nbytes=8*k`` to charge the
+    wider message.
+    """
     if len(values) != len(ranks):
         raise ValueError("one value per rank required")
     _observe_collective("min")
     barrier(ranks, "allreduce")
-    result = min(values)
+    if any(isinstance(v, np.ndarray) for v in values):
+        result = np.minimum.reduce([np.asarray(v, dtype=float) for v in values])
+    else:
+        result = min(values)
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
     _observe_cost("min", cost)
     for rt in ranks:
@@ -241,18 +250,25 @@ def allreduce_many_finish(pending: PendingReduction) -> np.ndarray:
 
 def allreduce_max(
     ranks: Sequence[RankRuntime],
-    values: Sequence[float],
+    values: Sequence[float | np.ndarray],
     link: LinkSpec,
     *,
     nbytes: int = 8,
     unified_memory: bool = False,
-) -> float:
-    """MPI_Allreduce(MAX), used by the semi-implicit wave-speed estimate."""
+) -> float | np.ndarray:
+    """MPI_Allreduce(MAX), used by the semi-implicit wave-speed estimate.
+
+    Like :func:`allreduce_min`, per-rank array contributions (per-member
+    wave speeds) reduce elementwise in a single collective.
+    """
     if len(values) != len(ranks):
         raise ValueError("one value per rank required")
     _observe_collective("max")
     barrier(ranks, "allreduce")
-    result = max(values)
+    if any(isinstance(v, np.ndarray) for v in values):
+        result = np.maximum.reduce([np.asarray(v, dtype=float) for v in values])
+    else:
+        result = max(values)
     cost = _collective_cost(len(ranks), nbytes, link, unified_memory=unified_memory)
     _observe_cost("max", cost)
     for rt in ranks:

@@ -102,25 +102,27 @@ def _interior_face(
     sent layers shift inward by one to land in the neighbour's strictly
     beyond-boundary ghost faces.
     """
-    n = a.shape[axis] - 2 * g
+    ax = a.ndim - 3 + axis  # spatial axes are the trailing three
+    n = a.shape[ax] - 2 * g
     if direction == -1:
         sl = slice(g + 1, 2 * g + 1) if staggered else slice(g, 2 * g)
     else:
         sl = slice(n - 1, n - 1 + g) if staggered else slice(n, n + g)
     out = [slice(None)] * a.ndim
-    out[axis] = sl
+    out[ax] = sl
     return tuple(out)
 
 
 def _ghost_face(a: np.ndarray, axis: int, direction: int, g: int) -> tuple[slice, ...]:
     """Slice of the ghost cells on one face (what gets received into)."""
-    n = a.shape[axis] - 2 * g
+    ax = a.ndim - 3 + axis
+    n = a.shape[ax] - 2 * g
     if direction == -1:
         sl = slice(0, g)
     else:
         sl = slice(n + g, n + 2 * g)
     out = [slice(None)] * a.ndim
-    out[axis] = sl
+    out[ax] = sl
     return tuple(out)
 
 
@@ -432,9 +434,10 @@ class HaloExchanger:
                 raise ValueError("one local array per rank required")
             for a in locals_:
                 for axis in spec.axes:
-                    if a.shape[axis] < 3 * g + (1 if axis == stagger_axis else 0):
+                    ax = a.ndim - 3 + axis
+                    if a.shape[ax] < 3 * g + (1 if axis == stagger_axis else 0):
                         raise ValueError(
-                            f"array extent {a.shape[axis]} too small for halo depth {g}"
+                            f"array extent {a.shape[ax]} too small for halo depth {g}"
                         )
 
     def _observe_exchanges(self, items: list[FieldItem]):

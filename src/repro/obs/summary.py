@@ -179,6 +179,34 @@ def _metrics_table(metrics: dict | None, top: int = 30) -> str | None:
     return out
 
 
+def _ensemble_table(records: list[dict]) -> str | None:
+    """Per-member convergence table for sweep runs.
+
+    Built from the ``sweep_member`` rows ``repro sweep`` logs at run end;
+    absent for scalar runs.
+    """
+    rows = [r for r in records if r.get("event") == "sweep_member"]
+    if not rows:
+        return None
+    base = ("event", "ts", "member", "sim_time", "dt", "pcg_iterations",
+            "pcg_converged", "pcg_breakdown")
+    vary_cols = [k for k in rows[0] if k not in base]
+    t = Table(["member", *vary_cols, "sim_time", "pcg_iters", "converged",
+               "breakdown"])
+    for r in sorted(rows, key=lambda r: r.get("member", 0)):
+        t.add_row(
+            [
+                r.get("member"),
+                *(f"{r[k]:.6g}" for k in vary_cols),
+                f"{r.get('sim_time', 0.0):.5f}",
+                r.get("pcg_iterations", 0),
+                r.get("pcg_converged", 0),
+                "yes" if r.get("pcg_breakdown") else "no",
+            ]
+        )
+    return "per-member convergence (ensemble sweep):\n" + t.render()
+
+
 def _critpath_block(d: Path) -> str | None:
     """Compact per-model critical-path table, from the Chrome trace.
 
@@ -243,6 +271,7 @@ def summarize_dir(path: str | Path) -> str:
     for builder, arg in (
         (_steps_table, records),
         (_mpi_share_block, records),
+        (_ensemble_table, records),
         (_spans_table, spans),
         (_metrics_table, metrics),
         (_critpath_block, d),

@@ -15,12 +15,19 @@ from repro.mas.state import ALL_FIELDS
 from repro.runtime.clock import TimeCategory
 
 
-def make(num_ranks=1, shape=(8, 6, 8), version=CodeVersion.A):
+def make(num_ranks=1, shape=(8, 6, 8), version=CodeVersion.A, **kw):
     return MasModel(
         ModelConfig(shape=shape, num_ranks=num_ranks, pcg_iters=2,
-                    sts_stages=2, extra_model_arrays=0),
+                    sts_stages=2, extra_model_arrays=0, **kw),
         runtime_config_for(version),
     )
+
+
+def make_ensemble(members=3, **kw):
+    kw.setdefault("nominal_shape", (32, 24, 48))
+    kw.setdefault("ensemble_vary",
+                  (("b0", tuple(np.linspace(0.5, 2.0, members))),))
+    return make(ensemble_size=members, **kw)
 
 
 class TestRoundTrip:
@@ -122,6 +129,94 @@ class TestValidation:
         info = read_info(tmp_path / "c.npz")
         assert info.shape == (8, 6, 8)
         assert info.steps_taken == 1
+
+
+class TestEnsembleRoundTrip:
+    def test_batched_restore_is_bitwise(self, tmp_path):
+        m = make_ensemble()
+        m.run(2)
+        path = tmp_path / "ens.npz"
+        info = save_checkpoint(m, path)
+        assert info.ensemble_size == 3
+        assert info.dtype == "float64"
+        assert isinstance(info.time, list) and len(info.time) == 3
+
+        fresh = make_ensemble()
+        load_checkpoint(fresh, path)
+        for name in ALL_FIELDS:
+            got = fresh.states[0].get(name)
+            assert got.ndim == 4 and got.shape[0] == 3
+            assert np.array_equal(got, m.states[0].get(name)), name
+        assert np.array_equal(np.asarray(fresh.time), np.asarray(m.time))
+        assert np.array_equal(np.asarray(fresh._last_dt),
+                              np.asarray(m._last_dt))
+
+    def test_batched_resume_continues_identically(self, tmp_path):
+        straight = make_ensemble()
+        straight.run(4)
+
+        part1 = make_ensemble()
+        part1.run(2)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(part1, path)
+        part2 = make_ensemble()
+        load_checkpoint(part2, path)
+        part2.run(2)
+
+        for name in ALL_FIELDS:
+            assert np.array_equal(
+                straight.states[0].get(name), part2.states[0].get(name)
+            ), name
+        assert np.array_equal(np.asarray(straight.time),
+                              np.asarray(part2.time))
+
+    def test_member_count_mismatch_refused(self, tmp_path):
+        m = make_ensemble(members=3)
+        save_checkpoint(m, tmp_path / "c.npz")
+        other = make_ensemble(members=2)
+        with pytest.raises(CheckpointError, match="member"):
+            load_checkpoint(other, tmp_path / "c.npz")
+
+    def test_scalar_checkpoint_refused_by_ensemble_model(self, tmp_path):
+        m = make()
+        save_checkpoint(m, tmp_path / "c.npz")
+        other = make_ensemble()
+        with pytest.raises(CheckpointError, match="member"):
+            load_checkpoint(other, tmp_path / "c.npz")
+
+    def test_stagger_metadata_saved_and_checked(self, tmp_path):
+        from repro.mas.state import stagger_axis
+
+        m = make_ensemble()
+        path = tmp_path / "c.npz"
+        save_checkpoint(m, path)
+        info = read_info(path)
+        assert info.stagger == {n: stagger_axis(n) for n in ALL_FIELDS}
+
+        # corrupt the stagger map: the restore must refuse it
+        import json
+
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["_meta"]).decode())
+        meta["stagger"]["br"] = 2
+        arrays["_meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CheckpointError, match="stagger"):
+            load_checkpoint(make_ensemble(), path)
+
+    def test_dtype_mismatch_refused(self, tmp_path):
+        m = make_ensemble()
+        path = tmp_path / "c.npz"
+        save_checkpoint(m, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["rank0_rho"] = arrays["rank0_rho"].astype(np.float32)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CheckpointError, match="dtype"):
+            load_checkpoint(make_ensemble(), path)
 
 
 class TestTimestepControllerState:

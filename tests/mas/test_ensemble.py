@@ -1,0 +1,289 @@
+"""Ensemble batching: batched runs must reproduce serial member runs.
+
+The member axis is a pure layout transform -- every batched kernel is the
+same arithmetic broadcast over B members, and every batched dot reduces
+each member over the same elements in the same order as its serial solve.
+So a B-member batched run must match B serial runs *bitwise*, across code
+versions and PCG variants, while issuing the launch/message counts of ONE
+serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeVersion, runtime_config_for
+from repro.mas.constants import PhysicsParams
+from repro.mas.model import MasModel, ModelConfig
+from repro.mas.pcg import (
+    PcgBatchResult,
+    numpy_dot_batched,
+    numpy_dot_many_batched,
+    pcg_solve,
+    pcg_solve_batched,
+)
+from repro.mas.state import ALL_FIELDS, EnsembleState
+
+SHAPE = (6, 5, 8)
+#: Small nominal (cost-model) grid so B-member batches fit the simulated
+#: device; costs only scale timings, never physics.
+NOMINAL = (32, 24, 48)
+STEPS = 2
+
+#: The paper's version ladder as exercised by the ensemble criterion:
+#: baseline OpenACC, full-app acceleration, and both DC ports.
+VERSIONS = (CodeVersion.A, CodeVersion.AD, CodeVersion.D2XU, CodeVersion.D2XAD)
+VARIANTS = ("classic", "ca", "pipelined")
+
+
+def _config(members: int, vary=(), **kw) -> ModelConfig:
+    kw.setdefault("shape", SHAPE)
+    kw.setdefault("nominal_shape", NOMINAL)
+    kw.setdefault("num_ranks", 2)
+    kw.setdefault("pcg_iters", 3)
+    kw.setdefault("sts_stages", 3)
+    return ModelConfig(ensemble_size=members, ensemble_vary=tuple(vary), **kw)
+
+
+def _run(config: ModelConfig, version: CodeVersion) -> MasModel:
+    model = MasModel(config, runtime_config_for(version))
+    model.run(STEPS)
+    return model
+
+
+def _member_states(model: MasModel, b: int):
+    if model.ensemble:
+        return [s.member_view(b) for s in model.states]
+    return model.states
+
+
+def _max_member_diff(batched: MasModel, serial: MasModel, b: int) -> float:
+    worst = 0.0
+    for sb, ss in zip(_member_states(batched, b), serial.states):
+        for name in ALL_FIELDS:
+            worst = max(worst, float(np.max(np.abs(sb.get(name) - ss.get(name)))))
+    return worst
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("version", VERSIONS, ids=lambda v: v.name)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_members_match_serial_runs(self, version, variant):
+        members = 3
+        b0s = tuple(np.linspace(0.6, 1.8, members))
+        batched = _run(
+            _config(members, vary=[("b0", b0s)], pcg_variant=variant), version
+        )
+        assert np.asarray(batched.time).shape == (members,)
+        for b, b0 in enumerate(b0s):
+            serial = _run(_config(1, b0=float(b0), pcg_variant=variant), version)
+            assert _max_member_diff(batched, serial, b) == 0.0, (version, variant, b)
+            assert float(np.asarray(batched.time)[b]) == serial.time
+
+    def test_eight_members_match_eight_serial_runs(self):
+        members = 8
+        b0s = tuple(np.linspace(0.5, 2.0, members))
+        batched = _run(_config(members, vary=[("b0", b0s)]), CodeVersion.AD)
+        for b, b0 in enumerate(b0s):
+            serial = _run(_config(1, b0=float(b0)), CodeVersion.AD)
+            assert _max_member_diff(batched, serial, b) <= 1e-12, b
+
+    def test_varied_viscosity_matches_serial_params(self):
+        nus = (0.0, 5.0e-3)
+        batched = _run(_config(2, vary=[("viscosity", nus)]), CodeVersion.AD)
+        for b, nu in enumerate(nus):
+            serial = _run(
+                _config(1, params=replace(PhysicsParams(), viscosity=nu)),
+                CodeVersion.AD,
+            )
+            assert _max_member_diff(batched, serial, b) == 0.0, nu
+
+    def test_varied_resistivity_matches_serial_params(self):
+        etas = (5.0e-5, 2.0e-4)
+        batched = _run(_config(2, vary=[("resistivity", etas)]), CodeVersion.A)
+        for b, eta in enumerate(etas):
+            serial = _run(
+                _config(1, params=replace(PhysicsParams(), resistivity=eta)),
+                CodeVersion.A,
+            )
+            assert _max_member_diff(batched, serial, b) == 0.0, eta
+
+
+class TestScalarPathUnchanged:
+    def test_b1_is_bit_identical_to_default_config(self):
+        a = _run(_config(1), CodeVersion.A)
+        b = _run(
+            ModelConfig(shape=SHAPE, nominal_shape=NOMINAL, num_ranks=2,
+                        pcg_iters=3, sts_stages=3),
+            CodeVersion.A,
+        )
+        assert not a.ensemble
+        assert isinstance(a.time, float) and a.time == b.time
+        for sa, sb in zip(a.states, b.states):
+            assert sa.rho.ndim == 3
+            for name in ALL_FIELDS:
+                assert np.array_equal(sa.get(name), sb.get(name)), name
+
+
+class TestBatchAmortization:
+    def test_launch_and_message_counts_independent_of_members(self):
+        counts = {}
+        for members in (1, 4):
+            model = _run(_config(members), CodeVersion.A)
+            counts[members] = (
+                sum(rt.stats.launches for rt in model.ranks),
+                model.halo.messages_sent
+                if hasattr(model.halo, "messages_sent")
+                else None,
+            )
+        assert counts[1][0] == counts[4][0]
+
+    def test_halo_message_count_flat_via_metrics(self, tmp_path):
+        import json
+
+        from repro.obs.telemetry import session
+
+        msgs = {}
+        for members in (1, 4):
+            with session(tmp_path / f"b{members}") as tel:
+                _run(_config(members), CodeVersion.A)
+                metrics = json.loads(tel.metrics.to_json_text())
+            msgs[members] = sum(
+                s["value"]
+                for s in metrics["halo_messages_total"]["samples"]
+                if "value" in s
+            )
+        assert msgs[1] == msgs[4] > 0
+
+
+class TestRhoBreakdownMember:
+    """A member whose rho collapses mid-solve freezes; the rest continue."""
+
+    @staticmethod
+    def _system(members: int, n: int = 12):
+        rng = np.random.default_rng(11)
+        diag = 1.0 + rng.random(n)
+        rhs = np.broadcast_to(rng.standard_normal(n), (members, n)).copy()
+
+        def apply_a(v):
+            return [diag * vi for vi in v]
+
+        return diag, rhs, apply_a
+
+    def test_member_freezes_where_serial_would_return(self):
+        diag, rhs, apply_a = self._system(2)
+        calls = {"n": 0}
+
+        def precondition(r):
+            # First application (solve setup) is honest; afterwards member 1
+            # returns an exact zero z, forcing rho = r.z = 0 with a nonzero
+            # residual -- the rho-breakdown exit.
+            z = [r[0].copy()]
+            if calls["n"] > 0:
+                z[0][1] = 0.0
+            calls["n"] += 1
+            return z
+
+        x = [np.zeros_like(rhs)]
+        result = pcg_solve_batched(
+            apply_a, [rhs.copy()], x, dot=numpy_dot_batched,
+            precondition=precondition, combine=_combine_batched,
+            iterations=6,
+        )
+        assert isinstance(result, PcgBatchResult)
+        assert list(result.breakdown) == [False, True]
+        assert result.iterations[0] == 6
+        assert result.iterations[1] == 1
+
+        # member 1 froze exactly where its serial solve would have returned
+        scalls = {"n": 0}
+
+        def serial_precondition(r):
+            z = [r[0].copy()]
+            if scalls["n"] > 0:
+                z[0][:] = 0.0
+            scalls["n"] += 1
+            return z
+
+        xs = [np.zeros_like(rhs[1])]
+        sres = pcg_solve(
+            apply_a, [rhs[1].copy()], xs, dot=_numpy_dot_serial,
+            precondition=serial_precondition, combine=_combine_serial,
+            iterations=6,
+        )
+        assert sres.breakdown
+        assert np.array_equal(x[0][1], xs[0])
+
+        # member 0 is untouched by its neighbour's breakdown
+        x0 = [np.zeros_like(rhs[0])]
+        res0 = pcg_solve(
+            apply_a, [rhs[0].copy()], x0, dot=_numpy_dot_serial,
+            precondition=lambda r: [r[0].copy()], combine=_combine_serial,
+            iterations=6,
+        )
+        assert not res0.breakdown
+        assert np.allclose(x[0][0], x0[0], atol=1e-12)
+
+    def test_member_view_of_batch_result(self):
+        diag, rhs, apply_a = self._system(2)
+        x = [np.zeros_like(rhs)]
+        result = pcg_solve_batched(
+            apply_a, [rhs.copy()], x, dot=numpy_dot_batched,
+            precondition=lambda r: [r[0].copy()], combine=_combine_batched,
+            iterations=4,
+        )
+        assert result.members == 2
+        one = result.member(1)
+        assert one.iterations == result.iterations[1]
+        assert one.variant == "classic"
+
+    def test_breakdown_member_freezes_in_model_run(self):
+        # viscosity 0 makes that member's implicit solve trivially converged
+        # at iteration zero (rz == 0 with zero residual) -- the masking has
+        # to freeze it without stalling its batch neighbours.
+        model = _run(
+            _config(2, vary=[("viscosity", (0.0, 5.0e-3))]), CodeVersion.AD
+        )
+        report = model.ensemble_report()
+        assert report[0]["pcg_iterations"] < report[1]["pcg_iterations"]
+        assert not report[0]["pcg_breakdown"]
+        assert not report[1]["pcg_breakdown"]
+
+
+def _combine_batched(y, alpha, z, roles=None):
+    for yi, zi in zip(y, z):
+        yi += alpha * zi
+
+
+_combine_serial = _combine_batched
+
+
+def _numpy_dot_serial(a, b) -> float:
+    # same reduction tree as numpy_dot_batched's per-member row sum, so the
+    # serial reference reproduces the batched alpha/beta bits
+    return float(sum((x * y).sum() for x, y in zip(a, b)))
+
+
+class TestEnsembleState:
+    def test_stack_and_member_view_round_trip(self):
+        from repro.mas.grid import LocalGrid, SphericalGrid
+        from repro.mas.initial import initialize
+        from repro.mpi.decomp import Decomposition3D
+
+        grid = SphericalGrid.build(SHAPE)
+        decomp = Decomposition3D(SHAPE, 1)
+        lg = LocalGrid.from_global(grid, decomp, 0, ghost=1)
+        params = PhysicsParams()
+        members = [
+            initialize(lg, params, b0=b0, perturbation=0.02)
+            for b0 in (0.5, 1.0, 2.0)
+        ]
+        ens = EnsembleState.stack(members)
+        assert ens.members == 3
+        for b, m in enumerate(members):
+            view = ens.member_view(b)
+            for name in ALL_FIELDS:
+                assert np.array_equal(view.get(name), m.get(name)), name

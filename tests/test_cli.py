@@ -335,3 +335,87 @@ class TestExternalTrees:
         assert args.paths == [] and args.jobs == 1 and not args.cost
         args = build_parser().parse_args(["port"])
         assert args.path is None and args.limit is None
+
+
+class TestSweep:
+    ARGS = ["sweep", "--steps", "1", "--ranks", "1", "--shape", "8", "6", "8",
+            "--pcg-iters", "2", "--sts-stages", "2",
+            "--nominal-shape", "32", "24", "48"]
+
+    def test_sweep_prints_member_table(self, capsys):
+        rc = main([*self.ARGS, "--members", "2", "--vary", "b0=0.5:2.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 member(s)" in out
+        assert "b0" in out and "pcg_iters" in out and "breakdown" in out
+
+    def test_sweep_writes_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "sweep.json"
+        rc = main([*self.ARGS, "--members", "3", "--vary", "b0=0.5:2.0",
+                   "--manifest", str(manifest)])
+        assert rc == 0
+        doc = json.loads(manifest.read_text())
+        assert doc["schema"] == "repro-sweep/1"
+        assert doc["members"] == 3
+        assert doc["vary"]["b0"] == [0.5, 1.25, 2.0]
+        assert len(doc["member_rows"]) == 3
+
+    def test_sweep_log_spacing(self, tmp_path):
+        import json
+
+        manifest = tmp_path / "sweep.json"
+        assert main([*self.ARGS, "--members", "3",
+                     "--vary", "viscosity=1e-4:1e-2:log",
+                     "--manifest", str(manifest)]) == 0
+        doc = json.loads(manifest.read_text())
+        vals = doc["vary"]["viscosity"]
+        assert vals[1] == pytest.approx(1e-3)
+
+    def test_sweep_telemetry_dir_gets_sweep_json(self, tmp_path, capsys):
+        import json
+
+        tel = tmp_path / "tel"
+        assert main([*self.ARGS, "--members", "2", "--vary", "b0=0.5:2.0",
+                     "--telemetry", str(tel)]) == 0
+        assert json.loads((tel / "sweep.json").read_text())["members"] == 2
+        capsys.readouterr()
+        assert main(["telemetry", str(tel)]) == 0
+        out = capsys.readouterr().out
+        assert "per-member convergence (ensemble sweep)" in out
+
+    def test_sweep_rejects_unknown_vary_param(self, capsys):
+        assert main([*self.ARGS, "--members", "2", "--vary", "cfl=0.1:0.5"]) == 2
+        assert "choose from" in capsys.readouterr().err
+
+    def test_sweep_rejects_log_with_nonpositive_bounds(self, capsys):
+        assert main([*self.ARGS, "--members", "2",
+                     "--vary", "b0=0:1:log"]) == 2
+
+    def test_critpath_falls_back_on_bare_sweep_dir(self, tmp_path, capsys):
+        import json
+
+        d = tmp_path / "sweeponly"
+        d.mkdir()
+        (d / "sweep.json").write_text(json.dumps({
+            "schema": "repro-sweep/1",
+            "members": 2,
+            "member_rows": [
+                {"member": 0, "b0": 0.5, "sim_time": 0.1, "dt": 0.05,
+                 "pcg_iterations": 4, "pcg_converged": 0,
+                 "pcg_breakdown": False},
+                {"member": 1, "b0": 2.0, "sim_time": 0.08, "dt": 0.04,
+                 "pcg_iterations": 4, "pcg_converged": 0,
+                 "pcg_breakdown": True},
+            ],
+        }))
+        assert main(["critpath", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "showing per-member convergence instead" in out
+        assert "breakdown" in out
+
+    def test_critpath_still_errors_without_sweep_json(self, tmp_path, capsys):
+        d = tmp_path / "empty"
+        d.mkdir()
+        assert main(["critpath", str(d)]) != 0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import make_rng, member_rng, member_rngs, spawn_rngs
 
 
 class TestMakeRng:
@@ -38,3 +38,42 @@ class TestSpawnRngs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs("x", -1)
+
+
+class TestMemberRng:
+    def test_deterministic(self):
+        a = member_rng("ens", 3).random(8)
+        b = member_rng("ens", 3).random(8)
+        assert np.array_equal(a, b)
+
+    def test_members_independent(self):
+        a = member_rng("ens", 0).random(8)
+        b = member_rng("ens", 1).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_matches_spawned_child(self):
+        # the documented derivation: member b's stream IS spawn(n)[b]
+        for n in (4, 8):
+            a = member_rng("ens", 2).random(8)
+            b = spawn_rngs("ens", n)[2].random(8)
+            assert np.array_equal(a, b), n
+
+    def test_member_count_stability(self):
+        # widening an ensemble never perturbs existing members
+        small = [g.random(4) for g in member_rngs("ens", 4)]
+        wide = [g.random(4) for g in member_rngs("ens", 8)]
+        for b in range(4):
+            assert np.array_equal(small[b], wide[b]), b
+
+    def test_name_separates_streams(self):
+        a = member_rng("perturbation", 0).random(8)
+        b = member_rng("jitter", 0).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            member_rng("", 0)
+        with pytest.raises(ValueError):
+            member_rng("ens", -1)
+        with pytest.raises(ValueError):
+            member_rngs("ens", -1)
